@@ -1,0 +1,165 @@
+//! Micro-benchmarks of the engine's hot paths: prediction, split
+//! computation, the simulator calendar, and the wire protocol.
+//!
+//! These are the operations the paper's strategy performs *per message* on
+//! the critical path — they must be negligible against microsecond-scale
+//! network latencies for the approach to make sense.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nm_core::predictor::{CostModel, Predictor, RailView};
+use nm_core::split::{dichotomy_split, equal_completion_split};
+use nm_model::{PerfProfile, SimTime};
+use nm_proto::aggregate::{AggEntry, Aggregator};
+use nm_proto::{Packet, PacketHeader, PacketKind, Reassembler};
+use nm_sim::{EventQueue, RailId};
+use std::hint::black_box;
+
+fn affine_profile(name: &str, lat: f64, bw: f64) -> PerfProfile {
+    let samples = (2..=23).map(|p| (1u64 << p, lat + (1u64 << p) as f64 / bw)).collect();
+    PerfProfile::from_samples(name, samples).unwrap()
+}
+
+fn predictor() -> Predictor {
+    let mk = |i: usize, name: &str, lat: f64, bw: f64| RailView {
+        rail: RailId(i),
+        name: name.into(),
+        natural: affine_profile(name, lat, bw),
+        eager: affine_profile(name, lat, bw * 0.8),
+        rdv_threshold: 128 * 1024,
+    };
+    Predictor::new(vec![mk(0, "a", 2.8, 1226.8), mk(1, "b", 1.6, 877.6)])
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let p = predictor();
+    let mut g = c.benchmark_group("predict");
+    g.bench_function("interpolate_one_size", |b| {
+        b.iter(|| black_box(p.natural_cost().time_us(RailId(0), black_box(123_456))))
+    });
+    g.bench_function("bytes_within_budget", |b| {
+        b.iter(|| black_box(p.natural_cost().bytes_within(RailId(1), black_box(500.0))))
+    });
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let p = predictor();
+    let cost = p.natural_cost();
+    let mut g = c.benchmark_group("split");
+    for size in [64 * 1024u64, 4 << 20] {
+        g.bench_with_input(BenchmarkId::new("dichotomy", size), &size, |b, &s| {
+            b.iter(|| {
+                black_box(dichotomy_split(
+                    &cost,
+                    (RailId(0), 0.0),
+                    (RailId(1), 0.0),
+                    black_box(s),
+                    60,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("water_filling", size), &size, |b, &s| {
+            b.iter(|| {
+                black_box(equal_completion_split(
+                    &cost,
+                    &[(RailId(0), 0.0), (RailId(1), 0.0)],
+                    black_box(s),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("push_pop_1024", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let header = PacketHeader {
+        kind: PacketKind::Eager,
+        flow: 3,
+        msg_id: 42,
+        offset: 0,
+        total_len: 4096,
+        chunk_index: 0,
+        payload_len: 0,
+    };
+    let packet = Packet::new(header, bytes::Bytes::from(vec![7u8; 4096]));
+    g.throughput(Throughput::Bytes(packet.wire_len() as u64));
+    g.bench_function("encode_decode_4k", |b| {
+        b.iter(|| {
+            let mut wire = black_box(&packet).encode();
+            black_box(Packet::decode(&mut wire).unwrap())
+        })
+    });
+
+    g.bench_function("aggregate_pack_unpack_16x256", |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(64 * 1024);
+            for i in 0..16 {
+                agg.push(AggEntry {
+                    flow: 0,
+                    msg_id: i,
+                    data: bytes::Bytes::from(vec![i as u8; 256]),
+                });
+            }
+            let pack = agg.flush(0).unwrap();
+            black_box(nm_proto::unpack_aggregate(&pack).unwrap())
+        })
+    });
+
+    g.bench_function("reassemble_1m_from_8_chunks", |b| {
+        let total = 1u64 << 20;
+        let chunk = bytes::Bytes::from(vec![1u8; (total / 8) as usize]);
+        b.iter(|| {
+            let mut r = Reassembler::new(total);
+            for i in 0..8u64 {
+                r.feed(i * total / 8, &chunk).unwrap();
+            }
+            black_box(r.into_message())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    use nm_sampler::{sample_rail, SamplingConfig, SimTransport};
+    use nm_sim::ClusterSpec;
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(20);
+    g.bench_function("one_rail_full_ladder", |b| {
+        let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+        b.iter(|| {
+            let mut t = SimTransport::new(ClusterSpec::paper_testbed());
+            black_box(sample_rail(&mut t, 0, &cfg).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prediction,
+    bench_split,
+    bench_event_queue,
+    bench_wire,
+    bench_sampling
+);
+criterion_main!(benches);

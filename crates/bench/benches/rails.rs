@@ -1,0 +1,45 @@
+//! Real-thread rail benchmarks: shared-memory driver throughput and the
+//! integrity checksum. Wall-clock numbers — noisy on shared machines, but
+//! they demonstrate the engine driving real threads end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nm_core::driver::shmem::{checksum, ShmemDriver, ShmemRail};
+use nm_core::transport::{ChunkSubmit, Transport, TransportEvent};
+use nm_sim::RailId;
+use std::hint::black_box;
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1 << 20];
+    let mut g = c.benchmark_group("shmem");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("checksum_1m", |b| b.iter(|| black_box(checksum(black_box(&data)))));
+    g.finish();
+}
+
+fn bench_rail_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shmem");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(256 * 1024));
+    g.bench_function("one_chunk_256k_through_a_rail", |b| {
+        // A fast rail so the benchmark measures machinery, not the throttle.
+        let mut driver =
+            ShmemDriver::new(vec![ShmemRail::new("bench", 1, 20_000.0, 64 * 1024)], 2);
+        b.iter(|| {
+            let id = driver.submit(ChunkSubmit::new(RailId(0), 256 * 1024));
+            'wait: loop {
+                for ev in driver.poll() {
+                    if let TransportEvent::ChunkDelivered { chunk, .. } = ev {
+                        if chunk == id {
+                            break 'wait;
+                        }
+                    }
+                }
+            }
+            black_box(id)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checksum, bench_rail_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Strategy-level benchmarks: per-message decision overhead of every
+//! plug-in, and end-to-end engine throughput on the simulated testbed.
+//!
+//! The decision cost is the engine's software overhead per message — the
+//! paper's approach relies on it being far below network latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nm_bench::{paper_engine_kind, sample_predictor};
+use nm_core::strategy::{Ctx, StrategyKind};
+use nm_model::SimTime;
+use nm_sim::{ClusterSpec, CoreId};
+use std::hint::black_box;
+
+fn bench_decisions(c: &mut Criterion) {
+    let predictor = sample_predictor(&ClusterSpec::paper_testbed());
+    let mut g = c.benchmark_group("decide");
+    for kind in StrategyKind::all() {
+        let mut strategy = kind.build();
+        let sizes = [4u64 << 20, 64 << 10, 512];
+        g.bench_with_input(
+            BenchmarkId::new("strategy", strategy.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    for &size in &sizes {
+                        let queued = [size];
+                        let ctx = Ctx {
+                            now: SimTime::ZERO,
+                            predictor: &predictor,
+                            rail_waits_us: vec![0.0, 120.0],
+                            idle_cores: vec![CoreId(1), CoreId(2), CoreId(3)],
+                            core_count: 4,
+                            queued_sizes: &queued,
+                        };
+                        black_box(strategy.decide(&ctx));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    const BATCH: u64 = 64;
+    for kind in [
+        StrategyKind::GreedyBalance,
+        StrategyKind::Aggregation,
+        StrategyKind::HeteroSplit,
+        StrategyKind::MulticoreEager,
+    ] {
+        g.throughput(Throughput::Elements(BATCH));
+        g.bench_with_input(
+            BenchmarkId::new("batch_of_16k_msgs", format!("{kind:?}")),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let mut engine = paper_engine_kind(k);
+                    for _ in 0..BATCH {
+                        engine.post_send(16 * 1024).unwrap();
+                    }
+                    black_box(engine.drain().unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the Open MPI static-ratio critique (§II-A).
+//!
+//! "A split ratio for a 8 MB message may not fit a 256 KB message." The
+//! static ratio is computed from asymptotic bandwidths; the dichotomy
+//! recomputes per size from the sampled profiles. This sweep reports both
+//! ratios and the completion penalty of using the static one.
+
+use nm_bench::{one_way_us, sample_predictor, Table};
+use nm_core::split::dichotomy_split;
+use nm_core::strategy::StrategyKind;
+use nm_model::units::{format_size, pow2_sizes, KIB, MIB};
+use nm_sim::{ClusterSpec, RailId};
+
+fn main() {
+    println!("# Ablation (SII-A): per-size dichotomy vs static bandwidth ratio");
+    println!("# ratio shown is the Myri-10G share of the message\n");
+
+    let predictor = sample_predictor(&ClusterSpec::paper_testbed());
+    let cost = predictor.natural_cost();
+
+    let mut table = Table::new(&[
+        "size",
+        "dichotomy ratio",
+        "static ratio",
+        "hetero (us)",
+        "static (us)",
+        "penalty",
+    ]);
+    for size in pow2_sizes(64 * KIB, 8 * MIB) {
+        let d = dichotomy_split(&cost, (RailId(0), 0.0), (RailId(1), 0.0), size, 60);
+        let myri_share = d
+            .assignments
+            .iter()
+            .find(|&&(r, _)| r == RailId(0))
+            .map(|&(_, b)| b as f64 / size as f64)
+            .unwrap_or(0.0);
+        let static_share = 1226.8 / (1226.8 + 877.6);
+        let t_hetero = one_way_us(StrategyKind::HeteroSplit, size);
+        let t_static = one_way_us(StrategyKind::RatioSplit, size);
+        table.row(vec![
+            format_size(size),
+            format!("{:.1}%", myri_share * 100.0),
+            format!("{:.1}%", static_share * 100.0),
+            format!("{t_hetero:.0}"),
+            format!("{t_static:.0}"),
+            format!("{:+.1}%", (t_static / t_hetero - 1.0) * 100.0),
+        ]);
+    }
+    table.print();
+    println!("\n# the dichotomy ratio drifts with size (latency terms, protocol");
+    println!("# regimes); the static ratio is only right asymptotically");
+}

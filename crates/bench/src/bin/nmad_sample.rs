@@ -1,0 +1,80 @@
+//! `nmad_sample` — the sampling tool (NewMadeleine runs its equivalent at
+//! library initialization and caches the results in per-driver files).
+//!
+//! Samples every rail of the paper testbed (or a jittered variant) and
+//! writes `<rail>.nmad_sampling` files into a directory.
+//!
+//! ```text
+//! nmad_sample [OUT_DIR] [--jitter FRAC] [--iters N] [--max-size BYTES]
+//! ```
+
+use nm_sampler::store::save_all;
+use nm_sampler::{sample_all_rails, Estimator, SamplingConfig, SimTransport};
+use nm_sim::ClusterSpec;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: nmad_sample [OUT_DIR] [--jitter FRAC] [--iters N] [--max-size BYTES]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("nmad_sampling");
+    let mut jitter = 0.0f64;
+    let mut iters = 5usize;
+    let mut max_size = 8u64 << 20;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jitter" => {
+                jitter = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--iters" => {
+                iters = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-size" => {
+                max_size = args
+                    .next()
+                    .and_then(|v| nm_model::units::parse_size(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => out_dir = PathBuf::from(other),
+            _ => usage(),
+        }
+    }
+
+    let spec = ClusterSpec::paper_testbed();
+    let mut transport = if jitter > 0.0 {
+        SimTransport::new(spec).with_jitter(jitter, 0xfeed)
+    } else {
+        SimTransport::new(spec)
+    };
+    let config = SamplingConfig {
+        min_size: 4,
+        max_size,
+        iters,
+        warmup: 1,
+        estimator: Estimator::Median,
+        mode: None,
+    };
+
+    eprintln!(
+        "sampling {} rails, {} sizes x {iters} iters (jitter {jitter})...",
+        nm_sampler::SampleTransport::rail_count(&transport),
+        config.sizes().len()
+    );
+    let profiles = sample_all_rails(&mut transport, &config).expect("sampling failed");
+    save_all(&out_dir, &profiles).expect("write sampling files");
+    for p in &profiles {
+        let (lo, hi) = p.sampled_range();
+        println!(
+            "{}: {} samples ({lo}..{hi} bytes), base latency {:.2}us, wrote {}",
+            p.name(),
+            p.samples().len(),
+            p.predict_us(1),
+            nm_sampler::store::sampling_path(&out_dir, p.name()).display()
+        );
+    }
+}

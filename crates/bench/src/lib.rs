@@ -1,0 +1,179 @@
+//! # nm-bench — figure/table harnesses and shared measurement helpers
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §4):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3` | Fig 3 — greedy balancing vs aggregation for eager packets |
+//! | `fig8` | Fig 8 — ping-pong bandwidth, 4 strategies, 32 KB–8 MB |
+//! | `fig9` | Fig 9 — estimated multicore eager-split latency (eq. 1) |
+//! | `table_splits` | §IV-A in-text: iso vs hetero chunk sizes/durations for 4 MB |
+//! | `table_offload` | §III-D in-text: measured offload cost (3 µs / 6 µs) |
+//! | `ablation_selection` | Fig 2 behaviour: busy-until-aware NIC selection |
+//! | `ablation_pio` | Fig 4 timelines: serialized vs aggregated vs offloaded PIO |
+//! | `ablation_ratio` | §II-A critique: static ratio error across sizes |
+//! | `ablation_offload` | T_O sensitivity: split break-even vs offload cost |
+//! | `ablation_split` | Fig 1: no-split vs iso vs hetero on one message |
+//!
+//! Criterion micro-benchmarks live in `benches/` (`cargo bench -p nm-bench`).
+
+use nm_core::driver::sim::SimDriver;
+use nm_core::engine::Engine;
+use nm_core::predictor::{Predictor, RailView};
+use nm_core::strategy::{Strategy, StrategyKind};
+use nm_model::TransferMode;
+use nm_sampler::{sample_rail, SampleTransport, SamplingConfig, SimTransport};
+use nm_sim::{ClusterSpec, RailId};
+
+/// Samples a cluster spec into a [`Predictor`] (natural + forced-eager
+/// profiles per rail) — what a session does at init, exposed for harnesses
+/// that drive the engine manually.
+pub fn sample_predictor(spec: &ClusterSpec) -> Predictor {
+    let mut sampler = SimTransport::new(spec.clone());
+    let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+    let rails = (0..sampler.rail_count())
+        .map(|i| {
+            let natural = sample_rail(&mut sampler, i, &cfg).expect("sampling");
+            let eager_cfg = SamplingConfig { mode: Some(TransferMode::Eager), ..cfg.clone() };
+            let eager = sample_rail(&mut sampler, i, &eager_cfg).expect("sampling");
+            RailView {
+                rail: RailId(i),
+                name: sampler.rail_name(i),
+                natural,
+                eager,
+                rdv_threshold: spec.rails[i].rdv_threshold,
+            }
+        })
+        .collect();
+    Predictor::new(rails)
+}
+
+/// Builds an engine over a fresh paper-testbed simulator with the given
+/// strategy (predictor sampled from the same spec).
+pub fn paper_engine(strategy: Box<dyn Strategy>) -> Engine<SimDriver> {
+    let spec = ClusterSpec::paper_testbed();
+    let predictor = sample_predictor(&spec);
+    Engine::new(SimDriver::new(spec), predictor, strategy).expect("engine")
+}
+
+/// Builds a paper-testbed engine from a [`StrategyKind`].
+pub fn paper_engine_kind(kind: StrategyKind) -> Engine<SimDriver> {
+    paper_engine(kind.build())
+}
+
+/// One-way duration (µs) of a single `size`-byte message under `kind` on a
+/// fresh paper-testbed engine.
+pub fn one_way_us(kind: StrategyKind, size: u64) -> f64 {
+    let mut engine = paper_engine_kind(kind);
+    let id = engine.post_send(size).expect("post");
+    let done = engine.wait(id).expect("wait");
+    done.duration.as_micros_f64()
+}
+
+/// Bandwidth in MiB/s (the paper's Fig 8 unit) for a one-way transfer.
+pub fn bandwidth_mibps(kind: StrategyKind, size: u64) -> f64 {
+    let us = one_way_us(kind, size);
+    size as f64 / (1024.0 * 1024.0) / (us / 1e6)
+}
+
+/// Time (µs) for a batch of messages enqueued together to all complete
+/// (the Fig 3 scenario uses two segments). Batch posting matters: the
+/// strategy sees the whole queue, so aggregation can pack it.
+pub fn batch_completion_us(strategy: Box<dyn Strategy>, sizes: &[u64]) -> f64 {
+    let mut engine = paper_engine(strategy);
+    engine.post_send_batch(sizes).expect("post batch");
+    let done = engine.drain().expect("drain");
+    done.iter().map(|c| c.delivered_at.as_micros_f64()).fold(0.0, f64::max)
+}
+
+/// A strategy that aggregates the whole queue onto one fixed rail —
+/// Fig 3's "two aggregated segments over `<rail>`" series, and a demo of
+/// the strategy plug-in interface.
+#[derive(Debug, Clone)]
+pub struct AggregateOn(pub RailId);
+
+impl Strategy for AggregateOn {
+    fn name(&self) -> &'static str {
+        "aggregate-on-fixed-rail"
+    }
+
+    fn decide(&mut self, ctx: &nm_core::strategy::Ctx<'_>) -> nm_core::strategy::Action {
+        nm_core::strategy::Action::Aggregate { count: ctx.queued_sizes.len(), rail: self.0 }
+    }
+}
+
+/// Simple aligned table printer for harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::units::MIB;
+
+    #[test]
+    fn helpers_produce_plausible_numbers() {
+        let myri = bandwidth_mibps(StrategyKind::SingleRail(Some(RailId(0))), 8 * MIB);
+        let hetero = bandwidth_mibps(StrategyKind::HeteroSplit, 8 * MIB);
+        assert!(myri > 1000.0 && myri < 1300.0, "myri {myri}");
+        assert!(hetero > myri, "hetero {hetero} must beat single-rail {myri}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["size", "MB/s"]);
+        t.row(vec!["32K".into(), "612.1".into()]);
+        t.row(vec!["8M".into(), "1987.0".into()]);
+        let s = t.render();
+        assert!(s.contains("size"));
+        assert!(s.lines().count() == 4);
+    }
+}

@@ -1,0 +1,13 @@
+//! Transfer-layer drivers.
+//!
+//! * [`sim`] — the evaluation substrate: a [`nm_sim::Simulator`] cluster
+//!   behind the [`crate::Transport`] contract. Deterministic virtual time;
+//!   all paper figures are regenerated on it.
+//! * [`shmem`] — the correctness substrate: real OS threads move real bytes
+//!   through throttled in-process rails, with checksum verification at the
+//!   receive side. It proves the engine/strategy/protocol stack is not
+//!   simulator-shaped.
+
+pub mod cluster;
+pub mod shmem;
+pub mod sim;

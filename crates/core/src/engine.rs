@@ -1,0 +1,675 @@
+//! The engine: application-layer queue + strategy interrogation + transfer
+//! submission (paper Fig 5).
+//!
+//! "The application enqueues packets into a list and immediately returns to
+//! computing. The packet scheduler is only activated when a NIC becomes
+//! idle in order to feed it." The [`Engine`] reproduces that control flow:
+//!
+//! * [`Engine::post_send`] enqueues a message and returns at once;
+//! * the strategy is interrogated immediately and again on every
+//!   [`TransportEvent::RailIdle`] / [`TransportEvent::CoreIdle`];
+//! * chunk deliveries are folded back into message completions.
+
+use crate::error::EngineError;
+use crate::predictor::Predictor;
+use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
+use bytes::Bytes;
+use nm_model::{SimDuration, SimTime};
+use nm_proto::aggregate::{AggEntry, Aggregator, ENTRY_OVERHEAD};
+use nm_sim::RailId;
+use std::collections::{HashMap, VecDeque};
+
+/// Message handle returned by [`Engine::post_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+/// A completed message's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgCompletion {
+    /// Handle.
+    pub id: MsgId,
+    /// Logical flow tag the message was posted under.
+    pub tag: u32,
+    /// Message size in bytes.
+    pub size: u64,
+    /// When the application posted it.
+    pub posted_at: SimTime,
+    /// When the last chunk was delivered.
+    pub delivered_at: SimTime,
+    /// End-to-end duration.
+    pub duration: SimDuration,
+    /// Chunk layout actually used: `(rail, bytes)` per chunk; aggregated
+    /// messages report the rail of their pack with their own size.
+    pub chunks: Vec<(RailId, u64)>,
+}
+
+/// Aggregate counters (see [`Engine::stats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Messages completed.
+    pub msgs_completed: u64,
+    /// Payload bytes completed.
+    pub bytes_completed: u64,
+    /// Chunks submitted to the transport.
+    pub chunks_submitted: u64,
+    /// Aggregate packs submitted.
+    pub packs_submitted: u64,
+    /// Messages that traveled inside an aggregate pack.
+    pub msgs_aggregated: u64,
+    /// Queue promotions performed (reordering).
+    pub promotes: u64,
+    /// Messages cancelled while still queued.
+    pub cancelled: u64,
+    /// Per-rail payload bytes put on the wire.
+    pub rail_bytes: Vec<u64>,
+    /// Times the strategy answered `Defer`.
+    pub defers: u64,
+}
+
+struct QueuedMsg {
+    id: MsgId,
+    tag: u32,
+    flow_seq: u64,
+    size: u64,
+    payload: Option<Bytes>,
+    posted_at: SimTime,
+}
+
+struct InflightMsg {
+    tag: u32,
+    flow_seq: u64,
+    size: u64,
+    posted_at: SimTime,
+    chunks_total: usize,
+    chunks_done: usize,
+    layout: Vec<(RailId, u64)>,
+}
+
+enum ChunkOwner {
+    /// A chunk of a split message.
+    Msg(MsgId),
+    /// An aggregate pack carrying several messages.
+    Pack(Vec<MsgId>),
+}
+
+/// The multirail engine over some transport.
+pub struct Engine<T: Transport> {
+    transport: T,
+    strategy: Box<dyn Strategy>,
+    predictor: Predictor,
+    queue: VecDeque<QueuedMsg>,
+    inflight: HashMap<MsgId, InflightMsg>,
+    chunk_owner: HashMap<ChunkId, ChunkOwner>,
+    /// Completions released to the application (per-flow posted order).
+    completions: HashMap<MsgId, MsgCompletion>,
+    /// Per-tag release sequencers: a message physically delivered out of
+    /// order waits here until its flow predecessors complete.
+    flow_release: HashMap<u32, nm_proto::Sequencer<MsgCompletion>>,
+    /// Next sequence number to assign per tag.
+    flow_next_seq: HashMap<u32, u64>,
+    /// Messages physically done but held for flow ordering.
+    held: std::collections::HashSet<MsgId>,
+    /// Predicted completion per in-flight chunk, for feedback.
+    chunk_prediction: HashMap<ChunkId, (RailId, SimTime, SimTime)>,
+    feedback: crate::feedback::Feedback,
+    /// When set, chunk payloads are framed as wire packets (header with
+    /// flow/seq/offset/total) so a remote peer can reassemble and
+    /// re-sequence them — see [`crate::duplex`].
+    framing: bool,
+    next_msg: u64,
+    next_pack: u64,
+    stats: EngineStats,
+}
+
+/// Maximum out-of-order completions buffered per flow.
+const FLOW_REORDER_WINDOW: usize = 4096;
+
+impl<T: Transport> Engine<T> {
+    /// Builds an engine. The predictor's rails must match the transport's.
+    pub fn new(
+        transport: T,
+        predictor: Predictor,
+        strategy: Box<dyn Strategy>,
+    ) -> Result<Self, EngineError> {
+        if predictor.rail_count() != transport.rail_count() {
+            return Err(EngineError::Config(format!(
+                "predictor knows {} rails but transport has {}",
+                predictor.rail_count(),
+                transport.rail_count()
+            )));
+        }
+        let rails = transport.rail_count();
+        Ok(Engine {
+            transport,
+            strategy,
+            predictor,
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            chunk_owner: HashMap::new(),
+            completions: HashMap::new(),
+            flow_release: HashMap::new(),
+            flow_next_seq: HashMap::new(),
+            held: std::collections::HashSet::new(),
+            chunk_prediction: HashMap::new(),
+            feedback: crate::feedback::Feedback::new(rails),
+            framing: false,
+            next_msg: 0,
+            next_pack: 0,
+            stats: EngineStats { rail_bytes: vec![0; rails], ..Default::default() },
+        })
+    }
+
+    /// Enables wire framing: every chunk payload is prefixed with a
+    /// [`nm_proto::PacketHeader`] carrying (flow, flow-sequence, offset,
+    /// total length), which is what a remote receiver needs to reassemble
+    /// split messages and release flows in order. Only meaningful with a
+    /// byte-moving transport.
+    pub fn with_framing(mut self) -> Self {
+        self.framing = true;
+        self
+    }
+
+    /// Current transport time.
+    pub fn now(&self) -> SimTime {
+        self.transport.now()
+    }
+
+    /// The sampled knowledge the engine decides from.
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// The active strategy's name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Borrow the transport (e.g. to inspect driver statistics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Posts a size-only message on flow tag 0 (simulation drivers).
+    pub fn post_send(&mut self, size: u64) -> Result<MsgId, EngineError> {
+        self.post(size, None, 0)
+    }
+
+    /// Posts a size-only message on a specific flow tag. Messages of one
+    /// tag are *released to the application in posted order* even when
+    /// reordering strategies or rail races complete them out of order.
+    pub fn post_send_tagged(&mut self, size: u64, tag: u32) -> Result<MsgId, EngineError> {
+        self.post(size, None, tag)
+    }
+
+    /// Posts a message with a real payload (byte-moving drivers), tag 0.
+    pub fn post_send_bytes(&mut self, payload: Bytes) -> Result<MsgId, EngineError> {
+        let size = payload.len() as u64;
+        self.post(size, Some(payload), 0)
+    }
+
+    /// Posts a payload-carrying message on a specific flow tag.
+    pub fn post_send_bytes_tagged(
+        &mut self,
+        payload: Bytes,
+        tag: u32,
+    ) -> Result<MsgId, EngineError> {
+        let size = payload.len() as u64;
+        self.post(size, Some(payload), tag)
+    }
+
+    /// Posts several size-only messages *before* the strategy runs — the
+    /// paper's "the application enqueues packets into a list" pattern. This
+    /// is what lets the aggregation strategy actually see a queue: posting
+    /// one-by-one interrogates the strategy after every message.
+    pub fn post_send_batch(&mut self, sizes: &[u64]) -> Result<Vec<MsgId>, EngineError> {
+        let ids = sizes
+            .iter()
+            .map(|&s| self.enqueue(s, None, 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.kick()?;
+        Ok(ids)
+    }
+
+    /// Batch variant of [`Self::post_send_bytes`].
+    pub fn post_send_bytes_batch(
+        &mut self,
+        payloads: Vec<Bytes>,
+    ) -> Result<Vec<MsgId>, EngineError> {
+        let ids = payloads
+            .into_iter()
+            .map(|p| {
+                let size = p.len() as u64;
+                self.enqueue(size, Some(p), 0)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.kick()?;
+        Ok(ids)
+    }
+
+    fn post(&mut self, size: u64, payload: Option<Bytes>, tag: u32) -> Result<MsgId, EngineError> {
+        let id = self.enqueue(size, payload, tag)?;
+        self.kick()?;
+        Ok(id)
+    }
+
+    fn enqueue(
+        &mut self,
+        size: u64,
+        payload: Option<Bytes>,
+        tag: u32,
+    ) -> Result<MsgId, EngineError> {
+        if size == 0 {
+            return Err(EngineError::Config("zero-byte messages are not modeled".into()));
+        }
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        let seq = self.flow_next_seq.entry(tag).or_insert(0);
+        let flow_seq = *seq;
+        *seq += 1;
+        self.queue.push_back(QueuedMsg {
+            id,
+            tag,
+            flow_seq,
+            size,
+            payload,
+            posted_at: self.transport.now(),
+        });
+        Ok(id)
+    }
+
+    /// Interrogates the strategy while it keeps consuming the queue.
+    fn kick(&mut self) -> Result<(), EngineError> {
+        let mut consecutive_promotes = 0usize;
+        while !self.queue.is_empty() {
+            let sizes: Vec<u64> = self.queue.iter().map(|m| m.size).collect();
+            let now = self.transport.now();
+            let rail_waits_us: Vec<f64> = (0..self.transport.rail_count())
+                .map(|r| {
+                    Predictor::wait_us(now, self.transport.rail_busy_until(RailId(r)))
+                })
+                .collect();
+            let action = {
+                let ctx = Ctx {
+                    now,
+                    predictor: &self.predictor,
+                    rail_waits_us,
+                    idle_cores: self.transport.idle_cores(),
+                    core_count: self.transport.core_count(),
+                    queued_sizes: &sizes,
+                };
+                self.strategy.decide(&ctx)
+            };
+            match action {
+                Action::Defer => {
+                    self.stats.defers += 1;
+                    return Ok(());
+                }
+                Action::Promote { index } => {
+                    if index == 0 || index >= self.queue.len() {
+                        return Err(EngineError::BadPlan(format!(
+                            "promote index {index} out of queue of {}",
+                            self.queue.len()
+                        )));
+                    }
+                    consecutive_promotes += 1;
+                    if consecutive_promotes > self.queue.len() {
+                        return Err(EngineError::BadPlan(
+                            "strategy promotes endlessly without sending".into(),
+                        ));
+                    }
+                    let msg = self.queue.remove(index).expect("bounds checked");
+                    self.queue.push_front(msg);
+                    self.stats.promotes += 1;
+                    continue;
+                }
+                Action::Split(chunks) => self.apply_split(chunks)?,
+                Action::Aggregate { count, rail } => self.apply_aggregate(count, rail)?,
+            }
+            consecutive_promotes = 0;
+        }
+        Ok(())
+    }
+
+    fn apply_split(&mut self, chunks: Vec<ChunkPlan>) -> Result<(), EngineError> {
+        let head = self.queue.front().expect("kick checked non-empty");
+        if chunks.is_empty() {
+            return Err(EngineError::BadPlan("empty chunk list".into()));
+        }
+        let total: u64 = chunks.iter().map(|c| c.bytes).sum();
+        if total != head.size {
+            return Err(EngineError::BadPlan(format!(
+                "chunks cover {total} bytes of a {}-byte message",
+                head.size
+            )));
+        }
+        for c in &chunks {
+            if c.bytes == 0 {
+                return Err(EngineError::BadPlan("zero-byte chunk".into()));
+            }
+            if c.rail.index() >= self.transport.rail_count() {
+                return Err(EngineError::BadPlan(format!("unknown rail {:?}", c.rail)));
+            }
+        }
+
+        let msg = self.queue.pop_front().expect("validated above");
+        let layout: Vec<(RailId, u64)> = chunks.iter().map(|c| (c.rail, c.bytes)).collect();
+        self.inflight.insert(
+            msg.id,
+            InflightMsg {
+                tag: msg.tag,
+                flow_seq: msg.flow_seq,
+                size: msg.size,
+                posted_at: msg.posted_at,
+                chunks_total: chunks.len(),
+                chunks_done: 0,
+                layout,
+            },
+        );
+
+        let mut offset = 0u64;
+        for (chunk_index, c) in chunks.into_iter().enumerate() {
+            let payload = match (&msg.payload, self.framing) {
+                (Some(p), false) => {
+                    Some(p.slice(offset as usize..(offset + c.bytes) as usize))
+                }
+                (Some(p), true) => {
+                    let slice = p.slice(offset as usize..(offset + c.bytes) as usize);
+                    let packet = nm_proto::Packet::new(
+                        nm_proto::PacketHeader {
+                            kind: nm_proto::PacketKind::Eager,
+                            flow: msg.tag,
+                            msg_id: msg.flow_seq,
+                            offset,
+                            total_len: msg.size,
+                            chunk_index: chunk_index as u32,
+                            payload_len: 0, // stamped by Packet::new
+                        },
+                        slice,
+                    );
+                    Some(packet.encode())
+                }
+                (None, _) => None,
+            };
+            offset += c.bytes;
+            let wire_bytes =
+                payload.as_ref().map(|p| p.len() as u64).unwrap_or(c.bytes);
+            let submit = ChunkSubmit {
+                rail: c.rail,
+                bytes: wire_bytes,
+                send_core: c.offload_core.unwrap_or(nm_sim::CoreId(0)),
+                recv_core: c.offload_core.unwrap_or(nm_sim::CoreId(0)),
+                offload_delay: c.offload_delay,
+                mode: c.mode,
+                payload,
+            };
+            self.stats.chunks_submitted += 1;
+            self.stats.rail_bytes[c.rail.index()] += c.bytes;
+            let prediction = self.predict_completion(&submit);
+            let chunk_id = self.transport.submit(submit);
+            self.chunk_prediction.insert(chunk_id, prediction);
+            self.chunk_owner.insert(chunk_id, ChunkOwner::Msg(msg.id));
+        }
+        Ok(())
+    }
+
+    /// Predicted completion of a chunk about to be submitted (rail, submit
+    /// instant, predicted delivery instant) — scored against the actual
+    /// delivery by [`crate::feedback`].
+    fn predict_completion(&self, submit: &ChunkSubmit) -> (RailId, SimTime, SimTime) {
+        let now = self.transport.now();
+        let wait = Predictor::wait_us(now, self.transport.rail_busy_until(submit.rail));
+        let view = self.predictor.rail(submit.rail);
+        let dur_us = match submit.mode {
+            Some(nm_model::TransferMode::Eager) => view.eager.predict_us(submit.bytes),
+            _ => view.natural.predict_us(submit.bytes),
+        };
+        let predicted = now
+            + submit.offload_delay
+            + nm_model::SimDuration::from_micros_f64(wait + dur_us);
+        (submit.rail, now, predicted)
+    }
+
+    fn apply_aggregate(&mut self, count: usize, rail: RailId) -> Result<(), EngineError> {
+        if count == 0 || count > self.queue.len() {
+            return Err(EngineError::BadPlan(format!(
+                "aggregate of {count} messages from a queue of {}",
+                self.queue.len()
+            )));
+        }
+        if rail.index() >= self.transport.rail_count() {
+            return Err(EngineError::BadPlan(format!("unknown rail {rail:?}")));
+        }
+        let msgs: Vec<QueuedMsg> = (0..count)
+            .map(|_| self.queue.pop_front().expect("count validated"))
+            .collect();
+
+        // Wire size of the pack, and the packed payload when bytes exist.
+        let pack_bytes: u64 =
+            msgs.iter().map(|m| m.size + ENTRY_OVERHEAD as u64).sum();
+        let all_have_payloads = msgs.iter().all(|m| m.payload.is_some());
+        let payload = if all_have_payloads {
+            let mut agg = Aggregator::new(pack_bytes as usize + 1);
+            for m in &msgs {
+                let ok = agg.push(AggEntry {
+                    flow: m.tag,
+                    msg_id: m.flow_seq,
+                    data: m.payload.clone().expect("checked"),
+                });
+                debug_assert!(ok, "budget sized to fit all entries");
+            }
+            let pack_id = self.next_pack;
+            // With framing on, the receiver needs the pack header to
+            // dispatch to unpack_aggregate; otherwise the bare pack
+            // payload suffices for integrity checking.
+            agg.flush(pack_id)
+                .map(|p| if self.framing { p.encode() } else { p.payload })
+        } else {
+            None
+        };
+        self.next_pack += 1;
+
+        let ids: Vec<MsgId> = msgs.iter().map(|m| m.id).collect();
+        for m in &msgs {
+            self.inflight.insert(
+                m.id,
+                InflightMsg {
+                    tag: m.tag,
+                    flow_seq: m.flow_seq,
+                    size: m.size,
+                    posted_at: m.posted_at,
+                    chunks_total: 1,
+                    chunks_done: 0,
+                    layout: vec![(rail, m.size)],
+                },
+            );
+        }
+        self.stats.packs_submitted += 1;
+        self.stats.msgs_aggregated += count as u64;
+        self.stats.chunks_submitted += 1;
+        self.stats.rail_bytes[rail.index()] += pack_bytes;
+        let wire_bytes = payload.as_ref().map(|p| p.len() as u64).unwrap_or(pack_bytes);
+        let submit = ChunkSubmit { payload, ..ChunkSubmit::new(rail, wire_bytes) };
+        let prediction = self.predict_completion(&submit);
+        let chunk_id = self.transport.submit(submit);
+        self.chunk_prediction.insert(chunk_id, prediction);
+        self.chunk_owner.insert(chunk_id, ChunkOwner::Pack(ids));
+        Ok(())
+    }
+
+    /// Advances the transport once and folds events into completions.
+    /// Returns ids of messages that completed during this poll.
+    pub fn poll(&mut self) -> Result<Vec<MsgId>, EngineError> {
+        let events = self.transport.poll();
+        let mut done = Vec::new();
+        let mut rekick = false;
+        for ev in events {
+            match ev {
+                TransportEvent::ChunkDelivered { chunk, at } => {
+                    if let Some((rail, submitted, predicted)) =
+                        self.chunk_prediction.remove(&chunk)
+                    {
+                        self.feedback.record(rail, submitted, predicted, at);
+                    }
+                    match self.chunk_owner.remove(&chunk) {
+                        Some(ChunkOwner::Msg(id)) => {
+                            if self.note_chunk_done(id, at) {
+                                done.push(id);
+                            }
+                        }
+                        Some(ChunkOwner::Pack(ids)) => {
+                            for id in ids {
+                                if self.note_chunk_done(id, at) {
+                                    done.push(id);
+                                }
+                            }
+                        }
+                        None => {
+                            return Err(EngineError::Transport(format!(
+                                "delivery for unknown chunk {chunk:?}"
+                            )))
+                        }
+                    }
+                }
+                TransportEvent::ChunkSendDone { .. } => {}
+                TransportEvent::RailIdle { .. } | TransportEvent::CoreIdle { .. } => {
+                    rekick = true;
+                }
+            }
+        }
+        if rekick {
+            self.kick()?;
+        }
+        Ok(done)
+    }
+
+    fn note_chunk_done(&mut self, id: MsgId, at: SimTime) -> bool {
+        let m = self.inflight.get_mut(&id).expect("chunk owner implies inflight");
+        m.chunks_done += 1;
+        if m.chunks_done < m.chunks_total {
+            return false;
+        }
+        let m = self.inflight.remove(&id).expect("present");
+        self.stats.msgs_completed += 1;
+        self.stats.bytes_completed += m.size;
+        let completion = MsgCompletion {
+            id,
+            tag: m.tag,
+            size: m.size,
+            posted_at: m.posted_at,
+            delivered_at: at,
+            duration: at - m.posted_at,
+            chunks: m.layout,
+        };
+        // Per-flow in-order release: a physically-delivered message waits
+        // until its flow predecessors complete (rail races and reordering
+        // strategies must stay invisible to the application).
+        let sequencer = self
+            .flow_release
+            .entry(m.tag)
+            .or_insert_with(|| nm_proto::Sequencer::new(FLOW_REORDER_WINDOW));
+        self.held.insert(id);
+        let released = sequencer
+            .accept(m.flow_seq, completion)
+            .expect("flow sequencing is engine-internal and must not fail");
+        for c in released {
+            self.held.remove(&c.id);
+            self.completions.insert(c.id, c);
+        }
+        true
+    }
+
+    /// Blocks (advancing the transport) until `id` completes.
+    pub fn wait(&mut self, id: MsgId) -> Result<MsgCompletion, EngineError> {
+        loop {
+            if let Some(c) = self.completions.remove(&id) {
+                return Ok(c);
+            }
+            let known = self.inflight.contains_key(&id)
+                || self.held.contains(&id)
+                || self.queue.iter().any(|m| m.id == id);
+            if !known {
+                return Err(EngineError::UnknownMessage(id.0));
+            }
+            let made_progress = !self.poll()?.is_empty();
+            if !made_progress && self.transport_quiescent() {
+                // Nothing in flight: the strategy must act now or never.
+                self.kick()?;
+                if self.transport_quiescent() && !self.completions.contains_key(&id) {
+                    let still_known = self.inflight.contains_key(&id)
+                        || self.queue.iter().any(|m| m.id == id);
+                    if still_known {
+                        return Err(EngineError::Transport(format!(
+                            "deadlock: transport quiescent but message {} incomplete",
+                            id.0
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until every posted message completes; returns all completions
+    /// in completion order (ties broken by id).
+    pub fn drain(&mut self) -> Result<Vec<MsgCompletion>, EngineError> {
+        let mut ids: Vec<MsgId> = self.queue.iter().map(|m| m.id).collect();
+        ids.extend(self.inflight.keys().copied());
+        ids.extend(self.held.iter().copied());
+        ids.sort_unstable();
+        ids.into_iter().map(|id| self.wait(id)).collect()
+    }
+
+    fn transport_quiescent(&self) -> bool {
+        self.chunk_owner.is_empty()
+    }
+
+    /// Takes an already-recorded completion without blocking.
+    pub fn try_completion(&mut self, id: MsgId) -> Option<MsgCompletion> {
+        self.completions.remove(&id)
+    }
+
+    /// Cancels a message that is still *queued* (not yet handed to a rail).
+    /// Returns `true` if it was removed; `false` when it already left the
+    /// queue (in flight, held or completed) — in-flight transfers cannot be
+    /// retracted from a NIC, matching real drivers.
+    pub fn cancel(&mut self, id: MsgId) -> Result<bool, EngineError> {
+        let Some(pos) = self.queue.iter().position(|m| m.id == id) else {
+            return Ok(false);
+        };
+        let msg = self.queue.remove(pos).expect("position found");
+        // The flow must not stall waiting for the cancelled sequence.
+        let sequencer = self
+            .flow_release
+            .entry(msg.tag)
+            .or_insert_with(|| nm_proto::Sequencer::new(FLOW_REORDER_WINDOW));
+        let released = sequencer
+            .skip(msg.flow_seq)
+            .map_err(|e| EngineError::Transport(format!("flow skip: {e}")))?;
+        for c in released {
+            self.held.remove(&c.id);
+            self.completions.insert(c.id, c);
+        }
+        self.stats.cancelled += 1;
+        Ok(true)
+    }
+
+    /// Prediction-accuracy statistics accumulated so far.
+    pub fn feedback(&self) -> &crate::feedback::Feedback {
+        &self.feedback
+    }
+
+    /// Replaces the predictor with a feedback-corrected copy (per-rail
+    /// duration scaling by the observed actual/predicted EWMA) and resets
+    /// the accumulated feedback. The cheap runtime alternative to a full
+    /// re-sampling when [`crate::feedback::Feedback::drift_detected`] fires.
+    pub fn adopt_feedback_correction(&mut self) {
+        let factors = self.feedback.correction_factors();
+        self.predictor = self.predictor.with_rail_scaling(&factors);
+        self.feedback = crate::feedback::Feedback::new(self.predictor.rail_count());
+    }
+}

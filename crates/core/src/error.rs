@@ -1,0 +1,41 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the engine and its drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A strategy produced an invalid plan (e.g. chunks not covering the
+    /// message, unknown rail).
+    BadPlan(String),
+    /// The transport failed.
+    Transport(String),
+    /// Waiting on an unknown or already-consumed message handle.
+    UnknownMessage(u64),
+    /// Configuration problem at build time.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadPlan(m) => write!(f, "bad strategy plan: {m}"),
+            EngineError::Transport(m) => write!(f, "transport error: {m}"),
+            EngineError::UnknownMessage(id) => write!(f, "unknown message handle {id}"),
+            EngineError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::BadPlan("x".into()).to_string().contains("bad strategy plan"));
+        assert!(EngineError::UnknownMessage(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,226 @@
+//! Prediction feedback: how good was the sampling, message by message.
+//!
+//! Everything the strategy does rests on predicted transfer times
+//! (paper §II-B/§III-C). This module closes the loop the paper leaves
+//! implicit: for every chunk the engine records the *predicted* completion
+//! instant (wait-until-idle + interpolated duration) next to the *actual*
+//! delivery instant, aggregates per-rail error statistics, and derives
+//! multiplicative correction factors. A rail whose hardware drifted from
+//! its startup profile (see the `failover` example) shows up as a
+//! systematic signed error, and [`Predictor::with_rail_scaling`] applies
+//! the correction without re-sampling.
+
+use crate::predictor::{Predictor, RailView};
+use nm_model::{PerfProfile, SimTime};
+use nm_sim::RailId;
+
+/// Accumulated prediction accuracy for one rail.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RailFeedback {
+    /// Chunks observed.
+    pub count: u64,
+    /// Mean of |actual − predicted| / predicted.
+    pub mean_abs_rel_err: f64,
+    /// Mean of (actual − predicted) / predicted — positive means the rail
+    /// is *slower* than sampled (systematic underprediction).
+    pub mean_signed_rel_err: f64,
+    /// Exponentially-weighted actual/predicted ratio (α = 0.2), usable as
+    /// a duration correction factor.
+    pub ewma_ratio: f64,
+}
+
+/// Per-rail prediction-accuracy tracker.
+///
+/// ```
+/// use nm_core::feedback::Feedback;
+/// use nm_model::SimTime;
+/// use nm_sim::RailId;
+///
+/// let mut fb = Feedback::new(2);
+/// let t = SimTime::from_micros;
+/// // Rail 1 keeps taking twice the predicted duration...
+/// for i in 0..20 {
+///     fb.record(RailId(1), t(i * 100), t(i * 100 + 10), t(i * 100 + 20));
+/// }
+/// assert!(fb.drift_detected(0.5, 10));
+/// // ...so the correction factor converges to ~2x.
+/// assert!((fb.correction_factors()[1] - 2.0).abs() < 0.05);
+/// assert_eq!(fb.correction_factors()[0], 1.0); // untouched rail
+/// ```
+#[derive(Debug, Clone)]
+pub struct Feedback {
+    rails: Vec<RailFeedback>,
+}
+
+/// EWMA smoothing constant.
+const ALPHA: f64 = 0.2;
+
+impl Feedback {
+    /// A tracker for `rail_count` rails.
+    pub fn new(rail_count: usize) -> Self {
+        Feedback { rails: vec![RailFeedback { ewma_ratio: 1.0, ..Default::default() }; rail_count] }
+    }
+
+    /// Records one chunk's outcome. `predicted`/`actual` are completion
+    /// instants on the same clock; `submitted` anchors the durations.
+    pub fn record(
+        &mut self,
+        rail: RailId,
+        submitted: SimTime,
+        predicted: SimTime,
+        actual: SimTime,
+    ) {
+        let pred_us = predicted.saturating_since(submitted).as_micros_f64();
+        let act_us = actual.saturating_since(submitted).as_micros_f64();
+        if pred_us <= 0.0 || act_us <= 0.0 {
+            return; // degenerate; nothing to learn
+        }
+        let r = &mut self.rails[rail.index()];
+        let signed = (act_us - pred_us) / pred_us;
+        let n = r.count as f64;
+        r.mean_abs_rel_err = (r.mean_abs_rel_err * n + signed.abs()) / (n + 1.0);
+        r.mean_signed_rel_err = (r.mean_signed_rel_err * n + signed) / (n + 1.0);
+        r.ewma_ratio = (1.0 - ALPHA) * r.ewma_ratio + ALPHA * (act_us / pred_us);
+        r.count += 1;
+    }
+
+    /// Per-rail statistics.
+    pub fn rails(&self) -> &[RailFeedback] {
+        &self.rails
+    }
+
+    /// One rail's statistics.
+    pub fn rail(&self, rail: RailId) -> &RailFeedback {
+        &self.rails[rail.index()]
+    }
+
+    /// Duration correction factors (actual/predicted EWMA), one per rail;
+    /// 1.0 where nothing was observed.
+    pub fn correction_factors(&self) -> Vec<f64> {
+        self.rails.iter().map(|r| if r.count == 0 { 1.0 } else { r.ewma_ratio }).collect()
+    }
+
+    /// True when any rail shows a systematic drift beyond `threshold`
+    /// relative error over at least `min_count` observations — the signal
+    /// to re-sample (or apply [`Predictor::with_rail_scaling`]).
+    pub fn drift_detected(&self, threshold: f64, min_count: u64) -> bool {
+        self.rails
+            .iter()
+            .any(|r| r.count >= min_count && r.mean_signed_rel_err.abs() > threshold)
+    }
+}
+
+impl Predictor {
+    /// Returns a predictor whose per-rail predicted durations are scaled by
+    /// `factors` (e.g. [`Feedback::correction_factors`]). Profiles are
+    /// rebuilt with scaled sample durations, so interpolation, inversion
+    /// and splitting all see the corrected curve.
+    pub fn with_rail_scaling(&self, factors: &[f64]) -> Predictor {
+        assert_eq!(factors.len(), self.rail_count(), "one factor per rail");
+        let scale = |p: &PerfProfile, f: f64| {
+            let samples = p.samples().iter().map(|&(s, us)| (s, us * f)).collect();
+            PerfProfile::from_samples(p.name(), samples).expect("scaled profile stays valid")
+        };
+        let rails = self
+            .rails()
+            .iter()
+            .map(|rv| {
+                let f = factors[rv.rail.index()];
+                assert!(f.is_finite() && f > 0.0, "correction factor must be positive");
+                RailView {
+                    rail: rv.rail,
+                    name: rv.name.clone(),
+                    natural: scale(&rv.natural, f),
+                    eager: scale(&rv.eager, f),
+                    rdv_threshold: rv.rdv_threshold,
+                }
+            })
+            .collect();
+        Predictor::new(rails)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::test_support::two_rail_predictor;
+    use crate::predictor::CostModel;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn accurate_predictions_leave_factors_near_one() {
+        let mut fb = Feedback::new(2);
+        for i in 0..50u64 {
+            fb.record(RailId(0), t(i * 100), t(i * 100 + 40), t(i * 100 + 40));
+        }
+        let r = fb.rail(RailId(0));
+        assert_eq!(r.count, 50);
+        assert!(r.mean_abs_rel_err < 1e-9);
+        assert!((fb.correction_factors()[0] - 1.0).abs() < 1e-9);
+        assert!(!fb.drift_detected(0.05, 10));
+        // Untouched rail stays at 1.0.
+        assert_eq!(fb.correction_factors()[1], 1.0);
+    }
+
+    #[test]
+    fn systematic_slowdown_is_detected() {
+        let mut fb = Feedback::new(2);
+        // Actual always 4x the prediction on rail 1 (a 25%-bandwidth rail).
+        for i in 0..40u64 {
+            fb.record(RailId(1), t(i * 1000), t(i * 1000 + 100), t(i * 1000 + 400));
+        }
+        let r = fb.rail(RailId(1));
+        assert!((r.mean_signed_rel_err - 3.0).abs() < 1e-9);
+        assert!(fb.drift_detected(0.5, 10));
+        let f = fb.correction_factors()[1];
+        assert!((f - 4.0).abs() < 0.05, "EWMA should converge to 4, got {f}");
+    }
+
+    #[test]
+    fn degenerate_records_are_ignored() {
+        let mut fb = Feedback::new(1);
+        fb.record(RailId(0), t(10), t(10), t(20)); // predicted duration 0
+        fb.record(RailId(0), t(10), t(20), t(10)); // actual duration 0
+        assert_eq!(fb.rail(RailId(0)).count, 0);
+    }
+
+    #[test]
+    fn scaled_predictor_shifts_predictions_and_splits() {
+        let p = two_rail_predictor();
+        let scaled = p.with_rail_scaling(&[1.0, 4.0]);
+        let size = 1u64 << 20;
+        assert!(
+            (scaled.natural_cost().time_us(RailId(1), size)
+                - 4.0 * p.natural_cost().time_us(RailId(1), size))
+            .abs()
+                < 1e-6
+        );
+        // The corrected split moves bytes off the slowed rail.
+        let before = crate::selection::select_rails(
+            &p.natural_cost(),
+            &[(RailId(0), 0.0), (RailId(1), 0.0)],
+            size,
+            2,
+        );
+        let after = crate::selection::select_rails(
+            &scaled.natural_cost(),
+            &[(RailId(0), 0.0), (RailId(1), 0.0)],
+            size,
+            2,
+        );
+        let share = |s: &crate::split::Split| {
+            s.assignments.iter().find(|a| a.0 == RailId(1)).map(|a| a.1).unwrap_or(0)
+        };
+        assert!(share(&after) < share(&before) / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one factor per rail")]
+    fn factor_count_must_match() {
+        let p = two_rail_predictor();
+        let _ = p.with_rail_scaling(&[1.0]);
+    }
+}

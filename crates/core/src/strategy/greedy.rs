@@ -1,0 +1,59 @@
+//! Greedy balancing: "when a NIC becomes idle, it looks after the next
+//! communication" (paper §II-C, Fig 3).
+//!
+//! Each message travels whole; any idle NIC grabs the head of the queue.
+//! No prediction, no splitting, no aggregation — the baseline whose poor
+//! eager-message behaviour motivates the paper's strategy.
+
+use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+
+/// Whole messages on whichever NIC is idle.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyBalance;
+
+impl GreedyBalance {
+    /// New greedy balancer.
+    pub fn new() -> Self {
+        GreedyBalance
+    }
+}
+
+impl Strategy for GreedyBalance {
+    fn name(&self) -> &'static str {
+        "greedy-balance"
+    }
+
+    fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
+        // Prefer the lowest-index idle rail; defer when every NIC is busy.
+        match ctx.idle_rails().first() {
+            Some(&rail) => Action::Split(vec![ChunkPlan::new(rail, ctx.head_size())]),
+            None => Action::Defer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::decide_with;
+    use nm_sim::RailId;
+
+    #[test]
+    fn grabs_first_idle_rail() {
+        let mut s = GreedyBalance::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![0], &[512]) {
+            Action::Split(c) => assert_eq!(c[0].rail, RailId(0)),
+            other => panic!("{other:?}"),
+        }
+        match decide_with(&mut s, vec![10.0, 0.0], vec![0], &[512]) {
+            Action::Split(c) => assert_eq!(c[0].rail, RailId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defers_when_all_nics_busy() {
+        let mut s = GreedyBalance::new();
+        assert_eq!(decide_with(&mut s, vec![5.0, 9.0], vec![0], &[512]), Action::Defer);
+    }
+}

@@ -1,0 +1,219 @@
+//! Multicore eager sending (paper §II-C, §III-D, Fig 4c, Fig 7, eq. 1).
+//!
+//! Eager chunks burn a core in PIO copies, so splitting an eager message
+//! only pays off when the chunk copies run on *different cores*. This
+//! strategy:
+//!
+//! 1. caps the chunk count at "min{number of idle NICs, number of idle
+//!    cores}" (paper §III-B);
+//! 2. computes the equal-completion split over the **forced-eager**
+//!    profiles;
+//! 3. assigns each chunk to a distinct idle core, charging the offload cost
+//!    T_O = 3 µs — or the 6 µs preemption cost when a busy core must be
+//!    signaled;
+//! 4. refuses to split when the predicted gain does not cover T_O (the
+//!    "tiny messages" regime of Fig 9) and sends single-rail instead.
+//!
+//! Rendezvous-sized messages take the plain hetero split — their DMA phase
+//! needs no core.
+
+use crate::predictor::CostModel;
+use crate::selection::select_rails;
+use crate::strategy::hetero::HeteroSplit;
+use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use nm_model::{SimDuration, TransferMode};
+
+/// Offload-aware eager splitting.
+#[derive(Debug, Clone)]
+pub struct MulticoreEager {
+    /// Offload cost to an idle core (paper: 3 µs).
+    pub offload_us: f64,
+    /// Offload cost when a thread must be preempted by a signal (paper: 6 µs).
+    pub preempt_us: f64,
+    rdv_fallback: HeteroSplit,
+}
+
+impl MulticoreEager {
+    /// Paper-calibrated costs.
+    pub fn new() -> Self {
+        MulticoreEager::with_costs(3.0, 6.0)
+    }
+
+    /// Custom offload/preemption costs (for the sensitivity ablation).
+    pub fn with_costs(offload_us: f64, preempt_us: f64) -> Self {
+        assert!(offload_us >= 0.0 && preempt_us >= offload_us);
+        MulticoreEager { offload_us, preempt_us, rdv_fallback: HeteroSplit::new() }
+    }
+}
+
+impl Default for MulticoreEager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for MulticoreEager {
+    fn name(&self) -> &'static str {
+        "multicore-eager"
+    }
+
+    fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
+        let size = ctx.head_size();
+        let eager_everywhere =
+            ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
+        if !eager_everywhere {
+            return self.rdv_fallback.decide(ctx);
+        }
+
+        let cost = ctx.predictor.eager_cost();
+        let candidates = ctx.rail_candidates();
+
+        // Single-rail reference: fastest rail, no offload.
+        let best_single = candidates
+            .iter()
+            .map(|&(r, w)| (r, w.max(0.0) + cost.time_us(r, size)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+
+        // Paper §III-B: at most min{idle NICs, idle cores} chunks.
+        let idle_nics = ctx.idle_rails().len();
+        let max_chunks = idle_nics.min(ctx.idle_cores.len());
+        if max_chunks < 2 {
+            return Action::Split(vec![ChunkPlan {
+                mode: Some(TransferMode::Eager),
+                ..ChunkPlan::new(best_single.0, size)
+            }]);
+        }
+
+        let split = select_rails(&cost, &candidates, size, max_chunks);
+        // Equation (1): the split only wins if T_O + max(T_D) beats the
+        // single-rail send.
+        let split_with_offload = self.offload_us + split.completion_us;
+        if split.assignments.len() < 2 || split_with_offload >= best_single.1 {
+            return Action::Split(vec![ChunkPlan {
+                mode: Some(TransferMode::Eager),
+                ..ChunkPlan::new(best_single.0, size)
+            }]);
+        }
+
+        let offload = SimDuration::from_micros_f64(self.offload_us);
+        let chunks: Vec<ChunkPlan> = split
+            .assignments
+            .iter()
+            .zip(ctx.idle_cores.iter())
+            .map(|(&(rail, bytes), &core)| ChunkPlan {
+                rail,
+                bytes,
+                offload_core: Some(core),
+                offload_delay: offload,
+                mode: Some(TransferMode::Eager),
+            })
+            .collect();
+        Action::Split(chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::{decide_with, split_total};
+    use nm_sim::CoreId;
+
+    #[test]
+    fn tiny_messages_refuse_to_split() {
+        // 512 B: any split saves less than the 3us offload cost.
+        let mut s = MulticoreEager::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2, 3], &[512]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 1);
+                assert!(chunks[0].offload_core.is_none());
+                assert_eq!(chunks[0].mode, Some(TransferMode::Eager));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_messages_split_across_cores() {
+        // 64 KiB on rails of 1000/500 B/us: split saves ~21us >> 3us.
+        let mut s = MulticoreEager::new();
+        let action = decide_with(&mut s, vec![0.0, 0.0], vec![1, 2, 3], &[64 << 10]);
+        assert_eq!(split_total(&action), 64 << 10);
+        match action {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 2);
+                let cores: Vec<_> = chunks.iter().map(|c| c.offload_core.unwrap()).collect();
+                assert_ne!(cores[0], cores[1], "distinct cores");
+                assert!(chunks
+                    .iter()
+                    .all(|c| c.offload_delay == SimDuration::from_micros(3)));
+                assert!(chunks.iter().all(|c| c.mode == Some(TransferMode::Eager)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_idle_cores_means_no_split() {
+        let mut s = MulticoreEager::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![], &[64 << 10]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 1);
+                assert!(chunks[0].offload_core.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // One idle core cannot host two parallel copies either.
+        match decide_with(&mut s, vec![0.0, 0.0], vec![2], &[64 << 10]) {
+            Action::Split(chunks) => assert_eq!(chunks.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_nic_also_caps_the_split() {
+        let mut s = MulticoreEager::new();
+        match decide_with(&mut s, vec![0.0, 50.0], vec![1, 2, 3], &[64 << 10]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 1, "only one idle NIC: no split");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendezvous_sizes_fall_back_to_hetero() {
+        let mut s = MulticoreEager::new();
+        // 4 MiB > the synthetic 128 KiB threshold on every rail.
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2], &[4 << 20]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 2, "hetero split of a rendezvous message");
+                assert!(chunks.iter().all(|c| c.mode.is_none()));
+                assert!(chunks.iter().all(|c| c.offload_core.is_none()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunks_are_assigned_to_listed_idle_cores() {
+        let mut s = MulticoreEager::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![2, 3], &[64 << 10]) {
+            Action::Split(chunks) => {
+                let cores: Vec<_> = chunks.iter().map(|c| c.offload_core.unwrap()).collect();
+                assert_eq!(cores, vec![CoreId(2), CoreId(3)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn higher_offload_cost_shrinks_the_split_regime() {
+        // With a 1ms offload cost even 64 KiB refuses to split.
+        let mut s = MulticoreEager::with_costs(1000.0, 2000.0);
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2], &[64 << 10]) {
+            Action::Split(chunks) => assert_eq!(chunks.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The complete strategy of the paper, as a single plug-in.
+//!
+//! The evaluation sections exercise the pieces separately, but the system
+//! the paper describes composes them by regime:
+//!
+//! * **tiny/small eager messages** — aggregate onto the fastest NIC
+//!   (Fig 3/4b): splitting cannot beat one latency, and several queued
+//!   packets amortize one injection;
+//! * **medium eager messages** — split across rails with the PIO copies
+//!   offloaded to idle cores when equation (1) predicts a win (Fig 4c/7/9);
+//! * **rendezvous messages** — sampling-based equal-completion split with
+//!   busy-until-aware selection (Fig 1c/2/8).
+//!
+//! Dispatch is decided per interrogation from the predictor and the queue,
+//! so the same plug-in serves mixed workloads.
+
+use crate::strategy::aggregation::Aggregation;
+use crate::strategy::hetero::HeteroSplit;
+use crate::strategy::multicore::MulticoreEager;
+use crate::strategy::{Action, Ctx, Strategy};
+
+/// Aggregation + multicore eager + hetero split, dispatched by regime.
+#[derive(Debug, Clone)]
+pub struct PaperStrategy {
+    aggregation: Aggregation,
+    multicore: MulticoreEager,
+    hetero: HeteroSplit,
+    /// Head sizes below this try the aggregation path first.
+    pub aggregate_below: u64,
+}
+
+impl PaperStrategy {
+    /// Paper-calibrated composition: aggregate below 4 KiB (where Fig 9
+    /// says splitting always loses), offload-split eager messages above,
+    /// hetero-split rendezvous messages.
+    pub fn new() -> Self {
+        PaperStrategy {
+            aggregation: Aggregation::new(),
+            multicore: MulticoreEager::new(),
+            hetero: HeteroSplit::new(),
+            aggregate_below: 4 * 1024,
+        }
+    }
+}
+
+impl Default for PaperStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for PaperStrategy {
+    fn name(&self) -> &'static str {
+        "paper-composite"
+    }
+
+    fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
+        let size = ctx.head_size();
+        let eager_everywhere =
+            ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
+        if !eager_everywhere {
+            return self.hetero.decide(ctx);
+        }
+        if size < self.aggregate_below {
+            return self.aggregation.decide(ctx);
+        }
+        // Medium eager: the multicore plug-in itself falls back to a
+        // single-rail send when no idle cores/NICs or no predicted win.
+        self.multicore.decide(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::decide_with;
+    use nm_model::TransferMode;
+
+    #[test]
+    fn tiny_messages_take_the_aggregation_path() {
+        let mut s = PaperStrategy::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2], &[256, 256, 256]) {
+            Action::Aggregate { count, .. } => assert_eq!(count, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_eager_messages_offload_split() {
+        let mut s = PaperStrategy::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2], &[64 << 10]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 2);
+                assert!(chunks.iter().all(|c| c.offload_core.is_some()));
+                assert!(chunks.iter().all(|c| c.mode == Some(TransferMode::Eager)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_messages_hetero_split_without_offload() {
+        let mut s = PaperStrategy::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![1, 2], &[4 << 20]) {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 2);
+                assert!(chunks.iter().all(|c| c.offload_core.is_none()));
+                assert!(chunks.iter().all(|c| c.mode.is_none()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_eager_without_idle_cores_degrades_gracefully() {
+        let mut s = PaperStrategy::new();
+        match decide_with(&mut s, vec![0.0, 0.0], vec![], &[64 << 10]) {
+            Action::Split(chunks) => assert_eq!(chunks.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

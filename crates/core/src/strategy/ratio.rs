@@ -1,0 +1,105 @@
+//! Static bandwidth-ratio split — the Open MPI baseline (paper §II-A).
+//!
+//! "OpenMPI computes a ratio by comparing the maximum available bandwidth
+//! of each network. This method permits to achieve good performance for
+//! large messages, but suffers from a lack of precision as different
+//! network technologies do not behave the same way: a split ratio for a
+//! 8 MB message may not fit a 256 KB message."
+//!
+//! The ratio is computed **once** from the asymptotic bandwidth of each
+//! sampled profile (its largest sampled size) and applied to every message
+//! regardless of size or rail state — exactly the imprecision the paper's
+//! dichotomy removes (see the `ablation_ratio` bench).
+
+use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use nm_proto::split_by_ratios;
+use nm_sim::RailId;
+
+/// Splits every message with one fixed bandwidth-proportional ratio.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthRatioSplit {
+    cached: Option<Vec<f64>>,
+}
+
+impl BandwidthRatioSplit {
+    /// New static-ratio splitter (ratios computed on first use).
+    pub fn new() -> Self {
+        BandwidthRatioSplit { cached: None }
+    }
+
+    fn ratios(&mut self, ctx: &Ctx<'_>) -> Vec<f64> {
+        if let Some(r) = &self.cached {
+            return r.clone();
+        }
+        let bws: Vec<f64> = ctx
+            .predictor
+            .rails()
+            .iter()
+            .map(|rv| {
+                let (_, max_size) = rv.natural.sampled_range();
+                rv.natural.bandwidth_mbps_at(max_size)
+            })
+            .collect();
+        let total: f64 = bws.iter().sum();
+        let ratios: Vec<f64> = bws.iter().map(|b| b / total).collect();
+        self.cached = Some(ratios.clone());
+        ratios
+    }
+}
+
+impl Strategy for BandwidthRatioSplit {
+    fn name(&self) -> &'static str {
+        "ratio-split"
+    }
+
+    fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
+        let ratios = self.ratios(ctx);
+        let chunks: Vec<ChunkPlan> = split_by_ratios(ctx.head_size(), &ratios)
+            .into_iter()
+            .filter(|c| c.len > 0)
+            .map(|c| ChunkPlan::new(RailId(c.index as usize), c.len))
+            .collect();
+        Action::Split(chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::{decide_with, split_total};
+
+    #[test]
+    fn ratio_follows_asymptotic_bandwidths() {
+        // Synthetic rails: 1000 vs 500 B/us asymptotic => 2:1 split.
+        let mut s = BandwidthRatioSplit::new();
+        let action = decide_with(&mut s, vec![0.0, 0.0], vec![0], &[3 << 20]);
+        assert_eq!(split_total(&action), 3 << 20);
+        match action {
+            Action::Split(chunks) => {
+                let r0 = chunks.iter().find(|c| c.rail == RailId(0)).unwrap().bytes as f64;
+                let r1 = chunks.iter().find(|c| c.rail == RailId(1)).unwrap().bytes as f64;
+                let ratio = r0 / r1;
+                assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_ratio_regardless_of_size_or_state() {
+        // The documented flaw: the ratio ignores message size and waits.
+        let mut s = BandwidthRatioSplit::new();
+        let ratio_of = |action: &Action| match action {
+            Action::Split(chunks) => {
+                let total: u64 = chunks.iter().map(|c| c.bytes).sum();
+                chunks[0].bytes as f64 / total as f64
+            }
+            other => panic!("{other:?}"),
+        };
+        let big = decide_with(&mut s, vec![0.0, 0.0], vec![0], &[8 << 20]);
+        let small = decide_with(&mut s, vec![0.0, 0.0], vec![0], &[64 << 10]);
+        let busy = decide_with(&mut s, vec![0.0, 1e6], vec![0], &[8 << 20]);
+        assert!((ratio_of(&big) - ratio_of(&small)).abs() < 0.01);
+        assert!((ratio_of(&big) - ratio_of(&busy)).abs() < 0.01);
+    }
+}

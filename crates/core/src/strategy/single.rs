@@ -1,0 +1,78 @@
+//! Single-rail baseline: every message travels whole on one network.
+//!
+//! With a fixed rail this is the paper's "Myri-10G" / "Quadrics" reference
+//! curves (Fig 8); with dynamic choice it picks the predicted-fastest rail
+//! per message, waits included.
+
+use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use nm_sim::RailId;
+
+/// Sends whole messages on one rail.
+#[derive(Debug, Clone)]
+pub struct SingleRail {
+    fixed: Option<RailId>,
+}
+
+impl SingleRail {
+    /// `fixed = Some(r)`: always rail `r`. `None`: predicted-fastest.
+    pub fn new(fixed: Option<RailId>) -> Self {
+        SingleRail { fixed }
+    }
+}
+
+impl Strategy for SingleRail {
+    fn name(&self) -> &'static str {
+        "single-rail"
+    }
+
+    fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
+        let size = ctx.head_size();
+        let rail = self
+            .fixed
+            .unwrap_or_else(|| ctx.predictor.fastest_rail(size, &ctx.rail_waits_us));
+        Action::Split(vec![ChunkPlan::new(rail, size)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::test_support::decide_with;
+
+    #[test]
+    fn fixed_rail_is_respected() {
+        let mut s = SingleRail::new(Some(RailId(1)));
+        let action = decide_with(&mut s, vec![0.0, 1e6], vec![0], &[1024]);
+        match action {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 1);
+                assert_eq!(chunks[0].rail, RailId(1));
+                assert_eq!(chunks[0].bytes, 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_choice_tracks_size() {
+        let mut s = SingleRail::new(None);
+        // Synthetic rails: r0 = 3 + s/1000, r1 = 1 + s/500.
+        match decide_with(&mut s, vec![0.0, 0.0], vec![0], &[4]) {
+            Action::Split(c) => assert_eq!(c[0].rail, RailId(1), "latency winner for 4B"),
+            other => panic!("{other:?}"),
+        }
+        match decide_with(&mut s, vec![0.0, 0.0], vec![0], &[1 << 20]) {
+            Action::Split(c) => assert_eq!(c[0].rail, RailId(0), "bandwidth winner for 1MiB"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_choice_avoids_busy_rail() {
+        let mut s = SingleRail::new(None);
+        match decide_with(&mut s, vec![1e5, 0.0], vec![0], &[1 << 20]) {
+            Action::Split(c) => assert_eq!(c[0].rail, RailId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

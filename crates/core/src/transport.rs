@@ -1,0 +1,160 @@
+//! The transfer layer: what a driver must provide to the engine.
+//!
+//! NewMadeleine's drivers (MX, Elan, Verbs, TCP) all reduce, for the
+//! scheduler's purposes, to this contract: report rail state, accept chunk
+//! submissions, and raise events. Two implementations ship with this crate:
+//! [`crate::driver::sim::SimDriver`] (discrete-event cluster, the evaluation
+//! substrate) and [`crate::driver::shmem::ShmemDriver`] (real threads moving
+//! real bytes through throttled in-process rails).
+
+use bytes::Bytes;
+use nm_model::{SimDuration, SimTime, TransferMode};
+use nm_sim::{CoreId, RailId};
+
+/// A chunk the engine wants on the wire.
+#[derive(Debug, Clone)]
+pub struct ChunkSubmit {
+    /// Rail to use.
+    pub rail: RailId,
+    /// Chunk size in bytes (must be ≥ 1).
+    pub bytes: u64,
+    /// Core doing the send-side work.
+    pub send_core: CoreId,
+    /// Core absorbing the receive copy (eager only).
+    pub recv_core: CoreId,
+    /// Offload delay (T_O) if the chunk was handed to another core.
+    pub offload_delay: SimDuration,
+    /// Force a protocol (`None`: rail's threshold decides).
+    pub mode: Option<TransferMode>,
+    /// Payload for drivers that move real bytes; size-only drivers ignore it.
+    pub payload: Option<Bytes>,
+}
+
+impl ChunkSubmit {
+    /// A plain chunk on `rail` from core 0.
+    pub fn new(rail: RailId, bytes: u64) -> Self {
+        ChunkSubmit {
+            rail,
+            bytes,
+            send_core: CoreId(0),
+            recv_core: CoreId(0),
+            offload_delay: SimDuration::ZERO,
+            mode: None,
+            payload: None,
+        }
+    }
+}
+
+/// Driver-assigned handle for a submitted chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkId(pub u64);
+
+/// Events a driver raises toward the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportEvent {
+    /// A chunk is fully available at the destination.
+    ChunkDelivered {
+        /// The chunk.
+        chunk: ChunkId,
+        /// Delivery instant.
+        at: SimTime,
+    },
+    /// The send side finished with a chunk (buffer reusable).
+    ChunkSendDone {
+        /// The chunk.
+        chunk: ChunkId,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A local NIC became idle — the paper's trigger for the scheduler.
+    RailIdle {
+        /// The rail.
+        rail: RailId,
+        /// Transition instant.
+        at: SimTime,
+    },
+    /// A core became idle.
+    CoreIdle {
+        /// The core.
+        core: CoreId,
+        /// Transition instant.
+        at: SimTime,
+    },
+}
+
+/// The transfer-layer contract.
+pub trait Transport {
+    /// Current time on the transport's clock.
+    fn now(&self) -> SimTime;
+
+    /// Number of rails.
+    fn rail_count(&self) -> usize;
+
+    /// Rail name (matches the sampled profile name).
+    fn rail_name(&self, rail: RailId) -> String;
+
+    /// Rendezvous threshold of a rail.
+    fn rdv_threshold(&self, rail: RailId) -> u64;
+
+    /// When the local NIC of `rail` drains its queued work.
+    fn rail_busy_until(&self, rail: RailId) -> SimTime;
+
+    /// Number of local cores.
+    fn core_count(&self) -> usize;
+
+    /// Locally idle cores, ascending.
+    fn idle_cores(&self) -> Vec<CoreId>;
+
+    /// Submits a chunk; send-side work starts when resources free up.
+    fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId;
+
+    /// Advances the transport and returns newly raised events. An empty vec
+    /// means nothing is in flight (the transport is quiescent).
+    fn poll(&mut self) -> Vec<TransportEvent>;
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+    fn rail_count(&self) -> usize {
+        (**self).rail_count()
+    }
+    fn rail_name(&self, rail: RailId) -> String {
+        (**self).rail_name(rail)
+    }
+    fn rdv_threshold(&self, rail: RailId) -> u64 {
+        (**self).rdv_threshold(rail)
+    }
+    fn rail_busy_until(&self, rail: RailId) -> SimTime {
+        (**self).rail_busy_until(rail)
+    }
+    fn core_count(&self) -> usize {
+        (**self).core_count()
+    }
+    fn idle_cores(&self) -> Vec<CoreId> {
+        (**self).idle_cores()
+    }
+    fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId {
+        (**self).submit(chunk)
+    }
+    fn poll(&mut self) -> Vec<TransportEvent> {
+        (**self).poll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_submit_builder_defaults() {
+        let c = ChunkSubmit::new(RailId(1), 4096);
+        assert_eq!(c.rail, RailId(1));
+        assert_eq!(c.bytes, 4096);
+        assert_eq!(c.send_core, CoreId(0));
+        assert_eq!(c.offload_delay, SimDuration::ZERO);
+        assert!(c.mode.is_none());
+        assert!(c.payload.is_none());
+    }
+}

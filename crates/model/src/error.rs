@@ -1,0 +1,41 @@
+//! Error type shared by model construction and profile queries.
+
+use std::fmt;
+
+/// Errors raised while building or querying performance models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A regime table was empty or not sorted by minimum size.
+    InvalidRegimes(String),
+    /// A profile had fewer than two samples or unsorted sizes.
+    InvalidProfile(String),
+    /// A parameter was out of its documented domain.
+    InvalidParameter(String),
+    /// A sampling file could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidRegimes(msg) => write!(f, "invalid regime table: {msg}"),
+            ModelError::InvalidProfile(msg) => write!(f, "invalid profile: {msg}"),
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidProfile("one sample".into());
+        assert!(e.to_string().contains("one sample"));
+        assert!(e.to_string().contains("invalid profile"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Host-copy (PIO) cost model.
+//!
+//! Eager packets are injected with programmed I/O: the host CPU copies the
+//! payload into NIC memory (and out of it on the receive side). That copy
+//! burns a core for its whole duration — the root cause of the paper's Fig 3
+//! result (greedy balancing of eager packets on one core serializes the
+//! copies) and the motivation for offloading them onto idle cores (Fig 4c).
+
+use crate::time::SimDuration;
+
+/// CPU cost of moving an eager payload between host and NIC memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PioModel {
+    /// Fixed per-packet setup cost in microseconds (doorbell, descriptor).
+    pub overhead_us: f64,
+    /// Host copy bandwidth in MB/s (1 MB = 10^6 bytes). A 2008 Opteron
+    /// sustains roughly 2600 MB/s for cached copies.
+    pub copy_bandwidth_mbps: f64,
+}
+
+impl PioModel {
+    /// A model with the given setup overhead and copy bandwidth.
+    pub fn new(overhead_us: f64, copy_bandwidth_mbps: f64) -> Self {
+        assert!(
+            overhead_us >= 0.0 && copy_bandwidth_mbps > 0.0,
+            "PIO parameters out of domain: overhead {overhead_us}, bw {copy_bandwidth_mbps}"
+        );
+        PioModel { overhead_us, copy_bandwidth_mbps }
+    }
+
+    /// Core occupancy for copying `size` bytes, in microseconds.
+    pub fn copy_time_us(&self, size: u64) -> f64 {
+        self.overhead_us + size as f64 / self.copy_bandwidth_mbps
+    }
+
+    /// Core occupancy for copying `size` bytes.
+    pub fn copy_time(&self, size: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.copy_time_us(size))
+    }
+
+    /// Largest payload whose copy fits in `budget_us` microseconds
+    /// (zero if even an empty packet does not fit).
+    pub fn bytes_within_us(&self, budget_us: f64) -> u64 {
+        let usable = budget_us - self.overhead_us;
+        if usable <= 0.0 {
+            0
+        } else {
+            (usable * self.copy_bandwidth_mbps) as u64
+        }
+    }
+}
+
+impl Default for PioModel {
+    /// The dual dual-core Opteron of the paper's testbed.
+    fn default() -> Self {
+        PioModel::new(0.3, 2600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_time_is_affine_in_size() {
+        let pio = PioModel::new(0.5, 2000.0);
+        assert!((pio.copy_time_us(0) - 0.5).abs() < 1e-12);
+        // 2000 MB/s => 2000 bytes per microsecond.
+        assert!((pio.copy_time_us(2000) - 1.5).abs() < 1e-12);
+        assert_eq!(pio.copy_time(2000), SimDuration::from_micros_f64(1.5));
+    }
+
+    #[test]
+    fn inverse_respects_overhead() {
+        let pio = PioModel::new(0.5, 2000.0);
+        assert_eq!(pio.bytes_within_us(0.4), 0);
+        assert_eq!(pio.bytes_within_us(0.5), 0);
+        assert_eq!(pio.bytes_within_us(1.5), 2000);
+        // Round trip: copying what fits in t takes at most t.
+        let budget = 7.3;
+        let fit = pio.bytes_within_us(budget);
+        assert!(pio.copy_time_us(fit) <= budget + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn rejects_zero_bandwidth() {
+        let _ = PioModel::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Piecewise latency/bandwidth regimes.
+//!
+//! Real NICs do not follow a single α + s/β line: DMA pipelining, PIO limits
+//! and protocol switches give each technology several performance *regimes*.
+//! The paper's critique of Open MPI's static split ratio ("a split ratio for
+//! a 8 MB message may not fit a 256 KB message") exists precisely because of
+//! this piecewise structure, so the ground-truth model must capture it.
+//!
+//! A [`RegimeTable`] maps a message size to a transfer duration
+//! `latency + size / bandwidth` using the regime that covers the size.
+//! Tables built with [`RegimeTable::continuous`] are continuous and strictly
+//! increasing in size, which is what makes the engine's dichotomy split
+//! (paper §II-B) well-defined.
+//!
+//! Unit note: with bandwidth in MB/s (1 MB = 10^6 bytes) and sizes in bytes,
+//! `size / bandwidth` is directly in microseconds.
+
+use crate::error::ModelError;
+use crate::time::SimDuration;
+
+/// One performance regime: holds from `min_size` bytes (inclusive) up to the
+/// next regime's `min_size` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regime {
+    /// First message size (bytes) this regime applies to.
+    pub min_size: u64,
+    /// Fixed cost in microseconds.
+    pub latency_us: f64,
+    /// Streaming bandwidth in MB/s (1 MB = 10^6 bytes).
+    pub bandwidth_mbps: f64,
+}
+
+impl Regime {
+    /// Transfer time for `size` bytes under this regime, in microseconds.
+    pub fn time_us(&self, size: u64) -> f64 {
+        self.latency_us + size as f64 / self.bandwidth_mbps
+    }
+}
+
+/// A sorted list of regimes forming a piecewise transfer-time curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeTable {
+    regimes: Vec<Regime>,
+}
+
+impl RegimeTable {
+    /// Builds a table from explicit regimes.
+    ///
+    /// Validation: at least one regime, the first starting at size 0, strictly
+    /// increasing `min_size`, positive bandwidth, non-negative latency, and a
+    /// transfer time that never *decreases* across a regime boundary (upward
+    /// jumps are allowed — e.g. a rendezvous handshake — but a size must never
+    /// be predicted faster than a smaller one, or the dichotomy search of
+    /// paper §II-B loses its invariant).
+    pub fn new(regimes: Vec<Regime>) -> Result<Self, ModelError> {
+        if regimes.is_empty() {
+            return Err(ModelError::InvalidRegimes("empty table".into()));
+        }
+        if regimes[0].min_size != 0 {
+            return Err(ModelError::InvalidRegimes(format!(
+                "first regime must start at size 0, got {}",
+                regimes[0].min_size
+            )));
+        }
+        for r in &regimes {
+            if !r.bandwidth_mbps.is_finite() || r.bandwidth_mbps <= 0.0 {
+                return Err(ModelError::InvalidRegimes(format!(
+                    "bandwidth must be positive and finite, got {}",
+                    r.bandwidth_mbps
+                )));
+            }
+            if !r.latency_us.is_finite() || r.latency_us < 0.0 {
+                return Err(ModelError::InvalidRegimes(format!(
+                    "latency must be non-negative and finite, got {}",
+                    r.latency_us
+                )));
+            }
+        }
+        for w in regimes.windows(2) {
+            if w[1].min_size <= w[0].min_size {
+                return Err(ModelError::InvalidRegimes(format!(
+                    "regimes must have strictly increasing min_size ({} then {})",
+                    w[0].min_size, w[1].min_size
+                )));
+            }
+            let boundary = w[1].min_size;
+            if w[1].time_us(boundary) + 1e-9 < w[0].time_us(boundary) {
+                return Err(ModelError::InvalidRegimes(format!(
+                    "transfer time decreases at boundary {boundary} \
+                     ({:.3}us -> {:.3}us)",
+                    w[0].time_us(boundary),
+                    w[1].time_us(boundary)
+                )));
+            }
+        }
+        Ok(RegimeTable { regimes })
+    }
+
+    /// Builds a *continuous* table from a base latency and bandwidth
+    /// breakpoints `(from_size, bandwidth_mbps)`.
+    ///
+    /// Each regime's latency is derived so the curve is continuous at every
+    /// breakpoint; with non-decreasing bandwidths this yields a strictly
+    /// increasing transfer-time curve. Breakpoints must start at size 0.
+    pub fn continuous(base_latency_us: f64, breaks: &[(u64, f64)]) -> Result<Self, ModelError> {
+        if breaks.is_empty() || breaks[0].0 != 0 {
+            return Err(ModelError::InvalidRegimes(
+                "continuous table needs breakpoints starting at size 0".into(),
+            ));
+        }
+        let mut regimes = Vec::with_capacity(breaks.len());
+        let mut latency = base_latency_us;
+        let mut prev_bw = breaks[0].1;
+        for (i, &(min_size, bw)) in breaks.iter().enumerate() {
+            if i > 0 {
+                // Continuity: L_i = L_{i-1} + s_i * (1/bw_{i-1} - 1/bw_i)
+                latency += min_size as f64 * (1.0 / prev_bw - 1.0 / bw);
+            }
+            regimes.push(Regime {
+                min_size,
+                latency_us: latency,
+                bandwidth_mbps: bw,
+            });
+            prev_bw = bw;
+        }
+        RegimeTable::new(regimes)
+    }
+
+    /// The regime covering `size`.
+    pub fn regime_for(&self, size: u64) -> &Regime {
+        match self.regimes.binary_search_by_key(&size, |r| r.min_size) {
+            Ok(i) => &self.regimes[i],
+            Err(i) => &self.regimes[i - 1], // i >= 1 because min_size 0 exists
+        }
+    }
+
+    /// Transfer time for `size` bytes, in microseconds.
+    pub fn time_us(&self, size: u64) -> f64 {
+        self.regime_for(size).time_us(size)
+    }
+
+    /// Transfer time for `size` bytes as a [`SimDuration`].
+    pub fn time(&self, size: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.time_us(size))
+    }
+
+    /// Bandwidth of the last (largest-size) regime — the asymptotic rate.
+    pub fn asymptotic_bandwidth_mbps(&self) -> f64 {
+        self.regimes.last().expect("non-empty by construction").bandwidth_mbps
+    }
+
+    /// Base latency (time for a 0-byte message).
+    pub fn base_latency_us(&self) -> f64 {
+        self.regimes[0].latency_us
+    }
+
+    /// All regimes, sorted by `min_size`.
+    pub fn regimes(&self) -> &[Regime] {
+        &self.regimes
+    }
+
+    /// Returns a copy with every bandwidth scaled by `factor` (used for
+    /// failure injection: a degraded rail keeps its latency but loses
+    /// throughput).
+    pub fn scale_bandwidth(&self, factor: f64) -> Result<Self, ModelError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(ModelError::InvalidParameter(format!(
+                "bandwidth scale factor must be positive, got {factor}"
+            )));
+        }
+        // Rescale as a continuous curve so boundary monotonicity is preserved
+        // even for factors < 1.
+        let breaks: Vec<(u64, f64)> = self
+            .regimes
+            .iter()
+            .map(|r| (r.min_size, r.bandwidth_mbps * factor))
+            .collect();
+        RegimeTable::continuous(self.base_latency_us(), &breaks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> RegimeTable {
+        RegimeTable::continuous(2.0, &[(0, 500.0), (4096, 900.0), (65536, 1170.0)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_unsorted() {
+        assert!(RegimeTable::new(vec![]).is_err());
+        let bad_start = vec![Regime { min_size: 4, latency_us: 1.0, bandwidth_mbps: 100.0 }];
+        assert!(RegimeTable::new(bad_start).is_err());
+        let unsorted = vec![
+            Regime { min_size: 0, latency_us: 1.0, bandwidth_mbps: 100.0 },
+            Regime { min_size: 0, latency_us: 1.0, bandwidth_mbps: 200.0 },
+        ];
+        assert!(RegimeTable::new(unsorted).is_err());
+    }
+
+    #[test]
+    fn rejects_nonmonotone_boundary() {
+        // Second regime predicts 4096 bytes *faster* than the first does.
+        let decreasing = vec![
+            Regime { min_size: 0, latency_us: 10.0, bandwidth_mbps: 100.0 },
+            Regime { min_size: 4096, latency_us: 0.0, bandwidth_mbps: 100.0 },
+        ];
+        assert!(RegimeTable::new(decreasing).is_err());
+    }
+
+    #[test]
+    fn allows_upward_jump() {
+        // Extra fixed cost appearing at a boundary (time jumps up): legal.
+        let jump = vec![
+            Regime { min_size: 0, latency_us: 2.0, bandwidth_mbps: 500.0 },
+            Regime { min_size: 32768, latency_us: 40.0, bandwidth_mbps: 1000.0 },
+        ];
+        assert!(RegimeTable::new(jump).is_ok());
+    }
+
+    #[test]
+    fn continuous_curve_is_continuous_and_increasing() {
+        let t = simple();
+        for boundary in [4096u64, 65536] {
+            let below = t.time_us(boundary - 1);
+            let at = t.time_us(boundary);
+            assert!(at >= below, "curve must not decrease at {boundary}");
+            assert!(at - below < 0.01, "curve must be continuous at {boundary}");
+        }
+        let mut last = 0.0;
+        for size in (0..24).map(|p| 1u64 << p) {
+            let now = t.time_us(size);
+            assert!(now > last, "time must strictly increase ({size})");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn unit_convention_holds() {
+        // 1170 MB/s moves 1_170_000 bytes in 1000us (+latency).
+        let t = simple();
+        let us = t.time_us(8 * 1024 * 1024);
+        let expected = 8.0 * 1024.0 * 1024.0 / 1170.0;
+        assert!((us - expected).abs() / expected < 0.05, "{us} vs {expected}");
+    }
+
+    #[test]
+    fn regime_lookup_picks_correct_segment() {
+        let t = simple();
+        assert_eq!(t.regime_for(0).min_size, 0);
+        assert_eq!(t.regime_for(4095).min_size, 0);
+        assert_eq!(t.regime_for(4096).min_size, 4096);
+        assert_eq!(t.regime_for(1 << 30).min_size, 65536);
+        assert!((t.asymptotic_bandwidth_mbps() - 1170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scaling_preserves_latency_and_shape() {
+        let t = simple();
+        let slow = t.scale_bandwidth(0.5).unwrap();
+        assert!((slow.base_latency_us() - t.base_latency_us()).abs() < 1e-9);
+        assert!((slow.asymptotic_bandwidth_mbps() - 585.0).abs() < 1e-9);
+        assert!(slow.time_us(1 << 20) > t.time_us(1 << 20));
+        assert!(t.scale_bandwidth(0.0).is_err());
+        assert!(t.scale_bandwidth(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Size units and formatting helpers.
+//!
+//! The paper mixes conventions: bandwidth plots use decimal megabytes
+//! (1 MB = 10^6 bytes) while message sizes on the x-axis are binary
+//! (32K = 32768 bytes). This module pins both conventions down so every
+//! crate agrees.
+
+/// One binary kilobyte (KiB).
+pub const KIB: u64 = 1024;
+/// One binary megabyte (MiB).
+pub const MIB: u64 = 1024 * 1024;
+/// One decimal megabyte, the unit of all bandwidth figures (MB/s).
+pub const MB: u64 = 1_000_000;
+
+/// Formats a byte count the way the paper labels its x-axes:
+/// `4`, `512`, `32K`, `2M`.
+pub fn format_size(bytes: u64) -> String {
+    if bytes >= MIB && bytes.is_multiple_of(MIB) {
+        format!("{}M", bytes / MIB)
+    } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
+        format!("{}K", bytes / KIB)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Parses a size label in the paper's notation (`4`, `32K`, `8M`).
+/// Returns `None` for malformed input.
+pub fn parse_size(label: &str) -> Option<u64> {
+    let label = label.trim();
+    if label.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match label.as_bytes()[label.len() - 1] {
+        b'K' | b'k' => (&label[..label.len() - 1], KIB),
+        b'M' | b'm' => (&label[..label.len() - 1], MIB),
+        b'G' | b'g' => (&label[..label.len() - 1], MIB * KIB),
+        _ => (label, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// The power-of-two size ladder used for sampling and sweeps:
+/// `lo`, `2·lo`, ... up to and including `hi` (both should be powers of two;
+/// `hi` is included even if not reached by doubling).
+pub fn pow2_sizes(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo >= 1 && lo <= hi, "invalid size range {lo}..{hi}");
+    let mut out = Vec::new();
+    let mut s = lo;
+    while s < hi {
+        out.push(s);
+        match s.checked_mul(2) {
+            Some(next) => s = next,
+            None => break,
+        }
+    }
+    out.push(hi);
+    out
+}
+
+/// Rounds `bytes` down to a power of two (returns 1 for 0).
+pub fn floor_pow2(bytes: u64) -> u64 {
+    if bytes <= 1 {
+        1
+    } else {
+        1u64 << (63 - bytes.leading_zeros())
+    }
+}
+
+/// Log2 of a size rounded down; the index used for O(1) sample lookup
+/// ("using a logarithm in the case of power of 2 samples", paper §III-C).
+pub fn log2_floor(bytes: u64) -> u32 {
+    debug_assert!(bytes >= 1);
+    63 - bytes.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_matches_paper_labels() {
+        assert_eq!(format_size(4), "4");
+        assert_eq!(format_size(32 * KIB), "32K");
+        assert_eq!(format_size(8 * MIB), "8M");
+        assert_eq!(format_size(1500), "1500");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [1, 4, 512, KIB, 32 * KIB, MIB, 8 * MIB] {
+            assert_eq!(parse_size(&format_size(s)), Some(s));
+        }
+        assert_eq!(parse_size("64k"), Some(64 * KIB));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("x4"), None);
+        assert_eq!(parse_size("K"), None);
+    }
+
+    #[test]
+    fn pow2_ladder_covers_range_inclusively() {
+        assert_eq!(pow2_sizes(4, 32), vec![4, 8, 16, 32]);
+        assert_eq!(pow2_sizes(4, 4), vec![4]);
+        // hi not a power-of-two multiple of lo still terminates and includes hi.
+        assert_eq!(pow2_sizes(4, 24), vec![4, 8, 16, 24]);
+    }
+
+    #[test]
+    fn log_and_floor_helpers() {
+        assert_eq!(floor_pow2(0), 1);
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(1023), 512);
+        assert_eq!(floor_pow2(1024), 1024);
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(4096), 12);
+        assert_eq!(log2_floor(4097), 12);
+    }
+}

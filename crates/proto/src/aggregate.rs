@@ -1,0 +1,216 @@
+//! Aggregation of small messages into one packet.
+//!
+//! Paper Fig 3 / §II-C: for eager packets "it is more efficient to aggregate
+//! the messages and to send them over the fastest available network instead
+//! of using the entire set of network resources". The [`Aggregator`] packs
+//! consecutive small messages bound for the same peer into one wire packet;
+//! [`unpack_aggregate`] recovers them on the receive side.
+//!
+//! Pack payload layout: a sequence of `(u32 flow, u64 msg_id, u32 len,
+//! len bytes)` entries.
+
+use crate::error::ProtoError;
+use crate::header::{PacketHeader, PacketKind};
+use crate::packet::Packet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Per-entry overhead inside an aggregation pack.
+pub const ENTRY_OVERHEAD: usize = 4 + 8 + 4;
+
+/// One small message inside a pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggEntry {
+    /// Logical flow (application tag).
+    pub flow: u32,
+    /// Message id within the flow.
+    pub msg_id: u64,
+    /// Message bytes.
+    pub data: Bytes,
+}
+
+/// Accumulates small messages until flushed into one packet.
+///
+/// ```
+/// use bytes::Bytes;
+/// use nm_proto::aggregate::{AggEntry, Aggregator};
+/// use nm_proto::unpack_aggregate;
+///
+/// let mut agg = Aggregator::new(4096);
+/// agg.push(AggEntry { flow: 1, msg_id: 0, data: Bytes::from_static(b"ping") });
+/// agg.push(AggEntry { flow: 1, msg_id: 1, data: Bytes::from_static(b"pong") });
+/// let packet = agg.flush(0).unwrap();          // one wire packet...
+/// let entries = unpack_aggregate(&packet).unwrap();
+/// assert_eq!(entries.len(), 2);                // ...two messages inside
+/// assert_eq!(&entries[1].data[..], b"pong");
+/// ```
+#[derive(Debug)]
+pub struct Aggregator {
+    max_bytes: usize,
+    entries: Vec<AggEntry>,
+    payload_bytes: usize,
+}
+
+impl Aggregator {
+    /// An aggregator flushing at `max_bytes` of packed payload.
+    pub fn new(max_bytes: usize) -> Self {
+        assert!(max_bytes > ENTRY_OVERHEAD, "pack budget too small");
+        Aggregator { max_bytes, entries: Vec::new(), payload_bytes: 0 }
+    }
+
+    /// True if `data` would still fit.
+    pub fn fits(&self, data_len: usize) -> bool {
+        self.payload_bytes + ENTRY_OVERHEAD + data_len <= self.max_bytes
+    }
+
+    /// Adds a message; returns `false` (without adding) when it no longer
+    /// fits — flush first.
+    pub fn push(&mut self, entry: AggEntry) -> bool {
+        if !self.fits(entry.data.len()) {
+            return false;
+        }
+        self.payload_bytes += ENTRY_OVERHEAD + entry.data.len();
+        self.entries.push(entry);
+        true
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current packed payload size.
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Drains the pending messages into one `EagerAggregate` packet.
+    /// Returns `None` when empty. `pack_id` becomes the pack's `msg_id`.
+    pub fn flush(&mut self, pack_id: u64) -> Option<Packet> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut payload = BytesMut::with_capacity(self.payload_bytes);
+        for e in self.entries.drain(..) {
+            payload.put_u32(e.flow);
+            payload.put_u64(e.msg_id);
+            payload.put_u32(e.data.len() as u32);
+            payload.extend_from_slice(&e.data);
+        }
+        self.payload_bytes = 0;
+        let total = payload.len() as u64;
+        Some(Packet::new(
+            PacketHeader {
+                kind: PacketKind::EagerAggregate,
+                flow: 0,
+                msg_id: pack_id,
+                offset: 0,
+                total_len: total,
+                chunk_index: 0,
+                payload_len: 0,
+            },
+            payload.freeze(),
+        ))
+    }
+}
+
+/// Recovers the packed messages from an `EagerAggregate` packet.
+pub fn unpack_aggregate(packet: &Packet) -> Result<Vec<AggEntry>, ProtoError> {
+    if packet.header.kind != PacketKind::EagerAggregate {
+        return Err(ProtoError::BadHeader(format!(
+            "expected EagerAggregate, got {:?}",
+            packet.header.kind
+        )));
+    }
+    let mut buf = packet.payload.clone();
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < ENTRY_OVERHEAD {
+            return Err(ProtoError::Truncated { needed: ENTRY_OVERHEAD, got: buf.remaining() });
+        }
+        let flow = buf.get_u32();
+        let msg_id = buf.get_u64();
+        let len = buf.get_u32() as usize;
+        if buf.remaining() < len {
+            return Err(ProtoError::Truncated { needed: len, got: buf.remaining() });
+        }
+        let data = buf.split_to(len);
+        out.push(AggEntry { flow, msg_id, data });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(flow: u32, msg_id: u64, data: &[u8]) -> AggEntry {
+        AggEntry { flow, msg_id, data: Bytes::copy_from_slice(data) }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut agg = Aggregator::new(4096);
+        let entries =
+            vec![entry(1, 10, b"alpha"), entry(2, 20, b""), entry(1, 11, &[7u8; 100])];
+        for e in &entries {
+            assert!(agg.push(e.clone()));
+        }
+        assert_eq!(agg.len(), 3);
+        let packet = agg.flush(99).expect("non-empty");
+        assert!(agg.is_empty());
+        assert_eq!(packet.header.msg_id, 99);
+        let got = unpack_aggregate(&packet).unwrap();
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut agg = Aggregator::new(ENTRY_OVERHEAD * 2 + 10);
+        assert!(agg.push(entry(0, 0, &[1u8; 5])));
+        assert!(agg.push(entry(0, 1, &[2u8; 5])));
+        assert!(!agg.push(entry(0, 2, &[3u8; 1])), "over budget must be refused");
+        assert_eq!(agg.len(), 2);
+        // After a flush there is room again.
+        let _ = agg.flush(1).unwrap();
+        assert!(agg.push(entry(0, 2, &[3u8; 1])));
+    }
+
+    #[test]
+    fn flush_of_empty_aggregator_is_none() {
+        let mut agg = Aggregator::new(1024);
+        assert!(agg.flush(0).is_none());
+    }
+
+    #[test]
+    fn unpack_rejects_wrong_kind_and_corruption() {
+        let mut agg = Aggregator::new(1024);
+        agg.push(entry(1, 1, b"data"));
+        let packet = agg.flush(0).unwrap();
+
+        let mut wrong = packet.clone();
+        wrong.header.kind = PacketKind::Eager;
+        assert!(matches!(unpack_aggregate(&wrong), Err(ProtoError::BadHeader(_))));
+
+        let mut cut = packet.clone();
+        cut.payload = cut.payload.slice(0..cut.payload.len() - 1);
+        assert!(matches!(unpack_aggregate(&cut), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn wire_round_trip_of_a_pack() {
+        let mut agg = Aggregator::new(1024);
+        agg.push(entry(5, 50, b"x"));
+        agg.push(entry(6, 60, b"yy"));
+        let packet = agg.flush(7).unwrap();
+        let mut wire = packet.encode();
+        let decoded = Packet::decode(&mut wire).unwrap();
+        let entries = unpack_aggregate(&decoded).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].data, Bytes::from_static(b"yy"));
+    }
+}

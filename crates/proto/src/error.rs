@@ -1,0 +1,49 @@
+//! Protocol error type.
+
+use std::fmt;
+
+/// Errors raised while encoding, decoding or reassembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Buffer too short to contain what it claims.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A header field had an invalid value.
+    BadHeader(String),
+    /// A chunk did not fit the message being reassembled.
+    BadChunk(String),
+    /// A sequencing violation (duplicate or out-of-window sequence number).
+    BadSequence(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, got } => {
+                write!(f, "truncated buffer: need {needed} bytes, got {got}")
+            }
+            ProtoError::BadHeader(msg) => write!(f, "bad header: {msg}"),
+            ProtoError::BadChunk(msg) => write!(f, "bad chunk: {msg}"),
+            ProtoError::BadSequence(msg) => write!(f, "bad sequence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProtoError::Truncated { needed: 40, got: 3 }.to_string().contains("40"));
+        assert!(ProtoError::BadHeader("kind 9".into()).to_string().contains("kind 9"));
+        assert!(ProtoError::BadChunk("overlap".into()).to_string().contains("overlap"));
+        assert!(ProtoError::BadSequence("dup 4".into()).to_string().contains("dup 4"));
+    }
+}

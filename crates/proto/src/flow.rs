@@ -1,0 +1,193 @@
+//! Per-flow sequencing.
+//!
+//! When one logical flow is striped over several rails, later messages may
+//! physically arrive before earlier ones. NewMadeleine guarantees in-order
+//! delivery per (peer, tag) flow; [`Sequencer`] enforces it: arrivals are
+//! released strictly in sequence-number order, buffering holes.
+
+use crate::error::ProtoError;
+use std::collections::BTreeMap;
+
+/// A logical flow identifier: (peer, tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId {
+    /// Remote peer index.
+    pub peer: u32,
+    /// Application tag.
+    pub tag: u32,
+}
+
+/// Reorders one flow's messages into send order.
+///
+/// A sequence number can also be [`Sequencer::skip`]ped (the sender
+/// cancelled that message): the hole is released as nothing instead of
+/// stalling the flow.
+///
+/// ```
+/// use nm_proto::Sequencer;
+///
+/// let mut seq = Sequencer::new(16);
+/// assert!(seq.accept(1, "second").unwrap().is_empty()); // hole at 0
+/// assert_eq!(seq.accept(0, "first").unwrap(), vec!["first", "second"]);
+/// ```
+#[derive(Debug)]
+pub struct Sequencer<T> {
+    next: u64,
+    /// `None` marks a skipped (cancelled) sequence number.
+    held: BTreeMap<u64, Option<T>>,
+    /// Cap on buffered out-of-order messages (flow-control safety valve).
+    window: usize,
+}
+
+impl<T> Sequencer<T> {
+    /// A sequencer expecting sequence numbers from 0, buffering at most
+    /// `window` out-of-order messages.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one message");
+        Sequencer { next: 0, held: BTreeMap::new(), window }
+    }
+
+    /// Next sequence number the flow will release.
+    pub fn expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of buffered out-of-order messages.
+    pub fn held(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Accepts message `seq` and returns everything now releasable, in
+    /// order. Duplicates (already released or already held) and arrivals
+    /// beyond the reorder window are rejected.
+    pub fn accept(&mut self, seq: u64, msg: T) -> Result<Vec<T>, ProtoError> {
+        self.admit(seq, Some(msg))?;
+        Ok(self.release())
+    }
+
+    /// Marks `seq` as cancelled: the flow no longer waits for it. Returns
+    /// whatever became releasable past the hole.
+    pub fn skip(&mut self, seq: u64) -> Result<Vec<T>, ProtoError> {
+        self.admit(seq, None)?;
+        Ok(self.release())
+    }
+
+    fn admit(&mut self, seq: u64, slot: Option<T>) -> Result<(), ProtoError> {
+        if seq < self.next {
+            return Err(ProtoError::BadSequence(format!(
+                "duplicate: seq {seq} already released (next is {})",
+                self.next
+            )));
+        }
+        if self.held.contains_key(&seq) {
+            return Err(ProtoError::BadSequence(format!("duplicate: seq {seq} already held")));
+        }
+        if seq >= self.next + self.window as u64 {
+            return Err(ProtoError::BadSequence(format!(
+                "seq {seq} beyond reorder window [{}, {})",
+                self.next,
+                self.next + self.window as u64
+            )));
+        }
+        self.held.insert(seq, slot);
+        Ok(())
+    }
+
+    fn release(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(slot) = self.held.remove(&self.next) {
+            if let Some(msg) = slot {
+                out.push(msg);
+            }
+            self.next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut s = Sequencer::new(8);
+        for i in 0..5u64 {
+            let out = s.accept(i, i).unwrap();
+            assert_eq!(out, vec![i]);
+        }
+        assert_eq!(s.expected(), 5);
+        assert_eq!(s.held(), 0);
+    }
+
+    #[test]
+    fn hole_buffers_until_filled() {
+        let mut s = Sequencer::new(8);
+        assert!(s.accept(1, "b").unwrap().is_empty());
+        assert!(s.accept(2, "c").unwrap().is_empty());
+        assert_eq!(s.held(), 2);
+        let out = s.accept(0, "a").unwrap();
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert_eq!(s.expected(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut s = Sequencer::new(8);
+        s.accept(0, ()).unwrap();
+        assert!(matches!(s.accept(0, ()), Err(ProtoError::BadSequence(_))));
+        s.accept(2, ()).unwrap();
+        assert!(matches!(s.accept(2, ()), Err(ProtoError::BadSequence(_))));
+    }
+
+    #[test]
+    fn window_overflow_is_rejected() {
+        let mut s = Sequencer::new(4);
+        assert!(s.accept(3, ()).is_ok()); // inside [0, 4)
+        assert!(matches!(s.accept(4, ()), Err(ProtoError::BadSequence(_))));
+    }
+
+    #[test]
+    fn skipped_sequences_do_not_stall_the_flow() {
+        let mut s = Sequencer::new(8);
+        assert!(s.accept(2, "c").unwrap().is_empty());
+        // Cancel seq 1 before 0 arrives: nothing releasable yet.
+        assert!(s.skip(1).unwrap().is_empty());
+        // Seq 0 arrives: 0 releases, the hole at 1 is silently consumed,
+        // and 2 follows.
+        assert_eq!(s.accept(0, "a").unwrap(), vec!["a", "c"]);
+        assert_eq!(s.expected(), 3);
+    }
+
+    #[test]
+    fn skip_at_the_head_releases_immediately() {
+        let mut s = Sequencer::new(8);
+        assert!(s.accept(1, "b").unwrap().is_empty());
+        assert_eq!(s.skip(0).unwrap(), vec!["b"]);
+        // Skipping something already past is a duplicate error.
+        assert!(matches!(s.skip(0), Err(ProtoError::BadSequence(_))));
+    }
+
+    proptest! {
+        /// Any permutation within the window releases 0..n in order.
+        #[test]
+        fn any_window_permutation_releases_in_order(
+            n in 1usize..32,
+            seed in any::<u64>(),
+        ) {
+            let mut order: Vec<u64> = (0..n as u64).collect();
+            for i in 0..n {
+                let j = (seed as usize).wrapping_mul(i * 13 + 7) % n;
+                order.swap(i, j);
+            }
+            let mut s = Sequencer::new(n);
+            let mut released = Vec::new();
+            for &seq in &order {
+                released.extend(s.accept(seq, seq).unwrap());
+            }
+            prop_assert_eq!(released, (0..n as u64).collect::<Vec<_>>());
+            prop_assert_eq!(s.held(), 0);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The fixed binary packet header.
+//!
+//! Layout (big-endian, 40 bytes):
+//!
+//! | off | len | field       |
+//! |-----|-----|-------------|
+//! | 0   | 1   | kind        |
+//! | 1   | 3   | reserved    |
+//! | 4   | 4   | flow (tag)  |
+//! | 8   | 8   | msg_id      |
+//! | 16  | 8   | offset      |
+//! | 24  | 8   | total_len   |
+//! | 32  | 4   | chunk_index |
+//! | 36  | 4   | payload_len |
+
+use crate::error::ProtoError;
+use bytes::{Buf, BufMut};
+
+/// Header size on the wire.
+pub const HEADER_LEN: usize = 40;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A self-contained eager message (or chunk of one).
+    Eager,
+    /// An aggregation pack of several small messages (Fig 3's winner).
+    EagerAggregate,
+    /// Rendezvous request (ready-to-send).
+    Rts,
+    /// Rendezvous grant (clear-to-send).
+    Cts,
+    /// Rendezvous data chunk.
+    RdvData,
+}
+
+impl PacketKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            PacketKind::Eager => 1,
+            PacketKind::EagerAggregate => 2,
+            PacketKind::Rts => 3,
+            PacketKind::Cts => 4,
+            PacketKind::RdvData => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        Ok(match v {
+            1 => PacketKind::Eager,
+            2 => PacketKind::EagerAggregate,
+            3 => PacketKind::Rts,
+            4 => PacketKind::Cts,
+            5 => PacketKind::RdvData,
+            other => return Err(ProtoError::BadHeader(format!("unknown kind {other}"))),
+        })
+    }
+}
+
+/// Decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// Packet kind.
+    pub kind: PacketKind,
+    /// Logical flow (application tag).
+    pub flow: u32,
+    /// Message identifier, unique per flow on the sender.
+    pub msg_id: u64,
+    /// Byte offset of this chunk within the whole message.
+    pub offset: u64,
+    /// Total message length in bytes.
+    pub total_len: u64,
+    /// Index of this chunk among the message's chunks.
+    pub chunk_index: u32,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+}
+
+impl PacketHeader {
+    /// Encodes into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.kind.to_u8());
+        buf.put_bytes(0, 3);
+        buf.put_u32(self.flow);
+        buf.put_u64(self.msg_id);
+        buf.put_u64(self.offset);
+        buf.put_u64(self.total_len);
+        buf.put_u32(self.chunk_index);
+        buf.put_u32(self.payload_len);
+    }
+
+    /// Decodes from `buf`, validating structural invariants
+    /// (`offset + payload_len <= total_len` for payload-bearing kinds).
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, ProtoError> {
+        if buf.remaining() < HEADER_LEN {
+            return Err(ProtoError::Truncated { needed: HEADER_LEN, got: buf.remaining() });
+        }
+        let kind = PacketKind::from_u8(buf.get_u8())?;
+        buf.advance(3);
+        let flow = buf.get_u32();
+        let msg_id = buf.get_u64();
+        let offset = buf.get_u64();
+        let total_len = buf.get_u64();
+        let chunk_index = buf.get_u32();
+        let payload_len = buf.get_u32();
+        let h = PacketHeader { kind, flow, msg_id, offset, total_len, chunk_index, payload_len };
+        h.validate()?;
+        Ok(h)
+    }
+
+    fn validate(&self) -> Result<(), ProtoError> {
+        match self.kind {
+            PacketKind::Eager | PacketKind::EagerAggregate | PacketKind::RdvData => {
+                let end = self
+                    .offset
+                    .checked_add(self.payload_len as u64)
+                    .ok_or_else(|| ProtoError::BadHeader("offset overflow".into()))?;
+                if end > self.total_len {
+                    return Err(ProtoError::BadHeader(format!(
+                        "chunk [{}, {end}) exceeds total_len {}",
+                        self.offset, self.total_len
+                    )));
+                }
+            }
+            PacketKind::Rts => {
+                if self.payload_len != 0 {
+                    return Err(ProtoError::BadHeader("RTS carries no payload".into()));
+                }
+            }
+            PacketKind::Cts => {
+                if self.payload_len != 0 {
+                    return Err(ProtoError::BadHeader("CTS carries no payload".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn sample() -> PacketHeader {
+        PacketHeader {
+            kind: PacketKind::Eager,
+            flow: 7,
+            msg_id: 12345,
+            offset: 4096,
+            total_len: 65536,
+            chunk_index: 1,
+            payload_len: 8192,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let got = PacketHeader::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, h);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let mut short = buf.freeze().slice(0..HEADER_LEN - 1);
+        match PacketHeader::decode(&mut short) {
+            Err(ProtoError::Truncated { needed, got }) => {
+                assert_eq!(needed, HEADER_LEN);
+                assert_eq!(got, HEADER_LEN - 1);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        let mut bytes = buf.to_vec();
+        bytes[0] = 200;
+        assert!(matches!(
+            PacketHeader::decode(&mut &bytes[..]),
+            Err(ProtoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_overrunning_message_is_rejected() {
+        let mut h = sample();
+        h.offset = 60_000;
+        h.payload_len = 8192; // 60000+8192 > 65536
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert!(matches!(
+            PacketHeader::decode(&mut buf.freeze()),
+            Err(ProtoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn control_packets_must_be_empty() {
+        let mut h = sample();
+        h.kind = PacketKind::Rts;
+        h.payload_len = 4;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert!(PacketHeader::decode(&mut buf.freeze()).is_err());
+        h.payload_len = 0;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert!(PacketHeader::decode(&mut buf.freeze()).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_any_valid_header(
+            kind_sel in 0u8..5,
+            flow in any::<u32>(),
+            msg_id in any::<u64>(),
+            total_len in 0u64..(1 << 40),
+            chunk_index in any::<u32>(),
+            frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+        ) {
+            let kind = [
+                PacketKind::Eager,
+                PacketKind::EagerAggregate,
+                PacketKind::Rts,
+                PacketKind::Cts,
+                PacketKind::RdvData,
+            ][kind_sel as usize];
+            let (offset, payload_len) = match kind {
+                PacketKind::Rts | PacketKind::Cts => (0, 0),
+                _ => {
+                    let offset = (total_len as f64 * frac) as u64;
+                    let maxlen = (total_len - offset).min(u32::MAX as u64);
+                    (offset, (maxlen as f64 * len_frac) as u32)
+                }
+            };
+            let h = PacketHeader { kind, flow, msg_id, offset, total_len, chunk_index, payload_len };
+            let mut buf = BytesMut::new();
+            h.encode(&mut buf);
+            let got = PacketHeader::decode(&mut buf.freeze()).unwrap();
+            prop_assert_eq!(got, h);
+        }
+    }
+}

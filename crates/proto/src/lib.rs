@@ -1,0 +1,31 @@
+//! # nm-proto — wire protocol substrate
+//!
+//! NewMadeleine multiplexes logical communication flows over physical rails:
+//! messages are chunked across NICs, small messages are aggregated into one
+//! packet, large ones negotiate a rendezvous — and the receive side must put
+//! everything back together in order. This crate provides those mechanics,
+//! independent of any particular driver:
+//!
+//! * [`header::PacketHeader`] / [`packet::Packet`] — the binary wire format
+//!   (fixed 40-byte header + payload), with strict decode validation.
+//! * [`aggregate`] — packing several small messages into one packet (the
+//!   winning play of the paper's Fig 3) and unpacking them.
+//! * [`chunk`] — splitting a message into per-rail chunks from a ratio
+//!   vector, and [`chunk::Reassembler`] to rebuild it from out-of-order,
+//!   possibly duplicated chunk arrivals.
+//! * [`flow`] — per-(peer, tag) sequencing so multiplexed flows deliver in
+//!   send order even when rails race each other.
+
+pub mod aggregate;
+pub mod chunk;
+pub mod error;
+pub mod flow;
+pub mod header;
+pub mod packet;
+
+pub use aggregate::{Aggregator, unpack_aggregate};
+pub use chunk::{split_by_ratios, split_evenly, ChunkDesc, Reassembler};
+pub use error::ProtoError;
+pub use flow::{FlowId, Sequencer};
+pub use header::{PacketHeader, PacketKind, HEADER_LEN};
+pub use packet::Packet;

@@ -1,0 +1,137 @@
+//! Header + payload: the unit a driver puts on a wire.
+
+use crate::error::ProtoError;
+use crate::header::{PacketHeader, PacketKind, HEADER_LEN};
+use bytes::{Bytes, BytesMut};
+
+/// A complete packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Wire header (its `payload_len` always matches `payload.len()`).
+    pub header: PacketHeader,
+    /// Payload bytes (zero-copy slice).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Builds a packet, stamping `payload_len` from the payload.
+    pub fn new(mut header: PacketHeader, payload: Bytes) -> Self {
+        assert!(payload.len() <= u32::MAX as usize, "payload too large for header");
+        header.payload_len = payload.len() as u32;
+        Packet { header, payload }
+    }
+
+    /// A control packet (RTS/CTS) for a message.
+    pub fn control(kind: PacketKind, flow: u32, msg_id: u64, total_len: u64) -> Self {
+        assert!(matches!(kind, PacketKind::Rts | PacketKind::Cts), "not a control kind");
+        Packet {
+            header: PacketHeader {
+                kind,
+                flow,
+                msg_id,
+                offset: 0,
+                total_len,
+                chunk_index: 0,
+                payload_len: 0,
+            },
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Serialized length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes to a contiguous buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes one packet from the front of `buf`, consuming exactly
+    /// `wire_len` bytes (zero-copy for the payload).
+    pub fn decode(buf: &mut Bytes) -> Result<Packet, ProtoError> {
+        let header = PacketHeader::decode(buf)?;
+        let plen = header.payload_len as usize;
+        if buf.len() < plen {
+            return Err(ProtoError::Truncated { needed: plen, got: buf.len() });
+        }
+        let payload = buf.split_to(plen);
+        Ok(Packet { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_packet(payload: &[u8]) -> Packet {
+        Packet::new(
+            PacketHeader {
+                kind: PacketKind::Eager,
+                flow: 3,
+                msg_id: 9,
+                offset: 0,
+                total_len: payload.len() as u64,
+                chunk_index: 0,
+                payload_len: 0, // stamped by new()
+            },
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn new_stamps_payload_len() {
+        let p = data_packet(b"hello");
+        assert_eq!(p.header.payload_len, 5);
+        assert_eq!(p.wire_len(), HEADER_LEN + 5);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = data_packet(b"some payload bytes");
+        let mut wire = p.encode();
+        let q = Packet::decode(&mut wire).unwrap();
+        assert_eq!(q, p);
+        assert!(wire.is_empty(), "decode must consume exactly one packet");
+    }
+
+    #[test]
+    fn back_to_back_packets_decode_in_order() {
+        let a = data_packet(b"first");
+        let b = data_packet(b"second!");
+        let mut wire = BytesMut::new();
+        wire.extend_from_slice(&a.encode());
+        wire.extend_from_slice(&b.encode());
+        let mut wire = wire.freeze();
+        assert_eq!(Packet::decode(&mut wire).unwrap(), a);
+        assert_eq!(Packet::decode(&mut wire).unwrap(), b);
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn short_payload_is_truncation() {
+        let p = data_packet(b"truncate me");
+        let full = p.encode();
+        let mut cut = full.slice(0..full.len() - 3);
+        assert!(matches!(Packet::decode(&mut cut), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn control_constructor_checks_kind() {
+        let rts = Packet::control(PacketKind::Rts, 1, 2, 1024);
+        assert_eq!(rts.header.payload_len, 0);
+        assert_eq!(rts.wire_len(), HEADER_LEN);
+        let mut wire = rts.encode();
+        assert_eq!(Packet::decode(&mut wire).unwrap(), rts);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a control kind")]
+    fn control_rejects_data_kinds() {
+        let _ = Packet::control(PacketKind::Eager, 1, 2, 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # nm-runtime — Marcel/PIOMan-style multicore runtime
+//!
+//! The paper's engine relies on two PM2 components: **Marcel**, a two-level
+//! thread scheduler with *tasklets* ("executed as soon as the scheduler
+//! reaches a point where it is safe to let them run"), and **PIOMan**, an
+//! I/O event manager that chooses polling or blocking detection and places
+//! work on suitable CPUs. This crate provides their operational contract on
+//! top of plain OS threads:
+//!
+//! * [`Tasklet`] / [`tasklet::TaskletQueue`] — high-priority deferred work.
+//! * [`WorkerPool`] — one worker per logical core, with *idle tracking*
+//!   (the strategy asks "how many idle cores are there?" before splitting,
+//!   paper §III-B) and per-submission offload-latency accounting — the
+//!   measured counterpart of the paper's T_O = 3 µs (6 µs with preemption).
+//! * [`reqlist::RequestList`] — the "to-be-sent list" of Fig 7: the strategy
+//!   registers chunk requests, idle cores are signaled, callbacks execute
+//!   the submissions.
+//! * [`progress::ProgressionEngine`] — PIOMan's event detector: registered
+//!   pollables are pumped (polling) or awaited (blocking) until completion.
+//! * [`topology::Topology`] — the hierarchical machine description used for
+//!   placement decisions.
+//!
+//! On this reproduction's single-core CI machine real threads cannot show
+//! wall-clock speedup; the runtime is validated for *semantics* (ordering,
+//! idle accounting, completion) here and for *timing* in the discrete-event
+//! simulator, which models cores explicitly.
+
+pub mod progress;
+pub mod reqlist;
+pub mod stats;
+pub mod stealing;
+pub mod tasklet;
+pub mod timer;
+pub mod topology;
+pub mod worker;
+
+pub use progress::{Pollable, ProgressionEngine, WaitMode};
+pub use reqlist::RequestList;
+pub use stats::OffloadStats;
+pub use stealing::StealPool;
+pub use tasklet::Tasklet;
+pub use timer::PeriodicPump;
+pub use worker::WorkerPool;

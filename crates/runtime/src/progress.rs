@@ -1,0 +1,180 @@
+//! PIOMan-style progression engine.
+//!
+//! PIOMan "performs as an event detector ... able to choose the most
+//! appropriate method (polling or interrupt-based blocking call) depending
+//! on the context (number of computing threads, available CPUs, etc.)"
+//! (paper §III-A). This module provides that contract for in-process event
+//! sources: callers register [`Pollable`]s, and the engine pumps them —
+//! either busy-polling (cheap when a CPU is idle anyway) or backing off
+//! between pumps (the blocking-call analogue when every CPU has application
+//! work).
+
+use parking_lot::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// An event source the engine can make progress on.
+pub trait Pollable: Send {
+    /// Attempts progress; returns `true` once the event has completed
+    /// (the pollable is then dropped from the engine).
+    fn poll(&mut self) -> bool;
+
+    /// Diagnostic label.
+    fn name(&self) -> &str {
+        "pollable"
+    }
+}
+
+impl<F: FnMut() -> bool + Send> Pollable for F {
+    fn poll(&mut self) -> bool {
+        self()
+    }
+}
+
+/// How to wait for completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Busy-poll: minimal reaction time, burns a core.
+    Polling,
+    /// Poll with exponential backoff sleeps: frees the core between checks,
+    /// the in-process analogue of an interrupt-driven blocking call.
+    Blocking,
+}
+
+/// PIOMan's placement decision: poll when a CPU is idle anyway, block when
+/// all CPUs have computing threads to run (paper §III-A).
+pub fn choose_wait_mode(computing_threads: usize, available_cpus: usize) -> WaitMode {
+    if computing_threads < available_cpus {
+        WaitMode::Polling
+    } else {
+        WaitMode::Blocking
+    }
+}
+
+/// A registry of pending pollables.
+#[derive(Default)]
+pub struct ProgressionEngine {
+    pending: Mutex<Vec<Box<dyn Pollable>>>,
+}
+
+impl ProgressionEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an event source.
+    pub fn register(&self, p: Box<dyn Pollable>) {
+        self.pending.lock().push(p);
+    }
+
+    /// Registers a closure event source.
+    pub fn register_fn(&self, f: impl FnMut() -> bool + Send + 'static) {
+        self.register(Box::new(f));
+    }
+
+    /// Polls every pending source once; completed sources are retired.
+    /// Returns how many completed during this pump.
+    pub fn pump(&self) -> usize {
+        let mut pending = self.pending.lock();
+        let before = pending.len();
+        pending.retain_mut(|p| !p.poll());
+        before - pending.len()
+    }
+
+    /// Number of still-pending sources.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Pumps until every source completes or `timeout` expires. Returns
+    /// `true` on full completion.
+    pub fn wait_all(&self, mode: WaitMode, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(1);
+        loop {
+            self.pump();
+            if self.pending_count() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            match mode {
+                WaitMode::Polling => thread::yield_now(),
+                WaitMode::Blocking => {
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pump_retires_completed_sources() {
+        let e = ProgressionEngine::new();
+        let mut remaining = 3;
+        e.register_fn(move || {
+            remaining -= 1;
+            remaining == 0
+        });
+        e.register_fn(|| true);
+        assert_eq!(e.pending_count(), 2);
+        assert_eq!(e.pump(), 1); // the immediate one completes
+        assert_eq!(e.pending_count(), 1);
+        assert_eq!(e.pump(), 0);
+        assert_eq!(e.pump(), 1); // third poll of the countdown completes
+        assert_eq!(e.pending_count(), 0);
+    }
+
+    #[test]
+    fn wait_all_in_both_modes() {
+        for mode in [WaitMode::Polling, WaitMode::Blocking] {
+            let e = ProgressionEngine::new();
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = hits.clone();
+            e.register_fn(move || h.fetch_add(1, Ordering::SeqCst) >= 4);
+            assert!(e.wait_all(mode, Duration::from_secs(5)), "{mode:?}");
+            assert!(hits.load(Ordering::SeqCst) >= 5);
+        }
+    }
+
+    #[test]
+    fn wait_all_times_out_on_a_stuck_source() {
+        let e = ProgressionEngine::new();
+        e.register_fn(|| false);
+        assert!(!e.wait_all(WaitMode::Blocking, Duration::from_millis(20)));
+        assert_eq!(e.pending_count(), 1);
+    }
+
+    #[test]
+    fn mode_choice_follows_cpu_availability() {
+        // A free CPU: polling is cheap. All CPUs computing: block.
+        assert_eq!(choose_wait_mode(2, 4), WaitMode::Polling);
+        assert_eq!(choose_wait_mode(4, 4), WaitMode::Blocking);
+        assert_eq!(choose_wait_mode(8, 4), WaitMode::Blocking);
+        assert_eq!(choose_wait_mode(0, 1), WaitMode::Polling);
+    }
+
+    #[test]
+    fn completion_while_another_thread_pumps() {
+        let e = Arc::new(ProgressionEngine::new());
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = flag.clone();
+        e.register_fn(move || f.load(Ordering::SeqCst) == 1);
+        let waiter = {
+            let e = e.clone();
+            std::thread::spawn(move || e.wait_all(WaitMode::Blocking, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        flag.store(1, Ordering::SeqCst);
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,171 @@
+//! The "to-be-sent" request list (paper §III-D, Fig 7).
+//!
+//! "Important information (data pointer, message size, chosen network, etc.)
+//! is stored in a to-be-sent list and idle cores are signaled that some
+//! requests need to be sent. ... As remote cores detect the registered
+//! requests, callbacks are executed: one of the requests is selected and the
+//! corresponding data is sent over the given network."
+//!
+//! [`RequestList`] is that structure: a multi-producer multi-consumer FIFO
+//! with blocking take and a close signal for shutdown.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A blocking MPMC FIFO of registered requests.
+#[derive(Debug)]
+pub struct RequestList<T> {
+    inner: Mutex<Inner<T>>,
+    signal: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> RequestList<T> {
+    /// An empty, open list.
+    pub fn new() -> Self {
+        RequestList {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), closed: false }),
+            signal: Condvar::new(),
+        }
+    }
+
+    /// Registers a request and signals one waiting consumer. Returns `false`
+    /// (dropping the request) if the list is closed.
+    pub fn register(&self, req: T) -> bool {
+        let mut s = self.inner.lock();
+        if s.closed {
+            return false;
+        }
+        s.queue.push_back(req);
+        drop(s);
+        self.signal.notify_one();
+        true
+    }
+
+    /// Non-blocking take.
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Blocking take: waits until a request arrives, the list closes, or
+    /// `timeout` expires. `None` means closed-and-empty or timed out.
+    pub fn take(&self, timeout: Duration) -> Option<T> {
+        let mut s = self.inner.lock();
+        loop {
+            if let Some(req) = s.queue.pop_front() {
+                return Some(req);
+            }
+            if s.closed {
+                return None;
+            }
+            if self.signal.wait_for(&mut s, timeout).timed_out() {
+                return s.queue.pop_front();
+            }
+        }
+    }
+
+    /// Number of registered, untaken requests.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the list: future `register` calls fail, blocked takers drain
+    /// what remains and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.signal.notify_all();
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+impl<T> Default for RequestList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let l = RequestList::new();
+        assert!(l.register(1));
+        assert!(l.register(2));
+        assert!(l.register(3));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.try_take(), Some(1));
+        assert_eq!(l.take(Duration::from_millis(1)), Some(2));
+        assert_eq!(l.try_take(), Some(3));
+        assert_eq!(l.try_take(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let l = RequestList::new();
+        l.register("a");
+        l.close();
+        assert!(!l.register("b"), "register after close must fail");
+        assert_eq!(l.take(Duration::from_millis(1)), Some("a"));
+        assert_eq!(l.take(Duration::from_millis(1)), None);
+        assert!(l.is_closed());
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_register() {
+        let l = Arc::new(RequestList::new());
+        let consumer = {
+            let l = l.clone();
+            thread::spawn(move || l.take(Duration::from_secs(5)))
+        };
+        // Give the consumer a moment to block, then feed it.
+        thread::sleep(Duration::from_millis(10));
+        assert!(l.register(42));
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn every_request_is_consumed_exactly_once() {
+        let l = Arc::new(RequestList::new());
+        let n_items = 200;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = l.take(Duration::from_millis(200)) {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..n_items {
+            assert!(l.register(i));
+        }
+        l.close();
+        let mut all: Vec<usize> =
+            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n_items).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,101 @@
+//! Offload-cost accounting.
+//!
+//! The paper measures the cost of handing a send to another core at 3 µs —
+//! 6 µs when the target thread must be preempted by a signal (§III-D) — and
+//! shows this cost is what makes parallel submission of *tiny* packets
+//! counterproductive (Fig 9, below 4 KB). [`OffloadStats`] measures the same
+//! quantity in the real-thread runtime: the delay between registering a
+//! request and the moment a worker starts executing it.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Running statistics of offload (submit → execution-start) latencies.
+#[derive(Debug, Default)]
+pub struct OffloadStats {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Inner {
+    count: u64,
+    signaled: u64,
+    total_ns: u128,
+    max_ns: u128,
+    min_ns: Option<u128>,
+}
+
+/// A point-in-time copy of the statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadSnapshot {
+    /// Number of offloads recorded.
+    pub count: u64,
+    /// How many needed a wakeup signal (the paper's 6 µs path).
+    pub signaled: u64,
+    /// Mean offload latency.
+    pub mean: Duration,
+    /// Maximum offload latency.
+    pub max: Duration,
+    /// Minimum offload latency.
+    pub min: Duration,
+}
+
+impl OffloadStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one offload. `signaled` marks submissions that had to wake a
+    /// parked/busy worker.
+    pub fn record(&self, latency: Duration, signaled: bool) {
+        let ns = latency.as_nanos();
+        let mut s = self.inner.lock();
+        s.count += 1;
+        if signaled {
+            s.signaled += 1;
+        }
+        s.total_ns += ns;
+        s.max_ns = s.max_ns.max(ns);
+        s.min_ns = Some(s.min_ns.map_or(ns, |m| m.min(ns)));
+    }
+
+    /// Snapshot of the current statistics; `None` before the first record.
+    pub fn snapshot(&self) -> Option<OffloadSnapshot> {
+        let s = self.inner.lock().clone();
+        if s.count == 0 {
+            return None;
+        }
+        Some(OffloadSnapshot {
+            count: s.count,
+            signaled: s.signaled,
+            mean: Duration::from_nanos((s.total_ns / s.count as u128) as u64),
+            max: Duration::from_nanos(s.max_ns as u64),
+            min: Duration::from_nanos(s.min_ns.unwrap_or(0) as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_snapshot() {
+        assert_eq!(OffloadStats::new().snapshot(), None);
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let s = OffloadStats::new();
+        s.record(Duration::from_micros(2), false);
+        s.record(Duration::from_micros(4), true);
+        s.record(Duration::from_micros(6), true);
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.signaled, 2);
+        assert_eq!(snap.mean, Duration::from_micros(4));
+        assert_eq!(snap.min, Duration::from_micros(2));
+        assert_eq!(snap.max, Duration::from_micros(6));
+    }
+}

@@ -1,0 +1,205 @@
+//! Two-level scheduling: per-worker local queues with work stealing.
+//!
+//! Marcel is "a two-level thread scheduler that achieves the performance of
+//! a user-level thread package while being able to exploit SMP machines"
+//! (paper §III-A): work is queued locally (cheap, cache-friendly) and idle
+//! processors steal from loaded ones. [`StealPool`] provides that policy
+//! for tasklets, complementing [`crate::WorkerPool`]'s strict per-core
+//! placement: use `WorkerPool` when the *strategy* chose the core (PIO
+//! offload targets a specific idle core), `StealPool` for load-balanced
+//! background work (progression, packing).
+
+use crate::tasklet::Tasklet;
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+struct Shared {
+    injector: Injector<Tasklet>,
+    stealers: Vec<Stealer<Tasklet>>,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A work-stealing tasklet pool.
+pub struct StealPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl StealPool {
+    /// Spawns `workers` threads, each with a local deque.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let locals: Vec<Deque<Tasklet>> = (0..workers).map(|_| Deque::new_fifo()).collect();
+        let stealers = locals.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("nm-steal-{i}"))
+                    .spawn(move || steal_loop(i, local, shared))
+                    .expect("spawn steal worker")
+            })
+            .collect();
+        StealPool { shared, handles }
+    }
+
+    /// Submits a tasklet to the global injector (any worker picks it up).
+    pub fn submit(&self, t: Tasklet) {
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.shared.injector.push(t);
+    }
+
+    /// Number of tasklets executed so far.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Acquire)
+    }
+
+    /// Number of tasklets obtained by stealing from a sibling's deque (as
+    /// opposed to the shared injector) — nonzero under imbalance.
+    pub fn stolen(&self) -> u64 {
+        self.shared.stolen.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all submitted work finished or `timeout` expired.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::yield_now();
+        }
+        true
+    }
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn steal_loop(index: usize, local: Deque<Tasklet>, shared: Arc<Shared>) {
+    let mut backoff = 0u32;
+    loop {
+        // Local first, then the injector (refilling the local deque), then
+        // steal from siblings.
+        let task = local.pop().or_else(|| {
+            std::iter::repeat_with(|| shared.injector.steal_batch_and_pop(&local))
+                .find(|s| !s.is_retry())
+                .and_then(|s| s.success())
+                .or_else(|| {
+                    let got = shared
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != index)
+                        .find_map(|(_, s)| {
+                            std::iter::repeat_with(|| s.steal())
+                                .find(|s| !s.is_retry())
+                                .and_then(|s| s.success())
+                        });
+                    if got.is_some() {
+                        shared.stolen.fetch_add(1, Ordering::AcqRel);
+                    }
+                    got
+                })
+        });
+        match task {
+            Some(t) => {
+                backoff = 0;
+                t.run();
+                shared.executed.fetch_add(1, Ordering::AcqRel);
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                backoff = (backoff + 1).min(10);
+                if backoff > 3 {
+                    thread::sleep(Duration::from_micros(1 << backoff));
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_work_executes_exactly_once() {
+        let pool = StealPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let c = counter.clone();
+            pool.submit(Tasklet::high("inc", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(pool.wait_quiescent(Duration::from_secs(10)));
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+        assert_eq!(pool.executed(), 500);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = StealPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = counter.clone();
+            pool.submit(Tasklet::normal("inc", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(pool.wait_quiescent(Duration::from_secs(10)));
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(pool.stolen(), 0, "nobody to steal from");
+    }
+
+    #[test]
+    fn quiescence_times_out_while_work_blocks() {
+        let pool = StealPool::new(2);
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let guard = gate.lock();
+        let g = gate.clone();
+        pool.submit(Tasklet::high("block", move || {
+            let _x = g.lock();
+        }));
+        assert!(!pool.wait_quiescent(Duration::from_millis(30)));
+        drop(guard);
+        assert!(pool.wait_quiescent(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn drop_with_pending_idle_workers_terminates() {
+        let pool = StealPool::new(4);
+        pool.submit(Tasklet::high("noop", || {}));
+        assert!(pool.wait_quiescent(Duration::from_secs(10)));
+        drop(pool); // must join cleanly, not hang
+    }
+}

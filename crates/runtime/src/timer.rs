@@ -1,0 +1,94 @@
+//! Timer-driven progression.
+//!
+//! PIOMan is scheduled "on some triggers (CPU idleness, context switches,
+//! timer interrupts, etc.) so as to ensure a fast detection of
+//! communication events" (paper §III-A). [`PeriodicPump`] is the timer
+//! trigger: a background thread that pumps a [`ProgressionEngine`] at a
+//! fixed period until dropped, guaranteeing progress even when no
+//! application thread ever polls.
+
+use crate::progress::ProgressionEngine;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A background thread pumping a progression engine on a fixed period.
+pub struct PeriodicPump {
+    stop: Arc<AtomicBool>,
+    pumps: Arc<AtomicU64>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl PeriodicPump {
+    /// Pumps `engine` every `period` until the pump is dropped.
+    pub fn start(engine: Arc<ProgressionEngine>, period: Duration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        let stop = Arc::new(AtomicBool::new(false));
+        let pumps = Arc::new(AtomicU64::new(0));
+        let (stop2, pumps2) = (stop.clone(), pumps.clone());
+        let handle = thread::Builder::new()
+            .name("nm-pioman-timer".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    engine.pump();
+                    pumps2.fetch_add(1, Ordering::AcqRel);
+                    thread::sleep(period);
+                }
+            })
+            .expect("spawn timer thread");
+        PeriodicPump { stop, pumps, handle: Some(handle) }
+    }
+
+    /// Number of pump ticks so far.
+    pub fn ticks(&self) -> u64 {
+        self.pumps.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for PeriodicPump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Instant;
+
+    #[test]
+    fn background_pumping_completes_events_without_caller_polling() {
+        let engine = Arc::new(ProgressionEngine::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        engine.register_fn(move || h.fetch_add(1, Ordering::SeqCst) >= 3);
+        let _pump = PeriodicPump::start(engine.clone(), Duration::from_micros(200));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.pending_count() > 0 {
+            assert!(Instant::now() < deadline, "timer pump never completed the event");
+            thread::yield_now();
+        }
+        assert!(hits.load(Ordering::SeqCst) >= 4);
+    }
+
+    #[test]
+    fn ticks_advance_and_stop_on_drop() {
+        let engine = Arc::new(ProgressionEngine::new());
+        let pump = PeriodicPump::start(engine, Duration::from_micros(100));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pump.ticks() < 3 {
+            assert!(Instant::now() < deadline);
+            thread::yield_now();
+        }
+        let at_drop = pump.ticks();
+        drop(pump);
+        // After drop the thread is joined; ticks froze (nothing to observe
+        // further — this mostly checks the join does not hang).
+        assert!(at_drop >= 3);
+    }
+}

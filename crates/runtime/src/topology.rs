@@ -1,0 +1,111 @@
+//! Hierarchical machine topology.
+//!
+//! Marcel "was carefully designed to ... efficiently exploit hierarchical
+//! architectures": placement decisions know which cores share a package.
+//! The paper's testbed is a dual dual-core Opteron — two packages of two
+//! cores. [`Topology`] captures that shape and answers the placement
+//! queries the engine needs (nearest idle core, same-package preference).
+
+/// A logical CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cpu {
+    /// Global core index.
+    pub id: usize,
+    /// Package (socket) index.
+    pub package: usize,
+}
+
+/// A machine as packages × cores-per-package.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    packages: usize,
+    cores_per_package: usize,
+}
+
+impl Topology {
+    /// Builds a topology; both dimensions must be ≥ 1.
+    pub fn new(packages: usize, cores_per_package: usize) -> Self {
+        assert!(packages >= 1 && cores_per_package >= 1, "degenerate topology");
+        Topology { packages, cores_per_package }
+    }
+
+    /// The paper's dual dual-core Opteron node.
+    pub fn dual_dual_core() -> Self {
+        Topology::new(2, 2)
+    }
+
+    /// Total number of logical CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.packages * self.cores_per_package
+    }
+
+    /// CPU descriptor for a global index.
+    pub fn cpu(&self, id: usize) -> Cpu {
+        assert!(id < self.cpu_count(), "cpu {id} out of range");
+        Cpu { id, package: id / self.cores_per_package }
+    }
+
+    /// All CPUs in order.
+    pub fn cpus(&self) -> Vec<Cpu> {
+        (0..self.cpu_count()).map(|id| self.cpu(id)).collect()
+    }
+
+    /// True when two CPUs share a package (cheap synchronization between
+    /// them: same-package offload is preferred).
+    pub fn same_package(&self, a: usize, b: usize) -> bool {
+        self.cpu(a).package == self.cpu(b).package
+    }
+
+    /// Among `candidates`, picks the one closest to `origin`: same package
+    /// first, then lowest index. Returns `None` for no candidates.
+    pub fn nearest(&self, origin: usize, candidates: &[usize]) -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|&c| (!self.same_package(origin, c) as usize, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_dual_core_shape() {
+        let t = Topology::dual_dual_core();
+        assert_eq!(t.cpu_count(), 4);
+        assert_eq!(t.cpu(0).package, 0);
+        assert_eq!(t.cpu(1).package, 0);
+        assert_eq!(t.cpu(2).package, 1);
+        assert_eq!(t.cpu(3).package, 1);
+    }
+
+    #[test]
+    fn package_affinity() {
+        let t = Topology::dual_dual_core();
+        assert!(t.same_package(0, 1));
+        assert!(!t.same_package(1, 2));
+        assert!(t.same_package(2, 3));
+    }
+
+    #[test]
+    fn nearest_prefers_same_package_then_lowest_index() {
+        let t = Topology::dual_dual_core();
+        assert_eq!(t.nearest(0, &[2, 3, 1]), Some(1));
+        assert_eq!(t.nearest(3, &[0, 2]), Some(2));
+        assert_eq!(t.nearest(3, &[0, 1]), Some(0));
+        assert_eq!(t.nearest(0, &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dimensions_rejected() {
+        let _ = Topology::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cpu_rejected() {
+        let _ = Topology::dual_dual_core().cpu(4);
+    }
+}

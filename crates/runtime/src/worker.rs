@@ -1,0 +1,322 @@
+//! The worker pool: one thread per logical core, with idle tracking and
+//! offload-latency accounting.
+//!
+//! This is the mechanism behind the paper's Fig 7: the strategy computes a
+//! split, registers per-chunk work, and *idle cores* execute the PIO copies
+//! in parallel while the application resumes computing. The pool exposes
+//! exactly the two facts the strategy consumes: **which workers are idle
+//! right now** (bounds the split width, §III-B: "min{number of idle NICs,
+//! number of idle cores} chunks at most") and **what offloading costs**
+//! (the T_O in equation (1)).
+
+use crate::stats::OffloadStats;
+use crate::tasklet::Tasklet;
+use crate::topology::Topology;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+enum Msg {
+    Run { tasklet: Tasklet, submitted: Instant, signaled: bool },
+    Stop,
+}
+
+struct WorkerShared {
+    idle: AtomicBool,
+    queued: std::sync::atomic::AtomicUsize,
+}
+
+/// A pool of per-core worker threads executing tasklets.
+///
+/// ```
+/// use nm_runtime::{Tasklet, WorkerPool};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let pool = WorkerPool::dual_dual_core(); // the paper's 4-core node
+/// let hits = Arc::new(AtomicU32::new(0));
+/// let h = hits.clone();
+/// pool.submit_to(2, Tasklet::high("pio-copy", move || {
+///     h.fetch_add(1, Ordering::SeqCst);
+/// }));
+/// assert!(pool.wait_quiescent(Duration::from_secs(5)));
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+/// // The offload latency was recorded — the measured T_O.
+/// assert_eq!(pool.stats().snapshot().unwrap().count, 1);
+/// ```
+pub struct WorkerPool {
+    topology: Topology,
+    senders: Vec<Sender<Msg>>,
+    shared: Vec<Arc<WorkerShared>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    stats: Arc<OffloadStats>,
+}
+
+impl WorkerPool {
+    /// A pool shaped like `topology` (one worker per logical CPU).
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.cpu_count();
+        let stats = Arc::new(OffloadStats::new());
+        let mut senders = Vec::with_capacity(n);
+        let mut shared = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+            let sh = Arc::new(WorkerShared {
+                idle: AtomicBool::new(true),
+                queued: std::sync::atomic::AtomicUsize::new(0),
+            });
+            let sh2 = sh.clone();
+            let stats2 = stats.clone();
+            let handle = thread::Builder::new()
+                .name(format!("nm-worker-{i}"))
+                .spawn(move || worker_loop(rx, sh2, stats2))
+                .expect("spawn worker");
+            senders.push(tx);
+            shared.push(sh);
+            handles.push(handle);
+        }
+        WorkerPool { topology, senders, shared, handles, stats }
+    }
+
+    /// The paper's node shape: 2 packages × 2 cores.
+    pub fn dual_dual_core() -> Self {
+        WorkerPool::new(Topology::dual_dual_core())
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The pool's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Workers currently idle (not executing and nothing queued).
+    pub fn idle_workers(&self) -> Vec<usize> {
+        self.shared
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.idle.load(Ordering::Acquire) && s.queued.load(Ordering::Acquire) == 0
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Count of idle workers.
+    pub fn idle_count(&self) -> usize {
+        self.idle_workers().len()
+    }
+
+    /// Submits a tasklet to a specific worker. The offload latency (submit →
+    /// execution start) is recorded; if the worker was busy the submission
+    /// is flagged as "signaled" (the paper's preemption path).
+    pub fn submit_to(&self, worker: usize, tasklet: Tasklet) {
+        let sh = &self.shared[worker];
+        let signaled =
+            !sh.idle.load(Ordering::Acquire) || sh.queued.load(Ordering::Acquire) > 0;
+        sh.queued.fetch_add(1, Ordering::AcqRel);
+        self.senders[worker]
+            .send(Msg::Run { tasklet, submitted: Instant::now(), signaled })
+            .expect("worker alive");
+    }
+
+    /// Submits to the idle worker nearest `origin` (same package preferred).
+    /// When every worker is busy the tasklet is handed back so the caller
+    /// can run it inline — exactly the engine's fallback when there is no
+    /// idle core to offload to.
+    pub fn submit_nearest_idle(&self, origin: usize, tasklet: Tasklet) -> Result<usize, Tasklet> {
+        let idle = self.idle_workers();
+        match self.topology.nearest(origin, &idle) {
+            Some(target) => {
+                self.submit_to(target, tasklet);
+                Ok(target)
+            }
+            None => Err(tasklet),
+        }
+    }
+
+    /// Offload-latency statistics.
+    pub fn stats(&self) -> &OffloadStats {
+        &self.stats
+    }
+
+    /// Blocks until every worker is idle with empty queues, or `timeout`
+    /// expires. Returns `true` on quiescence.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.idle_count() == self.worker_count() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::yield_now();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>, shared: Arc<WorkerShared>, stats: Arc<OffloadStats>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Run { tasklet, submitted, signaled } => {
+                shared.idle.store(false, Ordering::Release);
+                stats.record(submitted.elapsed(), signaled);
+                tasklet.run();
+                shared.queued.fetch_sub(1, Ordering::AcqRel);
+                shared.idle.store(true, Ordering::Release);
+            }
+            Msg::Stop => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_submitted_work_executes() {
+        let pool = WorkerPool::dual_dual_core();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..40 {
+            let c = counter.clone();
+            pool.submit_to(i % 4, Tasklet::high("inc", move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn work_on_one_worker_is_fifo() {
+        let pool = WorkerPool::dual_dual_core();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let log = log.clone();
+            pool.submit_to(1, Tasklet::high("ordered", move || log.lock().push(i)));
+        }
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_tracking_reflects_running_work() {
+        let pool = WorkerPool::dual_dual_core();
+        assert_eq!(pool.idle_count(), 4);
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        let g2 = gate.clone();
+        pool.submit_to(2, Tasklet::high("block", move || {
+            let _hold = g2.lock();
+        }));
+        // Worker 2 is pinned on the gate: it must leave the idle set.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.idle_workers().contains(&2) {
+            assert!(Instant::now() < deadline, "worker never became busy");
+            thread::yield_now();
+        }
+        assert!(!pool.idle_workers().contains(&2));
+        drop(guard);
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+        assert_eq!(pool.idle_count(), 4);
+    }
+
+    #[test]
+    fn offload_latency_is_recorded() {
+        let pool = WorkerPool::dual_dual_core();
+        for _ in 0..10 {
+            pool.submit_to(0, Tasklet::high("noop", || {}));
+        }
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+        let snap = pool.stats().snapshot().expect("stats recorded");
+        assert_eq!(snap.count, 10);
+        assert!(snap.min <= snap.mean && snap.mean <= snap.max);
+    }
+
+    #[test]
+    fn back_to_back_submissions_count_as_signaled() {
+        let pool = WorkerPool::dual_dual_core();
+        // First submission to an idle worker: not signaled. Queue ten more
+        // immediately behind it: those find a non-empty queue.
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        let g = gate.clone();
+        pool.submit_to(0, Tasklet::high("gate", move || {
+            let _hold = g.lock();
+        }));
+        for _ in 0..10 {
+            pool.submit_to(0, Tasklet::high("queued", || {}));
+        }
+        drop(guard);
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+        let snap = pool.stats().snapshot().unwrap();
+        assert_eq!(snap.count, 11);
+        assert!(snap.signaled >= 10, "queued submissions are the signaled path");
+    }
+
+    #[test]
+    fn nearest_idle_prefers_same_package() {
+        let pool = WorkerPool::dual_dual_core();
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        // Busy out worker 0 so origin 0's same-package idle partner is 1.
+        let g = gate.clone();
+        pool.submit_to(0, Tasklet::high("gate", move || {
+            let _hold = g.lock();
+        }));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.idle_workers().contains(&0) {
+            assert!(Instant::now() < deadline);
+            thread::yield_now();
+        }
+        let chosen = pool.submit_nearest_idle(0, Tasklet::high("noop", || {}));
+        assert_eq!(chosen.ok(), Some(1));
+        drop(guard);
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn no_idle_worker_returns_none() {
+        let pool = WorkerPool::new(Topology::new(1, 2));
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        for w in 0..2 {
+            let g = gate.clone();
+            pool.submit_to(w, Tasklet::high("gate", move || {
+                let _hold = g.lock();
+            }));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.idle_count() > 0 {
+            assert!(Instant::now() < deadline);
+            thread::yield_now();
+        }
+        let refused = pool.submit_nearest_idle(0, Tasklet::high("noop", || {}));
+        let tasklet = refused.expect_err("no idle worker: tasklet handed back");
+        tasklet.run(); // caller falls back to inline execution
+        drop(guard);
+        assert!(pool.wait_quiescent(Duration::from_secs(5)));
+    }
+}

@@ -1,0 +1,79 @@
+//! From measurements to [`PerfProfile`]s.
+
+use crate::pingpong::{run_sampling, SamplingConfig};
+use crate::transport::SampleTransport;
+use nm_model::{ModelError, PerfProfile};
+
+/// Samples one rail and builds its profile.
+pub fn sample_rail<T: SampleTransport>(
+    transport: &mut T,
+    rail: usize,
+    config: &SamplingConfig,
+) -> Result<PerfProfile, ModelError> {
+    let samples = run_sampling(transport, rail, config);
+    PerfProfile::from_samples(transport.rail_name(rail), samples)
+}
+
+/// Samples every rail of the transport — what NewMadeleine does once at
+/// initialization. Returns profiles in rail order.
+pub fn sample_all_rails<T: SampleTransport>(
+    transport: &mut T,
+    config: &SamplingConfig,
+) -> Result<Vec<PerfProfile>, ModelError> {
+    (0..transport.rail_count())
+        .map(|rail| sample_rail(transport, rail, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+    use nm_model::builtin;
+
+    #[test]
+    fn profiles_come_back_in_rail_order_with_rail_names() {
+        let mut t = SimTransport::paper_testbed();
+        let cfg = SamplingConfig { max_size: 1 << 16, iters: 1, warmup: 0, ..Default::default() };
+        let profiles = sample_all_rails(&mut t, &cfg).unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name(), "myri-10g");
+        assert_eq!(profiles[1].name(), "qsnet2");
+    }
+
+    #[test]
+    fn sampled_profile_predicts_unsampled_sizes_well() {
+        // Sample at powers of two, then query *between* rungs: linear
+        // interpolation should stay within a few percent of ground truth
+        // inside one protocol regime.
+        let mut t = SimTransport::paper_testbed();
+        let cfg = SamplingConfig { max_size: 8 << 20, iters: 1, warmup: 0, ..Default::default() };
+        let profile = sample_rail(&mut t, 0, &cfg).unwrap();
+        let link = builtin::myri_10g();
+        for size in [3_000u64, 12_345, 40_000, 3_000_000] {
+            let got = profile.predict_us(size);
+            let want = link.one_way_us(size);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.10, "size {size}: predicted {got:.2}, truth {want:.2}");
+        }
+        // Straddling the eager->rendezvous switch the interpolation smears
+        // the protocol jump across one octave; the error is larger there but
+        // must stay bounded.
+        let size = 100_000u64;
+        let rel = (profile.predict_us(size) - link.one_way_us(size)).abs() / link.one_way_us(size);
+        assert!(rel < 0.25, "protocol-switch error too large: {rel:.3}");
+    }
+
+    #[test]
+    fn noisy_sampling_still_yields_monotone_profiles() {
+        let mut t = SimTransport::paper_testbed().with_jitter(0.08, 11);
+        let cfg = SamplingConfig { max_size: 1 << 20, iters: 7, warmup: 1, ..Default::default() };
+        for profile in sample_all_rails(&mut t, &cfg).unwrap() {
+            let mut last = 0.0;
+            for &(_, us) in profile.samples() {
+                assert!(us >= last, "{}: profile must be monotone", profile.name());
+                last = us;
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # nm-sampler — network sampling subsystem (paper §III-C)
+//!
+//! NewMadeleine does not trust vendor latency/bandwidth figures: "an
+//! accurate profile of each NIC is performed at the initialization" with a
+//! set of purpose-built benchmarks, measuring transfer durations "for
+//! various sizes (e.g powers of 2)". This crate is that subsystem:
+//!
+//! * [`SampleTransport`] — anything that can time one transfer. The provided
+//!   [`SimTransport`] measures against the `nm-sim` cluster (with optional
+//!   jitter, so the robust estimators have something to do).
+//! * [`pingpong`] — the sampling benchmark: warmup + repeated timed
+//!   transfers over the power-of-two ladder.
+//! * [`stats`] — robust estimators (min / median / trimmed mean) applied to
+//!   repeated measurements.
+//! * [`builder`] — turns measurements into [`nm_model::PerfProfile`]s, one
+//!   per rail, ready for the engine's predictor.
+//! * [`store`] — persists profiles as NewMadeleine-style plain-text sampling
+//!   files, one file per rail.
+//! * [`threshold`] — derives the eager/rendezvous switch point from the
+//!   samples ("sampling measurements can also be used to determine other
+//!   parameters such as rendezvous threshold").
+
+pub mod builder;
+pub mod pingpong;
+pub mod stats;
+pub mod store;
+pub mod threshold;
+pub mod transport;
+
+pub use builder::{sample_all_rails, sample_rail};
+pub use pingpong::{Estimator, SamplingConfig};
+pub use stats::Summary;
+pub use transport::{SampleTransport, SimTransport};

@@ -1,0 +1,173 @@
+//! The sampling benchmark: repeated timed transfers over a size ladder.
+//!
+//! This is the "set of benchmarks that were designed for that purpose"
+//! (paper §III-C): for each power-of-two size the transport is warmed up,
+//! measured `iters` times, and the series is reduced with a robust
+//! estimator.
+
+use crate::stats::Summary;
+use crate::transport::SampleTransport;
+use nm_model::units::pow2_sizes;
+use nm_model::TransferMode;
+
+/// Which statistic becomes the recorded sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// Smallest observation (classic for quiet-network sampling).
+    Min,
+    /// Median observation.
+    Median,
+    /// 10%-trimmed mean.
+    TrimmedMean,
+}
+
+impl Estimator {
+    /// Applies the estimator to a summary.
+    pub fn pick(self, s: &Summary) -> f64 {
+        match self {
+            Estimator::Min => s.min,
+            Estimator::Median => s.median,
+            Estimator::TrimmedMean => s.trimmed_mean,
+        }
+    }
+}
+
+/// Sampling campaign parameters.
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Smallest sampled size (bytes); must be ≥ 1.
+    pub min_size: u64,
+    /// Largest sampled size (bytes).
+    pub max_size: u64,
+    /// Timed iterations per size.
+    pub iters: usize,
+    /// Untimed warmup iterations per size.
+    pub warmup: usize,
+    /// Reduction statistic.
+    pub estimator: Estimator,
+    /// Force a protocol for every measurement (`None`: natural choice).
+    pub mode: Option<TransferMode>,
+}
+
+impl Default for SamplingConfig {
+    /// NewMadeleine-like defaults: 4 B … 8 MiB, powers of two, median of 5.
+    fn default() -> Self {
+        SamplingConfig {
+            min_size: 4,
+            max_size: 8 * 1024 * 1024,
+            iters: 5,
+            warmup: 1,
+            estimator: Estimator::Median,
+            mode: None,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_size == 0 || self.min_size > self.max_size {
+            return Err(format!("bad size range {}..{}", self.min_size, self.max_size));
+        }
+        if self.iters == 0 {
+            return Err("need at least one timed iteration".into());
+        }
+        Ok(())
+    }
+
+    /// The size ladder this config samples.
+    pub fn sizes(&self) -> Vec<u64> {
+        pow2_sizes(self.min_size, self.max_size)
+    }
+}
+
+/// Runs the campaign on one rail: returns `(size, duration_us)` pairs,
+/// one per ladder rung.
+pub fn run_sampling<T: SampleTransport>(
+    transport: &mut T,
+    rail: usize,
+    config: &SamplingConfig,
+) -> Vec<(u64, f64)> {
+    config.validate().expect("invalid sampling config");
+    let mut out = Vec::new();
+    for size in config.sizes() {
+        for _ in 0..config.warmup {
+            let _ = transport.measure_us(rail, size, config.mode);
+        }
+        let series: Vec<f64> = (0..config.iters)
+            .map(|_| transport.measure_us(rail, size, config.mode))
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .collect();
+        assert!(!series.is_empty(), "all measurements for size {size} were invalid");
+        let summary = Summary::of(&series);
+        out.push((size, config.estimator.pick(&summary)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+    use nm_model::builtin;
+
+    #[test]
+    fn config_validation() {
+        let ok = SamplingConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(SamplingConfig { min_size: 0, ..ok.clone() }.validate().is_err());
+        assert!(SamplingConfig { min_size: 8, max_size: 4, ..ok.clone() }.validate().is_err());
+        assert!(SamplingConfig { iters: 0, ..ok.clone() }.validate().is_err());
+    }
+
+    #[test]
+    fn ladder_is_powers_of_two() {
+        let c = SamplingConfig { min_size: 4, max_size: 64, ..Default::default() };
+        assert_eq!(c.sizes(), vec![4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn sampling_a_noiseless_rail_recovers_the_model() {
+        let mut t = SimTransport::paper_testbed();
+        let c = SamplingConfig { max_size: 1 << 20, iters: 2, warmup: 0, ..Default::default() };
+        let samples = run_sampling(&mut t, 0, &c);
+        let link = builtin::myri_10g();
+        assert_eq!(samples.len(), c.sizes().len());
+        for &(size, us) in &samples {
+            let want = link.one_way_us(size);
+            assert!((us - want).abs() < 0.01, "size {size}: {us} vs {want}");
+        }
+    }
+
+    #[test]
+    fn min_estimator_under_jitter_stays_below_median() {
+        let mut t = SimTransport::paper_testbed().with_jitter(0.08, 3);
+        let base = SamplingConfig {
+            min_size: 1024,
+            max_size: 1024,
+            iters: 15,
+            warmup: 0,
+            ..Default::default()
+        };
+        let min_cfg = SamplingConfig { estimator: Estimator::Min, ..base.clone() };
+        let med_cfg = SamplingConfig { estimator: Estimator::Median, ..base };
+        let lo = run_sampling(&mut t, 1, &min_cfg)[0].1;
+        let hi = run_sampling(&mut t, 1, &med_cfg)[0].1;
+        assert!(lo <= hi, "min {lo} must not exceed median {hi}");
+    }
+
+    #[test]
+    fn warmup_iterations_are_not_recorded_but_do_run() {
+        let mut t = SimTransport::paper_testbed();
+        let c = SamplingConfig {
+            min_size: 4,
+            max_size: 8,
+            iters: 3,
+            warmup: 2,
+            ..Default::default()
+        };
+        let _ = run_sampling(&mut t, 0, &c);
+        // 2 sizes x (2 warmup + 3 timed) = 10 measurements.
+        assert_eq!(t.measurement_count(), 10);
+    }
+}

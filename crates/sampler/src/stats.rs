@@ -1,0 +1,113 @@
+//! Robust statistics over repeated timing measurements.
+
+/// Summary statistics of a measurement series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Smallest observation — the classic estimator for network sampling
+    /// (noise is strictly additive on a quiet machine).
+    pub min: f64,
+    /// Median observation.
+    pub median: f64,
+    /// Mean of the middle 80% (10% trimmed at each end).
+    pub trimmed_mean: f64,
+    /// Plain mean.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes all statistics for `values`. Panics on an empty slice or
+    /// non-finite values — timing code must filter those out first.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize zero measurements");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "non-finite measurement passed to Summary::of"
+        );
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let cut = n / 10;
+        let middle = &sorted[cut..n - cut];
+        let trimmed_mean = middle.iter().sum::<f64>() / middle.len() as f64;
+        Summary {
+            min: sorted[0],
+            median,
+            trimmed_mean,
+            mean,
+            max: sorted[n - 1],
+            stddev: var.sqrt(),
+            count: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.count, 3);
+        assert!((s.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_length_median_averages() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn trimmed_mean_resists_outliers() {
+        // 20 values: eighteen 10.0s plus two wild outliers.
+        let mut v = vec![10.0; 18];
+        v.push(1000.0);
+        v.push(0.001);
+        let s = Summary::of(&v);
+        assert!((s.trimmed_mean - 10.0).abs() < 1e-9, "trimmed: {}", s.trimmed_mean);
+        assert!(s.mean > 50.0, "plain mean is polluted: {}", s.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero measurements")]
+    fn empty_input_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_input_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn ordering_invariants(values in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.min <= s.trimmed_mean && s.trimmed_mean <= s.max);
+            prop_assert!(s.stddev >= 0.0);
+            prop_assert_eq!(s.count, values.len());
+        }
+    }
+}

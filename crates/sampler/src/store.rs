@@ -1,0 +1,131 @@
+//! Persistence of sampling results.
+//!
+//! NewMadeleine stores its sampling results in per-driver plain-text files
+//! and reloads them on subsequent launches instead of re-benchmarking. This
+//! module does the same: one `<rail>.nmad_sampling` file per rail inside a
+//! sampling directory.
+
+use nm_model::{ModelError, PerfProfile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from the sampling store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// File existed but did not parse as a sampling file.
+    Format(ModelError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "sampling store I/O error: {e}"),
+            StoreError::Format(e) => write!(f, "sampling file format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ModelError> for StoreError {
+    fn from(e: ModelError) -> Self {
+        StoreError::Format(e)
+    }
+}
+
+/// Path of the sampling file for `rail_name` inside `dir`.
+pub fn sampling_path(dir: &Path, rail_name: &str) -> PathBuf {
+    dir.join(format!("{rail_name}.nmad_sampling"))
+}
+
+/// Writes one profile to `dir` (created if missing).
+pub fn save_profile(dir: &Path, profile: &PerfProfile) -> Result<PathBuf, StoreError> {
+    fs::create_dir_all(dir)?;
+    let path = sampling_path(dir, profile.name());
+    fs::write(&path, profile.to_text())?;
+    Ok(path)
+}
+
+/// Loads the profile for `rail_name` from `dir`; `Ok(None)` when the file
+/// does not exist (caller should then sample and save).
+pub fn load_profile(dir: &Path, rail_name: &str) -> Result<Option<PerfProfile>, StoreError> {
+    let path = sampling_path(dir, rail_name);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(Some(PerfProfile::from_text(rail_name, &text)?))
+}
+
+/// Saves a whole rail set.
+pub fn save_all(dir: &Path, profiles: &[PerfProfile]) -> Result<(), StoreError> {
+    for p in profiles {
+        save_profile(dir, p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str) -> PerfProfile {
+        let samples = (2..12).map(|p| (1u64 << p, 2.0 + (1u64 << p) as f64 / 500.0)).collect();
+        PerfProfile::from_samples(name, samples).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nm_sampler_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let p = profile("myri-10g");
+        let path = save_profile(&dir, &p).unwrap();
+        assert!(path.ends_with("myri-10g.nmad_sampling"));
+        let q = load_profile(&dir, "myri-10g").unwrap().expect("saved profile");
+        assert_eq!(p.samples().len(), q.samples().len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_none_not_error() {
+        let dir = tmpdir("missing");
+        assert!(load_profile(&dir, "nonexistent").unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_format_error() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(sampling_path(&dir, "bad"), "not a sampling file\n").unwrap();
+        match load_profile(&dir, "bad") {
+            Err(StoreError::Format(_)) => {}
+            other => panic!("expected format error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_all_writes_every_rail() {
+        let dir = tmpdir("all");
+        let ps = vec![profile("a"), profile("b")];
+        save_all(&dir, &ps).unwrap();
+        assert!(load_profile(&dir, "a").unwrap().is_some());
+        assert!(load_profile(&dir, "b").unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

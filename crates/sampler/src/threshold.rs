@@ -1,0 +1,71 @@
+//! Deriving the rendezvous threshold from samples.
+//!
+//! Paper §III-C: "Such sampling measurements can also be used to determine
+//! other parameters such as rendezvous threshold for various NICs." The
+//! threshold is the first sampled size at which the rendezvous protocol is
+//! predicted to beat the eager protocol.
+
+use crate::pingpong::SamplingConfig;
+use crate::transport::SampleTransport;
+use nm_model::TransferMode;
+
+/// Samples both protocols over the ladder and returns the first size where
+/// rendezvous wins (`None` if eager wins everywhere in the sampled range —
+/// the caller should then keep the driver's default).
+pub fn derive_rdv_threshold<T: SampleTransport>(
+    transport: &mut T,
+    rail: usize,
+    config: &SamplingConfig,
+) -> Option<u64> {
+    config.validate().expect("invalid sampling config");
+    for size in config.sizes() {
+        let eager = transport.measure_us(rail, size, Some(TransferMode::Eager));
+        let rdv = transport.measure_us(rail, size, Some(TransferMode::Rendezvous));
+        if rdv < eager {
+            return Some(size);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+    use nm_model::builtin;
+
+    #[test]
+    fn derived_threshold_is_near_the_protocol_crossing() {
+        let mut t = SimTransport::paper_testbed();
+        let cfg = SamplingConfig { min_size: 4, max_size: 1 << 22, iters: 1, warmup: 0, ..Default::default() };
+        let th = derive_rdv_threshold(&mut t, 0, &cfg).expect("rdv must win eventually");
+        // Ground truth crossing for the Myri model: where forced-eager and
+        // forced-rendezvous curves intersect.
+        let link = builtin::myri_10g();
+        let mut truth = None;
+        for size in cfg.sizes() {
+            if link.one_way_us_in_mode(size, TransferMode::Rendezvous)
+                < link.one_way_us_in_mode(size, TransferMode::Eager)
+            {
+                truth = Some(size);
+                break;
+            }
+        }
+        assert_eq!(th, truth.unwrap());
+        // And it should be within a factor 4 of the configured threshold.
+        let configured = link.rdv_threshold as f64;
+        assert!(
+            (th as f64) >= configured / 4.0 && (th as f64) <= configured * 4.0,
+            "derived {th} vs configured {configured}"
+        );
+    }
+
+    #[test]
+    fn tiny_range_yields_none() {
+        // Rendezvous never wins for 4..64 byte messages.
+        let mut t = SimTransport::paper_testbed();
+        let cfg = SamplingConfig { min_size: 4, max_size: 64, iters: 1, warmup: 0, ..Default::default() };
+        assert_eq!(derive_rdv_threshold(&mut t, 0, &cfg), None);
+        assert_eq!(derive_rdv_threshold(&mut t, 1, &cfg), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Measurement transports.
+//!
+//! The sampling benchmark only needs one primitive: "time one transfer of
+//! `size` bytes on rail `r`". [`SimTransport`] provides it against the
+//! discrete-event cluster; an integration test in `nm-core` provides it
+//! against the real-thread shared-memory driver, proving the sampler is
+//! substrate-agnostic.
+
+use nm_model::TransferMode;
+use nm_sim::{ClusterSpec, NodeId, RailId, SendSpec, Simulator};
+
+/// Something the sampler can time transfers on.
+pub trait SampleTransport {
+    /// Number of rails available.
+    fn rail_count(&self) -> usize;
+
+    /// Human-readable rail name (becomes the profile name).
+    fn rail_name(&self, rail: usize) -> String;
+
+    /// Times one transfer of `size` bytes on `rail`, in microseconds.
+    /// `mode` forces a protocol; `None` uses the transport's natural choice.
+    fn measure_us(&mut self, rail: usize, size: u64, mode: Option<TransferMode>) -> f64;
+}
+
+/// Measures against a fresh discrete-event simulator per measurement —
+/// the virtual-cluster equivalent of a quiet machine. Optional jitter makes
+/// consecutive measurements differ so robust estimation is exercised.
+///
+/// ```
+/// use nm_sampler::{sample_rail, SamplingConfig, SimTransport};
+///
+/// let mut transport = SimTransport::paper_testbed();
+/// let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+/// let profile = sample_rail(&mut transport, 0, &cfg).unwrap();
+/// assert_eq!(profile.name(), "myri-10g");
+/// assert!(profile.is_pow2_ladder()); // O(1) log-indexed lookup (paper §III-C)
+/// ```
+pub struct SimTransport {
+    spec: ClusterSpec,
+    jitter_frac: f64,
+    seed: u64,
+    measurements: u64,
+}
+
+impl SimTransport {
+    /// A noiseless transport over `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        SimTransport { spec, jitter_frac: 0.0, seed: 0, measurements: 0 }
+    }
+
+    /// The paper's testbed.
+    pub fn paper_testbed() -> Self {
+        SimTransport::new(ClusterSpec::paper_testbed())
+    }
+
+    /// Adds multiplicative measurement noise (deterministic per seed).
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        self.jitter_frac = frac;
+        self.seed = seed;
+        self
+    }
+
+    /// Number of measurements performed so far.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements
+    }
+}
+
+impl SampleTransport for SimTransport {
+    fn rail_count(&self) -> usize {
+        self.spec.rail_count()
+    }
+
+    fn rail_name(&self, rail: usize) -> String {
+        self.spec.rails[rail].name.clone()
+    }
+
+    fn measure_us(&mut self, rail: usize, size: u64, mode: Option<TransferMode>) -> f64 {
+        self.measurements += 1;
+        let mut sim = if self.jitter_frac > 0.0 {
+            // A distinct seed per measurement: independent noise draws.
+            Simulator::new(self.spec.clone())
+                .with_jitter(self.jitter_frac, self.seed ^ self.measurements)
+        } else {
+            Simulator::new(self.spec.clone())
+        };
+        let mut spec = SendSpec::simple(NodeId(0), NodeId(1), RailId(rail), size);
+        spec.mode = mode;
+        let id = sim.submit(spec);
+        let delivered = sim.run_until_delivered(id);
+        delivered.as_micros_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::builtin;
+
+    #[test]
+    fn noiseless_transport_reproduces_the_model() {
+        let mut t = SimTransport::paper_testbed();
+        assert_eq!(t.rail_count(), 2);
+        assert_eq!(t.rail_name(0), "myri-10g");
+        let got = t.measure_us(0, 4096, None);
+        let want = builtin::myri_10g().one_way_us(4096);
+        assert!((got - want).abs() < 0.01, "{got} vs {want}");
+        assert_eq!(t.measurement_count(), 1);
+    }
+
+    #[test]
+    fn forced_mode_is_respected() {
+        let mut t = SimTransport::paper_testbed();
+        let eager = t.measure_us(0, 1 << 20, Some(TransferMode::Eager));
+        let rdv = t.measure_us(0, 1 << 20, Some(TransferMode::Rendezvous));
+        let want_eager = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Eager);
+        let want_rdv =
+            builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Rendezvous);
+        assert!((eager - want_eager).abs() < 0.01);
+        assert!((rdv - want_rdv).abs() < 0.01);
+    }
+
+    #[test]
+    fn jitter_produces_noise_around_the_truth() {
+        let mut t = SimTransport::paper_testbed().with_jitter(0.05, 42);
+        let truth = builtin::qsnet2().one_way_us(65536);
+        let xs: Vec<f64> = (0..32).map(|_| t.measure_us(1, 65536, None)).collect();
+        let distinct = xs.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct, "jitter must vary across measurements");
+        for x in &xs {
+            assert!((x - truth).abs() / truth < 0.15, "{x} too far from {truth}");
+        }
+    }
+}

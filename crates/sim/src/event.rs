@@ -1,0 +1,196 @@
+//! The simulator's calendar: a stable priority queue of timed events.
+//!
+//! Events that share a timestamp pop in insertion order (FIFO), which keeps
+//! the simulation deterministic and makes "NIC grabbed the packet that was
+//! enqueued first" reasoning valid. Cancellation is supported by id — used
+//! to retract stale idle notifications when a resource gets re-busied.
+
+use nm_model::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A stable, cancellable time-ordered queue.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` at `time`; returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, payload: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-popped or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Removes and returns the earliest event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        let c = q.push(t(3), "c");
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+        // Cancelling a dead event is harmless.
+        q.cancel(a);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(t(7), ());
+        q.push(t(3), ());
+        assert_eq!(q.peek_time(), Some(t(3)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, t(3));
+    }
+
+    proptest! {
+        /// Popping yields a non-decreasing time sequence regardless of
+        /// insertion order and cancellations.
+        #[test]
+        fn times_nondecreasing(
+            times in proptest::collection::vec(0u64..1000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times.iter().map(|&us| q.push(t(us), us)).collect();
+            for (id, &dead) in ids.iter().zip(cancel_mask.iter()) {
+                if dead {
+                    q.cancel(*id);
+                }
+            }
+            let mut last = SimTime::ZERO;
+            let mut popped = 0usize;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+                popped += 1;
+            }
+            let live = times.len()
+                - cancel_mask.iter().take(times.len()).filter(|&&d| d).count();
+            prop_assert_eq!(popped, live);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! ASCII occupancy timelines from a [`Trace`] — the textual equivalent of
+//! the paper's Fig 4 diagrams (who was busy when: cores and NICs).
+//!
+//! ```text
+//! n0/c0  |████████▒▒▒▒····································|
+//! n0/r0  |████████········································|
+//! n0/r1  |········████████████████████████████████████████|
+//! ```
+//!
+//! Each row is one resource; each column one time bucket. A bucket is drawn
+//! `█` when the resource was busy for more than half of it, `▒` for a
+//! partial reservation, `·` when idle.
+
+use crate::ids::{CoreId, NicDir, NodeId, RailId};
+use crate::trace::{Trace, TraceRecord};
+use nm_model::{SimDuration, SimTime};
+
+/// A renderable row: one resource's busy windows.
+#[derive(Debug, Clone)]
+struct Row {
+    label: String,
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+/// Renders the trace between `from` and `to` into `width` buckets.
+///
+/// Rows appear in the order resources first show up in the trace (cores of
+/// a node before its NICs, grouped by node).
+pub fn render(trace: &Trace, from: SimTime, to: SimTime, width: usize) -> String {
+    assert!(width >= 8, "need at least 8 columns");
+    assert!(to > from, "empty interval");
+    let mut rows: Vec<Row> = Vec::new();
+
+    let mut upsert = |label: String, window: (SimTime, SimTime)| {
+        if let Some(row) = rows.iter_mut().find(|r| r.label == label) {
+            row.windows.push(window);
+        } else {
+            rows.push(Row { label, windows: vec![window] });
+        }
+    };
+
+    for rec in trace.records() {
+        match *rec {
+            TraceRecord::CoreBusy { node, core, from: f, to: t, .. } => {
+                upsert(resource_label(node, Res::Core(core)), (f, t));
+            }
+            TraceRecord::NicBusy { node, rail, dir, from: f, to: t, .. } => {
+                upsert(resource_label(node, Res::Nic(rail, dir)), (f, t));
+            }
+            TraceRecord::Delivered { .. } => {}
+        }
+    }
+    rows.sort_by(|a, b| a.label.cmp(&b.label));
+
+    let span = to - from;
+    let bucket = SimDuration::from_nanos((span.as_nanos() / width as u64).max(1));
+    let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(5);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:label_width$}  t = {} .. {} ({} per column)\n",
+        "",
+        from,
+        to,
+        bucket
+    ));
+    for row in &rows {
+        out.push_str(&format!("{:label_width$} |", row.label));
+        for b in 0..width {
+            let b_start = from + bucket * b as u64;
+            let b_end = b_start + bucket;
+            let mut busy = SimDuration::ZERO;
+            for &(f, t) in &row.windows {
+                let lo = f.max(b_start);
+                let hi = t.min(b_end);
+                busy += hi.saturating_since(lo);
+            }
+            let frac = busy.as_nanos() as f64 / bucket.as_nanos() as f64;
+            out.push(if frac > 0.5 {
+                '\u{2588}' // █
+            } else if frac > 0.0 {
+                '\u{2592}' // ▒
+            } else {
+                '\u{00b7}' // ·
+            });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+enum Res {
+    Core(CoreId),
+    Nic(RailId, NicDir),
+}
+
+fn resource_label(node: NodeId, res: Res) -> String {
+    match res {
+        Res::Core(c) => format!("{node}/{c}"),
+        Res::Nic(r, d) => format!("{node}/{r}.{d}"),
+    }
+}
+
+/// Convenience: render the whole trace (zero to the last record).
+pub fn render_all(trace: &Trace, width: usize) -> String {
+    let end = trace
+        .records()
+        .iter()
+        .map(|r| match *r {
+            TraceRecord::CoreBusy { to, .. } | TraceRecord::NicBusy { to, .. } => to,
+            TraceRecord::Delivered { at, .. } => at,
+        })
+        .max()
+        .unwrap_or(SimTime::from_micros(1));
+    render(trace, SimTime::ZERO, end, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TransferId;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::enabled();
+        tr.push(TraceRecord::CoreBusy {
+            node: NodeId(0),
+            core: CoreId(0),
+            from: t(0),
+            to: t(50),
+            transfer: TransferId(0),
+        });
+        tr.push(TraceRecord::NicBusy {
+            node: NodeId(0),
+            rail: RailId(1),
+            dir: crate::ids::NicDir::Tx,
+            from: t(50),
+            to: t(100),
+            transfer: TransferId(0),
+        });
+        tr.push(TraceRecord::Delivered { transfer: TransferId(0), at: t(100) });
+        tr
+    }
+
+    #[test]
+    fn renders_one_row_per_resource() {
+        let s = render(&sample_trace(), t(0), t(100), 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two resources:\n{s}");
+        assert!(lines[1].starts_with("n0/c0"));
+        assert!(lines[2].starts_with("n0/r1.tx"));
+    }
+
+    #[test]
+    fn busy_halves_render_correctly() {
+        let s = render(&sample_trace(), t(0), t(100), 10);
+        let core_row: String =
+            s.lines().find(|l| l.starts_with("n0/c0")).unwrap().chars().collect();
+        let cells: Vec<char> =
+            core_row[core_row.find('|').unwrap() + 1..].chars().take(10).collect();
+        assert!(cells[..5].iter().all(|&c| c == '\u{2588}'), "{cells:?}");
+        assert!(cells[5..].iter().all(|&c| c == '\u{00b7}'), "{cells:?}");
+    }
+
+    #[test]
+    fn render_all_covers_the_last_record() {
+        let s = render_all(&sample_trace(), 20);
+        assert!(s.contains("100.000us"), "{s}");
+    }
+
+    #[test]
+    fn real_simulation_renders_fig4_style() {
+        use crate::sim::{SendSpec, Simulator};
+        use crate::topology::ClusterSpec;
+        let mut sim = Simulator::new(ClusterSpec::paper_testbed()).with_trace();
+        sim.submit(SendSpec::simple(NodeId(0), NodeId(1), RailId(0), 8192));
+        sim.submit(SendSpec::simple(NodeId(0), NodeId(1), RailId(1), 8192));
+        sim.run_until_idle();
+        let s = render_all(sim.trace(), 40);
+        // Sending core, both tx NICs, receiving core and both rx NICs.
+        assert!(s.contains("n0/c0"));
+        assert!(s.contains("n0/r0"));
+        assert!(s.contains("n0/r1"));
+        assert!(s.contains("n1/c0"));
+        // The serialized second injection shows as a later busy block.
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 columns")]
+    fn tiny_width_rejected() {
+        let _ = render(&sample_trace(), t(0), t(100), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Typed identifiers for simulated resources.
+//!
+//! Newtypes instead of bare `usize` so a rail index can never be confused
+//! with a core index — at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Raw index.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node (machine) in the cluster.
+    NodeId, "n"
+);
+id_type!(
+    /// A core within a node.
+    CoreId, "c"
+);
+id_type!(
+    /// A rail (parallel network); each node owns one NIC per rail.
+    RailId, "r"
+);
+
+/// A NIC is addressed by (node, rail).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NicKey {
+    /// Owning node.
+    pub node: NodeId,
+    /// Rail this NIC attaches to.
+    pub rail: RailId,
+}
+
+/// NICs are full duplex: the transmit and receive engines are independent
+/// serial resources (an outgoing DMA does not block an incoming one).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NicDir {
+    /// Transmit side (injection, outgoing DMA).
+    Tx,
+    /// Receive side (receive copy window, incoming DMA).
+    Rx,
+}
+
+impl fmt::Display for NicDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NicDir::Tx => write!(f, "tx"),
+            NicDir::Rx => write!(f, "rx"),
+        }
+    }
+}
+
+/// A transfer handle, unique within one simulator run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransferId(pub u64);
+
+impl fmt::Debug for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for TransferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", NodeId(1)), "n1");
+        assert_eq!(format!("{:?}", CoreId(3)), "c3");
+        assert_eq!(format!("{}", RailId(0)), "r0");
+        assert_eq!(format!("{}", TransferId(42)), "x42");
+        let key = NicKey { node: NodeId(1), rail: RailId(0) };
+        assert_eq!(format!("{key:?}"), "NicKey { node: n1, rail: r0 }");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(0) < NodeId(1));
+        assert!(TransferId(1) < TransferId(2));
+    }
+}

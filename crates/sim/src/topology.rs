@@ -1,0 +1,115 @@
+//! Cluster topology: nodes, cores and rails.
+//!
+//! The paper's testbed is two dual dual-core Opteron nodes with two rails
+//! (Myri-10G + QsNetII); [`ClusterSpec::paper_testbed`] builds exactly that.
+//! Every node owns one NIC per rail; rails are independent networks, so two
+//! transfers on different rails never contend for wire resources — only for
+//! host cores.
+
+use nm_model::{builtin, LinkModel};
+
+/// Shape of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Number of cores. The paper's nodes have 4 (dual dual-core Opteron).
+    pub cores: usize,
+}
+
+impl NodeSpec {
+    /// The paper's node: dual dual-core Opteron, 4 cores.
+    pub fn dual_dual_core_opteron() -> Self {
+        NodeSpec { cores: 4 }
+    }
+
+    /// A node with `cores` cores.
+    pub fn with_cores(cores: usize) -> Self {
+        assert!(cores >= 1, "a node needs at least one core");
+        NodeSpec { cores }
+    }
+}
+
+/// Shape and performance of the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Per-node shapes. All experiments in the paper use two identical nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// One [`LinkModel`] per rail; rail `i` connects NIC `i` of every node.
+    pub rails: Vec<LinkModel>,
+}
+
+impl ClusterSpec {
+    /// Two dual dual-core Opterons joined by Myri-10G + QsNetII — the
+    /// paper's evaluation platform (§IV).
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            nodes: vec![NodeSpec::dual_dual_core_opteron(); 2],
+            rails: builtin::paper_testbed(),
+        }
+    }
+
+    /// Two nodes with `cores` cores each and the given rails.
+    pub fn two_nodes(cores: usize, rails: Vec<LinkModel>) -> Self {
+        ClusterSpec { nodes: vec![NodeSpec::with_cores(cores); 2], rails }
+    }
+
+    /// Validates structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.len() < 2 {
+            return Err(format!("need at least 2 nodes, got {}", self.nodes.len()));
+        }
+        if self.rails.is_empty() {
+            return Err("need at least one rail".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.cores == 0 {
+                return Err(format!("node {i} has zero cores"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rails (== NICs per node).
+    pub fn rail_count(&self) -> usize {
+        self.rails.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let spec = ClusterSpec::paper_testbed();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.nodes.len(), 2);
+        assert_eq!(spec.nodes[0].cores, 4);
+        assert_eq!(spec.rail_count(), 2);
+        assert_eq!(spec.rails[0].name, "myri-10g");
+        assert_eq!(spec.rails[1].name, "qsnet2");
+    }
+
+    #[test]
+    fn validation_catches_degenerate_clusters() {
+        let one_node = ClusterSpec {
+            nodes: vec![NodeSpec::with_cores(4)],
+            rails: builtin::paper_testbed(),
+        };
+        assert!(one_node.validate().is_err());
+
+        let no_rails = ClusterSpec { nodes: vec![NodeSpec::with_cores(4); 2], rails: vec![] };
+        assert!(no_rails.validate().is_err());
+
+        let zero_core = ClusterSpec {
+            nodes: vec![NodeSpec { cores: 0 }, NodeSpec { cores: 4 }],
+            rails: builtin::paper_testbed(),
+        };
+        assert!(zero_core.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn with_cores_rejects_zero() {
+        let _ = NodeSpec::with_cores(0);
+    }
+}

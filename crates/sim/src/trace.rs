@@ -1,0 +1,224 @@
+//! Event tracing and post-hoc utilization analysis.
+//!
+//! The paper quantifies rail under-utilization directly ("the Myri-10G
+//! network is thus unused for 670 µs" under iso-split, §IV-A); the trace
+//! records every resource window so benches and tests can measure exactly
+//! that kind of idle gap.
+
+use crate::ids::{CoreId, NicDir, NodeId, RailId, TransferId};
+use nm_model::{SimDuration, SimTime};
+
+/// One recorded occupancy window or milestone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// One direction of a NIC was occupied (injection, receive window or
+    /// DMA phase). NICs are full duplex: tx and rx book independently.
+    NicBusy {
+        /// Owning node.
+        node: NodeId,
+        /// Rail of the NIC.
+        rail: RailId,
+        /// Direction (transmit or receive engine).
+        dir: NicDir,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Transfer that held the NIC.
+        transfer: TransferId,
+    },
+    /// A core was occupied (PIO copy, rendezvous setup, offload shim).
+    CoreBusy {
+        /// Owning node.
+        node: NodeId,
+        /// Core index.
+        core: CoreId,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Transfer that held the core (control work uses the id it serves).
+        transfer: TransferId,
+    },
+    /// A transfer was fully delivered.
+    Delivered {
+        /// The transfer.
+        transfer: TransferId,
+        /// Delivery instant.
+        at: SimTime,
+    },
+}
+
+/// An append-only trace of simulator activity.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A trace that records nothing (zero overhead).
+    pub fn disabled() -> Self {
+        Trace { records: Vec::new(), enabled: false }
+    }
+
+    /// A recording trace.
+    pub fn enabled() -> Self {
+        Trace { records: Vec::new(), enabled: true }
+    }
+
+    /// Appends a record if recording is on.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.enabled {
+            self.records.push(rec);
+        }
+    }
+
+    /// All records, in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Total time one direction of the NIC `(node, rail)` was busy inside
+    /// `[from, to]` (windows are clipped to the interval).
+    pub fn nic_busy_within(
+        &self,
+        node: NodeId,
+        rail: RailId,
+        dir: NicDir,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for r in &self.records {
+            if let TraceRecord::NicBusy { node: n, rail: l, dir: d, from: f, to: t, .. } = *r {
+                if n == node && l == rail && d == dir {
+                    let lo = f.max(from);
+                    let hi = t.min(to);
+                    total += hi.saturating_since(lo);
+                }
+            }
+        }
+        total
+    }
+
+    /// Idle time of one direction of the NIC `(node, rail)` inside
+    /// `[from, to]` — the paper's "unused for 670 µs" metric (tx side).
+    pub fn nic_idle_within(
+        &self,
+        node: NodeId,
+        rail: RailId,
+        dir: NicDir,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        to.saturating_since(from) - self.nic_busy_within(node, rail, dir, from, to)
+    }
+
+    /// Total busy time of a core inside `[from, to]`.
+    pub fn core_busy_within(
+        &self,
+        node: NodeId,
+        core: CoreId,
+        from: SimTime,
+        to: SimTime,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for r in &self.records {
+            if let TraceRecord::CoreBusy { node: n, core: c, from: f, to: t, .. } = *r {
+                if n == node && c == core {
+                    let lo = f.max(from);
+                    let hi = t.min(to);
+                    total += hi.saturating_since(lo);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.push(TraceRecord::Delivered { transfer: TransferId(1), at: t(5) });
+        assert!(tr.records().is_empty());
+    }
+
+    #[test]
+    fn busy_and_idle_accounting_clip_to_interval() {
+        let mut tr = Trace::enabled();
+        let nic = (NodeId(0), RailId(1));
+        tr.push(TraceRecord::NicBusy {
+            node: nic.0,
+            rail: nic.1,
+            dir: NicDir::Tx,
+            from: t(10),
+            to: t(20),
+            transfer: TransferId(1),
+        });
+        tr.push(TraceRecord::NicBusy {
+            node: nic.0,
+            rail: nic.1,
+            dir: NicDir::Tx,
+            from: t(30),
+            to: t(50),
+            transfer: TransferId(2),
+        });
+        // Unrelated NIC and the other direction do not pollute the answer.
+        tr.push(TraceRecord::NicBusy {
+            node: NodeId(1),
+            rail: RailId(1),
+            dir: NicDir::Tx,
+            from: t(0),
+            to: t(100),
+            transfer: TransferId(3),
+        });
+        tr.push(TraceRecord::NicBusy {
+            node: nic.0,
+            rail: nic.1,
+            dir: NicDir::Rx,
+            from: t(0),
+            to: t(100),
+            transfer: TransferId(4),
+        });
+        let busy = tr.nic_busy_within(nic.0, nic.1, NicDir::Tx, t(15), t(40));
+        assert_eq!(busy, SimDuration::from_micros(5 + 10));
+        let idle = tr.nic_idle_within(nic.0, nic.1, NicDir::Tx, t(15), t(40));
+        assert_eq!(idle, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn core_accounting_is_per_core() {
+        let mut tr = Trace::enabled();
+        tr.push(TraceRecord::CoreBusy {
+            node: NodeId(0),
+            core: CoreId(0),
+            from: t(0),
+            to: t(10),
+            transfer: TransferId(1),
+        });
+        tr.push(TraceRecord::CoreBusy {
+            node: NodeId(0),
+            core: CoreId(1),
+            from: t(0),
+            to: t(4),
+            transfer: TransferId(1),
+        });
+        assert_eq!(
+            tr.core_busy_within(NodeId(0), CoreId(0), t(0), t(100)),
+            SimDuration::from_micros(10)
+        );
+        assert_eq!(
+            tr.core_busy_within(NodeId(0), CoreId(1), t(0), t(100)),
+            SimDuration::from_micros(4)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Failure injection: a rail degrades mid-run.
+//!
+//! The engine's split ratios come from profiles sampled at startup. If the
+//! Quadrics rail silently loses 75% of its bandwidth (cable renegotiation,
+//! congestion), stale profiles keep over-feeding it. Re-sampling restores
+//! the equal-completion property — the operational argument for
+//! NewMadeleine keeping its sampling as a repeatable procedure rather than
+//! a constant table.
+//!
+//! ```text
+//! cargo run -p nm-examples --bin failover --release
+//! ```
+
+use nm_bench::sample_predictor;
+use nm_core::driver::sim::SimDriver;
+use nm_core::engine::Engine;
+use nm_core::strategy::StrategyKind;
+use nm_model::units::MIB;
+use nm_sim::ClusterSpec;
+
+fn degraded_spec(factor: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::paper_testbed();
+    spec.rails[1] = spec.rails[1].degraded(factor).expect("valid factor");
+    spec
+}
+
+fn run(predictor_spec: &ClusterSpec, actual_spec: ClusterSpec, size: u64) -> f64 {
+    let predictor = sample_predictor(predictor_spec);
+    let mut engine = Engine::new(
+        SimDriver::new(actual_spec),
+        predictor,
+        StrategyKind::HeteroSplit.build(),
+    )
+    .expect("engine");
+    let id = engine.post_send(size).expect("post");
+    engine.wait(id).expect("wait").duration.as_micros_f64()
+}
+
+fn main() {
+    let healthy = ClusterSpec::paper_testbed();
+    let degraded = degraded_spec(0.25);
+    let size = 8 * MIB;
+
+    let baseline = run(&healthy, healthy.clone(), size);
+    let stale = run(&healthy, degraded.clone(), size);
+    let resampled = run(&degraded, degraded.clone(), size);
+
+    println!("8 MiB hetero-split transfer:");
+    println!("  healthy cluster, fresh profiles  : {baseline:>8.0} us");
+    println!("  Quadrics at 25% bw, STALE profiles: {stale:>8.0} us");
+    println!("  Quadrics at 25% bw, RE-SAMPLED    : {resampled:>8.0} us");
+    println!(
+        "\nstale profiles over-feed the degraded rail: {:.1}% slower than after",
+        (stale / resampled - 1.0) * 100.0
+    );
+    println!("re-sampling (which shifts most bytes back to Myri-10G).");
+}

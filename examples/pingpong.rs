@@ -1,0 +1,54 @@
+//! Real-thread ping-pong over duplex endpoints — the paper's evaluation
+//! methodology (§IV-A: "we use a classical ping-pong program and we measure
+//! the obtained bandwidth"), here with actual bytes over the in-process
+//! multirail transport.
+//!
+//! ```text
+//! cargo run -p nm-examples --bin pingpong --release
+//! ```
+
+use bytes::Bytes;
+use nm_core::duplex::{pair, DuplexConfig};
+use nm_core::strategy::StrategyKind;
+use std::time::{Duration, Instant};
+
+fn pingpong_bandwidth(kind: StrategyKind, size: usize, rounds: u32) -> f64 {
+    let (mut a, mut b) = pair(DuplexConfig { strategy: kind, ..DuplexConfig::default() });
+    let payload = Bytes::from(vec![0x5au8; size]);
+    // Warmup round.
+    a.send(0, payload.clone());
+    let (_, back) = b.recv(Duration::from_secs(10)).expect("warmup ping");
+    b.send(0, back);
+    a.recv(Duration::from_secs(10)).expect("warmup pong");
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        a.send(0, payload.clone());
+        let (_, data) = b.recv(Duration::from_secs(10)).expect("ping");
+        b.send(0, data);
+        a.recv(Duration::from_secs(10)).expect("pong");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // One direction at a time: 2 * rounds transfers of `size` bytes.
+    (2.0 * rounds as f64 * size as f64) / (1024.0 * 1024.0) / elapsed
+}
+
+fn main() {
+    println!("real-thread ping-pong bandwidth (MiB/s), wall clock");
+    println!("(absolute numbers depend on this machine; the strategy ordering");
+    println!("is the point — hetero-split uses both rails, single-rail cannot)\n");
+    println!("{:>10} {:>14} {:>14} {:>14}", "size(KiB)", "single", "iso", "hetero");
+    for size in [64usize * 1024, 256 * 1024, 1024 * 1024] {
+        let rounds = if size > 512 * 1024 { 8 } else { 16 };
+        let single = pingpong_bandwidth(StrategyKind::SingleRail(None), size, rounds);
+        let iso = pingpong_bandwidth(StrategyKind::IsoSplit, size, rounds);
+        let hetero = pingpong_bandwidth(StrategyKind::HeteroSplit, size, rounds);
+        println!(
+            "{:>10} {:>14.0} {:>14.0} {:>14.0}",
+            size / 1024,
+            single,
+            iso,
+            hetero
+        );
+    }
+}

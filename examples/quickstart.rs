@@ -1,0 +1,48 @@
+//! Quickstart: open a session on the paper's simulated testbed, send a few
+//! messages, inspect completions.
+//!
+//! ```text
+//! cargo run -p nm-examples --bin quickstart --release
+//! ```
+
+use nm_core::prelude::*;
+
+fn main() {
+    // A session samples every rail at startup (paper §III-C), builds the
+    // predictor, and wires the engine to the simulated Myri-10G + QsNetII
+    // testbed. Default strategy: the paper's hetero-split.
+    let mut session = Session::builder().strategy(StrategyKind::HeteroSplit).build_sim();
+
+    println!("engine up, strategy = {}", session.strategy_name());
+    for rail in session.predictor().rails() {
+        let (lo, hi) = rail.natural.sampled_range();
+        println!(
+            "  sampled {:12} from {lo} to {hi} bytes ({} points)",
+            rail.name,
+            rail.natural.samples().len()
+        );
+    }
+
+    // One large message: the strategy splits it so both rails finish
+    // together (Fig 1c).
+    let big = session.post_send(4 * MIB);
+    let done = session.wait(big);
+    println!("\n4 MiB message delivered in {}", done.duration);
+    for (rail, bytes) in &done.chunks {
+        println!("  chunk on rail {rail}: {} KiB", bytes / KIB);
+    }
+
+    // A burst of small messages: posted at once, the engine paces them.
+    let ids: Vec<_> = (0..8).map(|_| session.post_send(2 * KIB)).collect();
+    let mut last = SimTime::ZERO;
+    for id in ids {
+        last = session.wait(id).delivered_at.max(last);
+    }
+    println!("\n8 x 2 KiB burst fully delivered at t = {last}");
+
+    let stats = session.stats();
+    println!(
+        "\nstats: {} messages, {} chunks, rail bytes = {:?}",
+        stats.msgs_completed, stats.chunks_submitted, stats.rail_bytes
+    );
+}

@@ -1,0 +1,62 @@
+//! # nm-tests — cross-crate integration tests
+//!
+//! The tests live in `tests/` (one file per concern): figure-shape
+//! assertions that pin the paper's qualitative results, the in-text
+//! measurement reproductions, engine behaviour across strategies and
+//! drivers, the sampling pipeline, and property-based workload tests.
+//!
+//! This library only hosts shared helpers.
+
+use nm_core::driver::sim::SimDriver;
+use nm_core::engine::Engine;
+use nm_core::predictor::{Predictor, RailView};
+use nm_core::strategy::{Strategy, StrategyKind};
+use nm_model::TransferMode;
+use nm_sampler::{sample_rail, SampleTransport, SamplingConfig, SimTransport};
+use nm_sim::{ClusterSpec, RailId};
+
+/// Samples `spec` into a predictor (natural + forced-eager per rail).
+pub fn sample_predictor(spec: &ClusterSpec) -> Predictor {
+    let mut sampler = SimTransport::new(spec.clone());
+    let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+    let rails = (0..sampler.rail_count())
+        .map(|i| {
+            let natural = sample_rail(&mut sampler, i, &cfg).expect("sampling");
+            let eager_cfg = SamplingConfig { mode: Some(TransferMode::Eager), ..cfg.clone() };
+            let eager = sample_rail(&mut sampler, i, &eager_cfg).expect("sampling");
+            RailView {
+                rail: RailId(i),
+                name: sampler.rail_name(i),
+                natural,
+                eager,
+                rdv_threshold: spec.rails[i].rdv_threshold,
+            }
+        })
+        .collect();
+    Predictor::new(rails)
+}
+
+/// A paper-testbed engine with the given strategy object.
+pub fn paper_engine(strategy: Box<dyn Strategy>) -> Engine<SimDriver> {
+    let spec = ClusterSpec::paper_testbed();
+    let predictor = sample_predictor(&spec);
+    Engine::new(SimDriver::new(spec), predictor, strategy).expect("engine")
+}
+
+/// A paper-testbed engine from a [`StrategyKind`].
+pub fn paper_engine_kind(kind: StrategyKind) -> Engine<SimDriver> {
+    paper_engine(kind.build())
+}
+
+/// One-way duration (µs) for one message of `size` under `kind`.
+pub fn one_way_us(kind: StrategyKind, size: u64) -> f64 {
+    let mut engine = paper_engine_kind(kind);
+    let id = engine.post_send(size).expect("post");
+    engine.wait(id).expect("wait").duration.as_micros_f64()
+}
+
+/// Bandwidth in MiB/s (paper Fig 8 unit).
+pub fn bandwidth_mibps(kind: StrategyKind, size: u64) -> f64 {
+    let us = one_way_us(kind, size);
+    size as f64 / (1024.0 * 1024.0) / (us / 1e6)
+}

@@ -1,0 +1,127 @@
+//! The adaptive loop: stale profiles → systematic prediction error →
+//! drift detection → feedback correction → recovered split quality.
+//!
+//! This is the operational extension of the paper's sampling design: the
+//! startup profile is a snapshot, and the engine can tell when reality
+//! disagrees with it.
+
+use nm_core::driver::sim::SimDriver;
+use nm_core::engine::Engine;
+use nm_core::strategy::StrategyKind;
+use nm_model::units::MIB;
+use nm_sim::{ClusterSpec, RailId};
+use nm_tests::sample_predictor;
+
+fn degraded_testbed(factor: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::paper_testbed();
+    spec.rails[1] = spec.rails[1].degraded(factor).expect("valid");
+    spec
+}
+
+#[test]
+fn accurate_profiles_show_no_drift() {
+    let spec = ClusterSpec::paper_testbed();
+    let mut engine = Engine::new(
+        SimDriver::new(spec.clone()),
+        sample_predictor(&spec),
+        StrategyKind::HeteroSplit.build(),
+    )
+    .expect("engine");
+    for _ in 0..10 {
+        let id = engine.post_send(2 * MIB).expect("post");
+        engine.wait(id).expect("wait");
+    }
+    let fb = engine.feedback();
+    assert!(fb.rail(RailId(0)).count >= 10);
+    assert!(
+        fb.rail(RailId(0)).mean_abs_rel_err < 0.02,
+        "fresh profiles should predict within 2%: {fb:?}"
+    );
+    assert!(!fb.drift_detected(0.10, 5));
+}
+
+#[test]
+fn stale_profiles_trigger_drift_and_correction_recovers() {
+    // Profiles sampled on the healthy cluster; hardware degraded to 25%.
+    let healthy = ClusterSpec::paper_testbed();
+    let degraded = degraded_testbed(0.25);
+    let mut engine = Engine::new(
+        SimDriver::new(degraded.clone()),
+        sample_predictor(&healthy),
+        StrategyKind::HeteroSplit.build(),
+    )
+    .expect("engine");
+
+    // Phase 1: run with stale knowledge, record the damage.
+    let mut stale_us = 0.0;
+    for _ in 0..12 {
+        let id = engine.post_send(2 * MIB).expect("post");
+        stale_us = engine.wait(id).expect("wait").duration.as_micros_f64();
+    }
+    assert!(
+        engine.feedback().rail(RailId(1)).mean_signed_rel_err > 0.5,
+        "degraded rail must show systematic underprediction: {:?}",
+        engine.feedback().rail(RailId(1))
+    );
+    assert!(engine.feedback().drift_detected(0.25, 5), "drift must be detected");
+
+    // Phase 2: adopt the correction; splits shift off the slow rail.
+    engine.adopt_feedback_correction();
+    let mut corrected_us = 0.0;
+    let mut last_chunks = Vec::new();
+    for _ in 0..4 {
+        let id = engine.post_send(2 * MIB).expect("post");
+        let done = engine.wait(id).expect("wait");
+        corrected_us = done.duration.as_micros_f64();
+        last_chunks = done.chunks;
+    }
+    assert!(
+        corrected_us < stale_us * 0.75,
+        "correction should recover >25%: stale {stale_us:.0}us, corrected {corrected_us:.0}us"
+    );
+    // The degraded rail now carries a minority share (or none).
+    let slow_share = last_chunks
+        .iter()
+        .find(|c| c.0 == RailId(1))
+        .map(|c| c.1 as f64 / (2.0 * MIB as f64))
+        .unwrap_or(0.0);
+    assert!(slow_share < 0.30, "slow rail still carries {:.0}%", slow_share * 100.0);
+}
+
+#[test]
+fn correction_converges_toward_resampled_quality() {
+    let healthy = ClusterSpec::paper_testbed();
+    let degraded = degraded_testbed(0.25);
+
+    // Gold standard: profiles re-sampled on the degraded cluster.
+    let mut resampled = Engine::new(
+        SimDriver::new(degraded.clone()),
+        sample_predictor(&degraded),
+        StrategyKind::HeteroSplit.build(),
+    )
+    .expect("engine");
+    let id = resampled.post_send(4 * MIB).expect("post");
+    let gold = resampled.wait(id).expect("wait").duration.as_micros_f64();
+
+    // Feedback path: stale profiles + two correction rounds.
+    let mut adaptive = Engine::new(
+        SimDriver::new(degraded),
+        sample_predictor(&healthy),
+        StrategyKind::HeteroSplit.build(),
+    )
+    .expect("engine");
+    for round in 0..2 {
+        for _ in 0..12 {
+            let id = adaptive.post_send(4 * MIB).expect("post");
+            adaptive.wait(id).expect("wait");
+        }
+        let _ = round;
+        adaptive.adopt_feedback_correction();
+    }
+    let id = adaptive.post_send(4 * MIB).expect("post");
+    let corrected = adaptive.wait(id).expect("wait").duration.as_micros_f64();
+    assert!(
+        corrected < gold * 1.25,
+        "feedback correction ({corrected:.0}us) should approach re-sampling ({gold:.0}us)"
+    );
+}

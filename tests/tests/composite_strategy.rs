@@ -1,0 +1,80 @@
+//! The composite paper strategy must be at-or-near the best specialist in
+//! every regime — that is the point of composing them.
+
+use nm_core::strategy::StrategyKind;
+use nm_model::units::{KIB, MIB};
+use nm_tests::{one_way_us, paper_engine_kind};
+
+#[test]
+fn composite_matches_hetero_on_rendezvous_sizes() {
+    for size in [MIB, 4 * MIB] {
+        let hetero = one_way_us(StrategyKind::HeteroSplit, size);
+        let paper = one_way_us(StrategyKind::Paper, size);
+        assert!(
+            (paper - hetero).abs() / hetero < 0.01,
+            "size {size}: paper {paper:.0} vs hetero {hetero:.0}"
+        );
+    }
+}
+
+#[test]
+fn composite_matches_multicore_on_medium_eager_sizes() {
+    for size in [16 * KIB, 64 * KIB] {
+        let multicore = one_way_us(StrategyKind::MulticoreEager, size);
+        let paper = one_way_us(StrategyKind::Paper, size);
+        assert!(
+            (paper - multicore).abs() / multicore < 0.01,
+            "size {size}: paper {paper:.0} vs multicore {multicore:.0}"
+        );
+    }
+}
+
+#[test]
+fn composite_aggregates_small_bursts() {
+    let mut engine = paper_engine_kind(StrategyKind::Paper);
+    engine.post_send_batch(&[512; 8]).expect("post");
+    engine.drain().expect("drain");
+    let stats = engine.stats();
+    assert_eq!(stats.msgs_aggregated, 8, "{stats:?}");
+    assert_eq!(stats.packs_submitted, 1, "{stats:?}");
+}
+
+#[test]
+fn composite_never_loses_badly_to_any_specialist() {
+    // Across a size sweep the composite stays within 10% of the best
+    // specialist (it IS one of them per regime, modulo dispatch boundaries).
+    let specialists = [
+        StrategyKind::SingleRail(None),
+        StrategyKind::HeteroSplit,
+        StrategyKind::MulticoreEager,
+        StrategyKind::Aggregation,
+    ];
+    for size in [256u64, 4 * KIB, 32 * KIB, 256 * KIB, 2 * MIB] {
+        let best = specialists
+            .iter()
+            .map(|&k| one_way_us(k, size))
+            .fold(f64::INFINITY, f64::min);
+        let paper = one_way_us(StrategyKind::Paper, size);
+        assert!(
+            paper <= best * 1.10 + 0.5,
+            "size {size}: paper {paper:.1}us vs best specialist {best:.1}us"
+        );
+    }
+}
+
+#[test]
+fn composite_handles_a_mixed_workload_end_to_end() {
+    let mut engine = paper_engine_kind(StrategyKind::Paper);
+    let sizes = [128u64, 512, 8 * KIB, 64 * KIB, 2 * MIB, 300, 100 * KIB];
+    engine.post_send_batch(&sizes).expect("post");
+    let done = engine.drain().expect("drain");
+    assert_eq!(done.len(), sizes.len());
+    let stats = engine.stats();
+    assert_eq!(stats.bytes_completed, sizes.iter().sum::<u64>());
+    // The mixed workload exercises all three paths.
+    assert!(stats.packs_submitted >= 1, "aggregation path unused: {stats:?}");
+    assert!(
+        stats.chunks_submitted > sizes.len() as u64 - 2,
+        "split paths unused: {stats:?}"
+    );
+}

@@ -1,0 +1,122 @@
+//! The full sampling pipeline: benchmark → profile → disk → predictor →
+//! decisions, exactly as NewMadeleine initializes (paper §III-C).
+
+use nm_core::predictor::{Predictor, RailView};
+use nm_model::TransferMode;
+use nm_sampler::store::{load_profile, save_all};
+use nm_sampler::{sample_all_rails, sample_rail, SamplingConfig, SimTransport};
+use nm_sim::{ClusterSpec, RailId};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nm_tests_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sample_save_load_rebuild_predictor() {
+    let spec = ClusterSpec::paper_testbed();
+    let mut sampler = SimTransport::new(spec.clone());
+    let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+    let profiles = sample_all_rails(&mut sampler, &cfg).expect("sampling");
+
+    // Persist like NewMadeleine's sampling directory, then reload.
+    let dir = tmpdir("pipeline");
+    save_all(&dir, &profiles).expect("save");
+    let rails: Vec<RailView> = spec
+        .rails
+        .iter()
+        .enumerate()
+        .map(|(i, link)| {
+            let natural =
+                load_profile(&dir, &link.name).expect("load").expect("present");
+            RailView {
+                rail: RailId(i),
+                name: link.name.clone(),
+                eager: natural.clone(),
+                natural,
+                rdv_threshold: link.rdv_threshold,
+            }
+        })
+        .collect();
+    let predictor = Predictor::new(rails);
+
+    // The reloaded predictor must make the same headline decision: a 4 MiB
+    // message splits with Myri carrying ~58%.
+    let split = nm_core::selection::select_rails(
+        &predictor.natural_cost(),
+        &[(RailId(0), 0.0), (RailId(1), 0.0)],
+        4 << 20,
+        2,
+    );
+    assert_eq!(split.assignments.len(), 2);
+    let myri = split.assignments.iter().find(|a| a.0 == RailId(0)).unwrap().1;
+    let share = myri as f64 / (4 << 20) as f64;
+    assert!((share - 0.58).abs() < 0.03, "myri share {share:.3}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn noisy_sampling_still_drives_sane_splits() {
+    // 5% measurement noise: the split ratio moves a little but stays sane,
+    // and completions remain near-equal under the *true* model.
+    let spec = ClusterSpec::paper_testbed();
+    let mut sampler = SimTransport::new(spec.clone()).with_jitter(0.05, 99);
+    let cfg = SamplingConfig { iters: 5, warmup: 1, ..Default::default() };
+    let profiles = sample_all_rails(&mut sampler, &cfg).expect("sampling");
+    let rails: Vec<RailView> = profiles
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| RailView {
+            rail: RailId(i),
+            name: p.name().to_string(),
+            eager: p.clone(),
+            natural: p,
+            rdv_threshold: spec.rails[i].rdv_threshold,
+        })
+        .collect();
+    let predictor = Predictor::new(rails);
+    let split = nm_core::selection::select_rails(
+        &predictor.natural_cost(),
+        &[(RailId(0), 0.0), (RailId(1), 0.0)],
+        4 << 20,
+        2,
+    );
+    let myri = split.assignments.iter().find(|a| a.0 == RailId(0)).unwrap().1;
+    let share = myri as f64 / (4 << 20) as f64;
+    assert!((0.50..=0.66).contains(&share), "noisy share {share:.3}");
+}
+
+#[test]
+fn forced_mode_sampling_differs_beyond_the_threshold() {
+    let mut sampler = SimTransport::paper_testbed();
+    let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+    let natural = sample_rail(&mut sampler, 0, &cfg).unwrap();
+    let eager_cfg = SamplingConfig { mode: Some(TransferMode::Eager), ..cfg };
+    let eager = sample_rail(&mut sampler, 0, &eager_cfg).unwrap();
+    // Below the threshold the curves agree; far above they diverge (eager
+    // keeps paying PIO bandwidth).
+    assert!((natural.predict_us(16 << 10) - eager.predict_us(16 << 10)).abs() < 0.5);
+    assert!(eager.predict_us(8 << 20) > natural.predict_us(8 << 20) * 1.2);
+}
+
+#[test]
+fn engine_decisions_change_with_cluster_performance() {
+    // Same engine code, different cluster: on a homogeneous pair the split
+    // is 50/50; on the paper pair it is ~58/42.
+    use nm_model::builtin;
+    let homogeneous = ClusterSpec::two_nodes(4, vec![builtin::qsnet2(), {
+        let mut m = builtin::qsnet2();
+        m.name = "qsnet2-b".into();
+        m
+    }]);
+    let p = nm_tests::sample_predictor(&homogeneous);
+    let split = nm_core::selection::select_rails(
+        &p.natural_cost(),
+        &[(RailId(0), 0.0), (RailId(1), 0.0)],
+        4 << 20,
+        2,
+    );
+    let share = split.assignments[0].1 as f64 / (4 << 20) as f64;
+    assert!((share - 0.5).abs() < 0.02, "homogeneous share {share:.3}");
+}

@@ -1,0 +1,89 @@
+//! Real-thread end-to-end tests: the engine drives the shared-memory
+//! driver, real bytes move through throttled rails, checksums verify.
+
+use bytes::Bytes;
+use nm_core::driver::shmem::ShmemDriver;
+use nm_core::prelude::*;
+use nm_core::strategy::StrategyKind;
+
+fn payload(len: usize, seed: u8) -> Bytes {
+    Bytes::from((0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>())
+}
+
+fn shmem_session(kind: StrategyKind) -> Session {
+    // Coarse sampling keeps wall-clock test time low.
+    let sampling = nm_sampler::SamplingConfig {
+        min_size: 1024,
+        max_size: 256 * 1024,
+        iters: 1,
+        warmup: 0,
+        ..Default::default()
+    };
+    Session::builder().strategy(kind).sampling(sampling).build_shmem(ShmemDriver::two_rail_demo())
+}
+
+#[test]
+fn payloads_survive_hetero_splitting_across_real_threads() {
+    let mut session = shmem_session(StrategyKind::HeteroSplit);
+    let sizes = [10_000usize, 400_000, 3_000];
+    let ids: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| session.post_send_bytes(payload(len, i as u8)))
+        .collect();
+    for id in ids {
+        let done = session.wait(id);
+        assert!(done.duration.as_micros_f64() > 0.0);
+    }
+    // The driver verified every delivered chunk.
+    // (Downcast via the stats the Session exposes: completed bytes.)
+    assert_eq!(
+        session.stats().bytes_completed,
+        sizes.iter().map(|&s| s as u64).sum::<u64>()
+    );
+}
+
+#[test]
+fn every_strategy_runs_on_real_threads() {
+    for kind in [
+        StrategyKind::SingleRail(None),
+        StrategyKind::GreedyBalance,
+        StrategyKind::IsoSplit,
+        StrategyKind::HeteroSplit,
+        StrategyKind::Aggregation,
+        StrategyKind::MulticoreEager,
+    ] {
+        let mut session = shmem_session(kind);
+        let ids: Vec<_> =
+            (0..3).map(|i| session.post_send_bytes(payload(20_000 + i * 1000, i as u8))).collect();
+        for id in ids {
+            session.wait(id);
+        }
+        assert_eq!(session.stats().msgs_completed, 3, "{kind:?}");
+    }
+}
+
+#[test]
+fn driver_integrity_counters_stay_clean() {
+    use nm_core::transport::{ChunkSubmit, Transport, TransportEvent};
+    use nm_sim::RailId;
+    let mut driver = ShmemDriver::two_rail_demo();
+    let n = 16;
+    for i in 0..n {
+        let mut c = ChunkSubmit::new(RailId((i % 2) as usize), 8192);
+        c.payload = Some(payload(8192, i as u8));
+        driver.submit(c);
+    }
+    let mut delivered = 0;
+    while delivered < n {
+        for ev in driver.poll() {
+            if matches!(ev, TransportEvent::ChunkDelivered { .. }) {
+                delivered += 1;
+            }
+        }
+    }
+    let stats = driver.stats();
+    assert_eq!(stats.delivered, n as u64);
+    assert_eq!(stats.corrupt, 0);
+    assert_eq!(stats.bytes_verified, n as u64 * 8192);
+}

@@ -1,0 +1,78 @@
+//! Property-based workload tests: random message mixes through every
+//! strategy must conserve messages and bytes, never deadlock, and respect
+//! basic physics (nothing completes faster than the best single rail's
+//! latency).
+
+use nm_core::strategy::StrategyKind;
+use nm_tests::paper_engine_kind;
+use proptest::prelude::*;
+
+fn strategy_kind() -> impl proptest::strategy::Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::SingleRail(None)),
+        Just(StrategyKind::GreedyBalance),
+        Just(StrategyKind::IsoSplit),
+        Just(StrategyKind::RatioSplit),
+        Just(StrategyKind::HeteroSplit),
+        Just(StrategyKind::Aggregation),
+        Just(StrategyKind::MulticoreEager),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_workloads_complete_exactly_once(
+        kind in strategy_kind(),
+        sizes in proptest::collection::vec(1u64..(4 << 20), 1..12),
+    ) {
+        let mut engine = paper_engine_kind(kind);
+        let ids: Vec<_> = sizes
+            .iter()
+            .map(|&s| engine.post_send(s).expect("post"))
+            .collect();
+        let done = engine.drain().expect("drain");
+        prop_assert_eq!(done.len(), ids.len());
+
+        // Conservation: every message completed once, bytes add up.
+        let mut seen: Vec<_> = done.iter().map(|c| c.id).collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), ids.len(), "duplicate completions");
+        prop_assert_eq!(
+            done.iter().map(|c| c.size).sum::<u64>(),
+            sizes.iter().sum::<u64>()
+        );
+
+        // Physics: no message completes before the fastest rail's latency,
+        // and chunk layouts tile each message exactly.
+        for c in &done {
+            prop_assert!(c.duration.as_micros_f64() >= 1.0,
+                "{:?} completed impossibly fast: {:?}", c.id, c.duration);
+            prop_assert_eq!(c.chunks.iter().map(|x| x.1).sum::<u64>(), c.size);
+            prop_assert!(c.delivered_at >= c.posted_at);
+        }
+    }
+
+    #[test]
+    fn hetero_is_never_much_worse_than_single_rail(
+        sizes in proptest::collection::vec(1u64..(4 << 20), 1..6),
+    ) {
+        // For a one-at-a-time workload, hetero-split's completion must not
+        // exceed the dynamic single-rail baseline by more than prediction
+        // error allows (10%): it can always fall back to one rail.
+        for &size in &sizes {
+            let mut single = paper_engine_kind(StrategyKind::SingleRail(None));
+            let id = single.post_send(size).expect("post");
+            let t_single = single.wait(id).expect("wait").duration.as_micros_f64();
+
+            let mut hetero = paper_engine_kind(StrategyKind::HeteroSplit);
+            let id = hetero.post_send(size).expect("post");
+            let t_hetero = hetero.wait(id).expect("wait").duration.as_micros_f64();
+
+            prop_assert!(t_hetero <= t_single * 1.10 + 1.0,
+                "size {size}: hetero {t_hetero:.1}us vs single {t_single:.1}us");
+        }
+    }
+}
