@@ -1,0 +1,245 @@
+//! Minimal API-compatible shim for the `criterion` crate surface this
+//! workspace uses. Vendored because the build environment has no registry
+//! access.
+//!
+//! Measurement model: warm up briefly, size the iteration count so one
+//! sample takes a few milliseconds, take `sample_size` samples, report the
+//! median ns/iter (median resists scheduler noise better than the mean in
+//! a shared container). Results are printed and appended as JSON lines to
+//! `target/criterion-compat.jsonl` so perf trajectories can be scripted.
+
+pub use std::hint::black_box;
+
+use std::fmt::{self, Display};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{name}/{parameter}") }
+    }
+
+    /// Builds from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Times closures.
+pub struct Bencher {
+    target_sample: Duration,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    pub(crate) measured_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns/iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and calibration: how many iterations fit the target time?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            sample_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.measured_ns = sample_ns[sample_ns.len() / 2];
+    }
+
+    /// `iter` variant receiving the batch size (compat; runs like `iter`).
+    pub fn iter_with_large_drop<O>(&mut self, f: impl FnMut() -> O) {
+        self.iter(f);
+    }
+}
+
+fn results_path() -> PathBuf {
+    // target/ relative to the workspace the bench runs in.
+    let mut p = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|a| a.file_name().map(|n| n == "target").unwrap_or(false))
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"));
+    p.push("criterion-compat.jsonl");
+    p
+}
+
+fn record(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * 1e9 / ns;
+            format!("  {:>12.0} elem/s", per_sec)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let mib_s = n as f64 * 1e9 / ns / (1024.0 * 1024.0);
+            format!("  {:>10.1} MiB/s", mib_s)
+        }
+        None => String::new(),
+    };
+    println!("bench {group}/{id:<44} {ns:>12.1} ns/iter{thrpt}");
+    let json = format!("{{\"group\":{:?},\"id\":{:?},\"ns_per_iter\":{ns:.2}}}\n", group, id);
+    if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(results_path()) {
+        let _ = f.write_all(json.as_bytes());
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets per-iteration throughput units.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compat; this shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compat; this shim ignores it.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            target_sample: Duration::from_millis(5),
+            samples: self.sample_size,
+            measured_ns: f64::NAN,
+        };
+        f(&mut b);
+        record(&self.name, &id.name, b.measured_ns, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark receiving an input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g =
+            BenchmarkGroup { name: "default".to_string(), sample_size: 10, throughput: None };
+        g.bench_function(id, f);
+        self
+    }
+
+    /// Compat: configuration hook.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+impl fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Criterion")
+    }
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; measuring
+            // under the test harness is meaningless, so bail out fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

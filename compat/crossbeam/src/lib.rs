@@ -1,0 +1,8 @@
+//! Minimal API-compatible shim for the `crossbeam` crate surface this
+//! workspace uses. Vendored because the build environment has no registry
+//! access. Functionally equivalent, not lock-free: channels wrap
+//! `std::sync::mpsc` (with a `Mutex` around the receiver so `Receiver` is
+//! clonable and `Sync`), deques wrap `Mutex<VecDeque>`.
+
+pub mod channel;
+pub mod deque;

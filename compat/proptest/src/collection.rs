@@ -1,0 +1,72 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for [`vec`].
+pub trait SizeRange {
+    /// Draws a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty size range");
+        start + rng.below((end - start + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy for vectors of values from `element`, with a length drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = vec(0u8..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal API-compatible shim for the `proptest` crate surface this
+//! workspace uses. Vendored because the build environment has no registry
+//! access.
+//!
+//! Differences from real proptest: no shrinking (failures report the raw
+//! generated inputs), and the RNG seed is derived deterministically from
+//! the test name so runs are reproducible.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `Config::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case_index in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut rng);
+                    )+
+                    let rendered_inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&::std::format!(
+                                "\n  {} = {:?}", stringify!($arg), $arg));
+                        )+
+                        s
+                    };
+                    let mut body = move || -> ::std::result::Result<
+                        (), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(e) = body() {
+                        ::std::panic!(
+                            "property failed at case {}/{}: {}\ninputs:{}",
+                            case_index + 1, config.cases, e, rendered_inputs);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (with the
+/// generated inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l, r);
+    }};
+}
+
+/// Early-exits the case (treated as a pass) when an assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>, $weight)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>, 1u32)),+
+        ])
+    };
+}

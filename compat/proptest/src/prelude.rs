@@ -1,0 +1,11 @@
+//! The glob-import surface: `use proptest::prelude::*;`
+
+pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+/// Namespaced re-export so `proptest::collection::vec` resolves from the
+/// prelude's `proptest` name too.
+pub mod collection {
+    pub use crate::collection::*;
+}

@@ -11,7 +11,7 @@ use nm_core::split::{dichotomy_split, equal_completion_split};
 use nm_model::{PerfProfile, SimTime};
 use nm_proto::aggregate::{AggEntry, Aggregator};
 use nm_proto::{Packet, PacketHeader, PacketKind, Reassembler};
-use nm_sim::{EventQueue, RailId};
+use nm_sim::{EventQueue, LegacyEventQueue, RailId};
 use std::hint::black_box;
 
 fn affine_profile(name: &str, lat: f64, bw: f64) -> PerfProfile {
@@ -87,6 +87,37 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    g.bench_function("push_pop_1024_legacy_heap", |b| {
+        b.iter(|| {
+            let mut q = LegacyEventQueue::new();
+            for i in 0..1024u64 {
+                q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    // Heavy retraction: half the scheduled events get cancelled — the
+    // calendar's O(1) generation-bump vs the legacy tombstone set.
+    g.bench_function("push_cancel_half_pop_1024", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..1024u64)
+                .map(|i| q.push(SimTime::from_nanos((i * 2_654_435_761) % 1_000_000), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
     g.finish();
 }
 
@@ -122,6 +153,31 @@ fn bench_wire(c: &mut Criterion) {
             }
             let pack = agg.flush(0).unwrap();
             black_box(nm_proto::unpack_aggregate(&pack).unwrap())
+        })
+    });
+
+    // Zero-copy packing: flush_segments never touches payload bytes, so
+    // its cost is independent of message size — compare against the
+    // contiguous gather (flush) on the same 16×4 KiB batch.
+    let batch: Vec<AggEntry> = (0..16)
+        .map(|i| AggEntry { flow: 0, msg_id: i, data: bytes::Bytes::from(vec![i as u8; 4096]) })
+        .collect();
+    g.bench_function("aggregate_flush_gather_16x4k", |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(256 * 1024);
+            for e in &batch {
+                agg.push(e.clone());
+            }
+            black_box(agg.flush(0).unwrap())
+        })
+    });
+    g.bench_function("aggregate_flush_segments_16x4k", |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(256 * 1024);
+            for e in &batch {
+                agg.push(e.clone());
+            }
+            black_box(agg.flush_segments(0).unwrap())
         })
     });
 

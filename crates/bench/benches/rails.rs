@@ -22,8 +22,7 @@ fn bench_rail_round_trip(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(256 * 1024));
     g.bench_function("one_chunk_256k_through_a_rail", |b| {
         // A fast rail so the benchmark measures machinery, not the throttle.
-        let mut driver =
-            ShmemDriver::new(vec![ShmemRail::new("bench", 1, 20_000.0, 64 * 1024)], 2);
+        let mut driver = ShmemDriver::new(vec![ShmemRail::new("bench", 1, 20_000.0, 64 * 1024)], 2);
         b.iter(|| {
             let id = driver.submit(ChunkSubmit::new(RailId(0), 256 * 1024));
             'wait: loop {

@@ -17,27 +17,57 @@ fn bench_decisions(c: &mut Criterion) {
     for kind in StrategyKind::all() {
         let mut strategy = kind.build();
         let sizes = [4u64 << 20, 64 << 10, 512];
-        g.bench_with_input(
-            BenchmarkId::new("strategy", strategy.name()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    for &size in &sizes {
-                        let queued = [size];
-                        let ctx = Ctx {
-                            now: SimTime::ZERO,
-                            predictor: &predictor,
-                            rail_waits_us: vec![0.0, 120.0],
-                            idle_cores: vec![CoreId(1), CoreId(2), CoreId(3)],
-                            core_count: 4,
-                            queued_sizes: &queued,
-                        };
-                        black_box(strategy.decide(&ctx));
-                    }
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("strategy", strategy.name()), &kind, |b, _| {
+            b.iter(|| {
+                for &size in &sizes {
+                    let queued = [size];
+                    let ctx = Ctx {
+                        now: SimTime::ZERO,
+                        predictor: &predictor,
+                        rail_waits_us: &[0.0, 120.0],
+                        idle_cores: vec![CoreId(1), CoreId(2), CoreId(3)],
+                        core_count: 4,
+                        queued_sizes: &queued,
+                        predictor_epoch: 0,
+                    };
+                    black_box(strategy.decide(&ctx));
+                }
+            })
+        });
     }
+    g.finish();
+}
+
+/// Cold (cache miss, full selection + dichotomy) vs warm (split-plan cache
+/// hit) decision latency of the hetero split — the tentpole's fast path.
+/// Cold is forced by bumping the predictor epoch before every decision,
+/// which invalidates the plan cache exactly like a feedback correction.
+fn bench_plan_cache(c: &mut Criterion) {
+    let predictor = sample_predictor(&ClusterSpec::paper_testbed());
+    let mut g = c.benchmark_group("decide_cache");
+    let queued = [4u64 << 20];
+    let make_ctx = |epoch: u64| Ctx {
+        now: SimTime::ZERO,
+        predictor: &predictor,
+        rail_waits_us: &[0.0, 120.0],
+        idle_cores: vec![CoreId(1), CoreId(2), CoreId(3)],
+        core_count: 4,
+        queued_sizes: &queued,
+        predictor_epoch: epoch,
+    };
+
+    let mut cold_strategy = StrategyKind::HeteroSplit.build();
+    let mut epoch = 0u64;
+    g.bench_function("hetero_cold", |b| {
+        b.iter(|| {
+            epoch += 1; // new epoch: guaranteed cache miss
+            black_box(cold_strategy.decide(&make_ctx(epoch)))
+        })
+    });
+
+    let mut warm_strategy = StrategyKind::HeteroSplit.build();
+    warm_strategy.decide(&make_ctx(0)); // prime the cache
+    g.bench_function("hetero_warm", |b| b.iter(|| black_box(warm_strategy.decide(&make_ctx(0)))));
     g.finish();
 }
 
@@ -69,5 +99,5 @@ fn bench_engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_decisions, bench_engine_throughput);
+criterion_group!(benches, bench_decisions, bench_plan_cache, bench_engine_throughput);
 criterion_main!(benches);

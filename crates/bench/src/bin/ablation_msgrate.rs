@@ -17,8 +17,7 @@ fn rate_msgs_per_sec(kind: StrategyKind, size: u64, count: usize) -> f64 {
     let sizes = vec![size; count];
     engine.post_send_batch(&sizes).expect("post");
     let done = engine.drain().expect("drain");
-    let end_us =
-        done.iter().map(|c| c.delivered_at.as_micros_f64()).fold(0.0, f64::max);
+    let end_us = done.iter().map(|c| c.delivered_at.as_micros_f64()).fold(0.0, f64::max);
     count as f64 / (end_us / 1e6)
 }
 
@@ -32,8 +31,7 @@ fn main() {
         ("aggregation", StrategyKind::Aggregation),
         ("multicore", StrategyKind::MulticoreEager),
     ];
-    let mut table =
-        Table::new(&["size", "single", "greedy", "aggregation", "multicore", "best"]);
+    let mut table = Table::new(&["size", "single", "greedy", "aggregation", "multicore", "best"]);
     for size in [64u64, 256, 1024, 4096, 16 * 1024] {
         let rates: Vec<f64> =
             strategies.iter().map(|&(_, k)| rate_msgs_per_sec(k, size, 64)).collect();

@@ -16,8 +16,7 @@ fn main() {
     println!("# paper operating points: T_O = 3us (tasklet), 6us (signal)\n");
 
     let predictor = sample_predictor(&ClusterSpec::paper_testbed());
-    let mut table =
-        Table::new(&["T_O (us)", "break-even size", "gain @16K", "gain @64K"]);
+    let mut table = Table::new(&["T_O (us)", "break-even size", "gain @16K", "gain @64K"]);
     for t_o in [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0, 50.0] {
         let break_even = pow2_sizes(4, 64 * KIB)
             .into_iter()

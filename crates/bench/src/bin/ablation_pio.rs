@@ -26,12 +26,10 @@ fn completion(sim: &mut Simulator, ids: &[nm_sim::TransferId]) -> f64 {
 fn scenario_a_greedy_one_core(seg: u64) -> f64 {
     let mut sim = Simulator::new(ClusterSpec::paper_testbed());
     let a = sim.submit(
-        SendSpec::simple(NodeId(0), NodeId(1), RailId(0), seg)
-            .with_mode(TransferMode::Eager),
+        SendSpec::simple(NodeId(0), NodeId(1), RailId(0), seg).with_mode(TransferMode::Eager),
     );
     let b = sim.submit(
-        SendSpec::simple(NodeId(0), NodeId(1), RailId(1), seg)
-            .with_mode(TransferMode::Eager),
+        SendSpec::simple(NodeId(0), NodeId(1), RailId(1), seg).with_mode(TransferMode::Eager),
     );
     completion(&mut sim, &[a, b])
 }
@@ -43,9 +41,8 @@ fn scenario_b_aggregate(seg: u64) -> f64 {
     let myri = nm_model::builtin::myri_10g().one_way_us_in_mode(pack, TransferMode::Eager);
     let quad = nm_model::builtin::qsnet2().one_way_us_in_mode(pack, TransferMode::Eager);
     let rail = if myri <= quad { RailId(0) } else { RailId(1) };
-    let id = sim.submit(
-        SendSpec::simple(NodeId(0), NodeId(1), rail, pack).with_mode(TransferMode::Eager),
-    );
+    let id = sim
+        .submit(SendSpec::simple(NodeId(0), NodeId(1), rail, pack).with_mode(TransferMode::Eager));
     completion(&mut sim, &[id])
 }
 
@@ -73,7 +70,8 @@ fn main() {
     println!("# Ablation (Fig 4): PIO transfer combinations, two eager segments");
     println!("# (a) greedy 1 core | (b) aggregated | (c) offloaded on 2 cores, T_O=3us\n");
 
-    let mut table = Table::new(&["segment", "(a) greedy", "(b) aggregate", "(c) offload", "winner"]);
+    let mut table =
+        Table::new(&["segment", "(a) greedy", "(b) aggregate", "(c) offload", "winner"]);
     for seg in pow2_sizes(64, 32 * KIB) {
         let a = scenario_a_greedy_one_core(seg);
         let b = scenario_b_aggregate(seg);

@@ -35,13 +35,9 @@ fn run_with_busy_myri(layout: &[(RailId, u64)], wait_us: f64) -> f64 {
 }
 
 fn hetero_layout(predictor: &Predictor, size: u64, wait_us: f64) -> Vec<(RailId, u64)> {
-    select_rails(
-        &predictor.natural_cost(),
-        &[(RailId(0), wait_us), (RailId(1), 0.0)],
-        size,
-        2,
-    )
-    .assignments
+    select_rails(&predictor.natural_cost(), &[(RailId(0), wait_us), (RailId(1), 0.0)], size, 2)
+        .assignments
+        .to_vec()
 }
 
 fn static_layout(size: u64) -> Vec<(RailId, u64)> {

@@ -23,8 +23,7 @@ fn main() {
         let segments = [seg, seg];
         let myri = batch_completion_us(Box::new(AggregateOn(RailId(0))), &segments);
         let quad = batch_completion_us(Box::new(AggregateOn(RailId(1))), &segments);
-        let balanced =
-            batch_completion_us(StrategyKind::GreedyBalance.build(), &segments);
+        let balanced = batch_completion_us(StrategyKind::GreedyBalance.build(), &segments);
         let best_agg = myri.min(quad);
         let ratio = balanced / best_agg;
         worst_ratio = worst_ratio.min(ratio);

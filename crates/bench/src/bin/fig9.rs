@@ -18,8 +18,7 @@ fn main() {
     let myri = &predictor.rails()[0].eager;
     let quad = &predictor.rails()[1].eager;
 
-    let mut table =
-        Table::new(&["size", "Myri-10G", "Quadrics", "hetero-split est.", "gain"]);
+    let mut table = Table::new(&["size", "Myri-10G", "Quadrics", "hetero-split est.", "gain"]);
     let mut crossover: Option<u64> = None;
     let mut best_gain = f64::MIN;
     for size in pow2_sizes(4, 64 * KIB) {

@@ -35,9 +35,12 @@ fn main() {
     for _ in 0..ROUNDS {
         let hold = gate.lock().unwrap();
         let g = gate.clone();
-        pool2.submit_to(1, Tasklet::high("gate", move || {
-            let _x = g.lock().unwrap();
-        }));
+        pool2.submit_to(
+            1,
+            Tasklet::high("gate", move || {
+                let _x = g.lock().unwrap();
+            }),
+        );
         pool2.submit_to(1, Tasklet::high("queued", || {}));
         drop(hold);
         pool2.wait_quiescent(Duration::from_secs(2));

@@ -15,13 +15,15 @@ use nm_sim::{ClusterSpec, NodeId, RailId, SendSpec, Simulator};
 
 fn chunks_for(kind: StrategyKind, predictor: &Predictor, size: u64) -> Vec<(RailId, u64)> {
     let sizes = [size];
+    let waits = vec![0.0; predictor.rail_count()];
     let ctx = Ctx {
         now: SimTime::ZERO,
         predictor,
-        rail_waits_us: vec![0.0; predictor.rail_count()],
+        rail_waits_us: &waits,
         idle_cores: (0..4).map(nm_sim::CoreId).collect(),
         core_count: 4,
         queued_sizes: &sizes,
+        predictor_epoch: 0,
     };
     match kind.build().decide(&ctx) {
         Action::Split(chunks) => chunks.into_iter().map(|c| (c.rail, c.bytes)).collect(),
@@ -55,8 +57,7 @@ fn main() {
     let size = 4 * MIB;
     let rail_name = |r: RailId| spec.rails[r.index()].name.clone();
 
-    let mut table =
-        Table::new(&["strategy", "rail", "chunk (KiB)", "duration (us)"]);
+    let mut table = Table::new(&["strategy", "rail", "chunk (KiB)", "duration (us)"]);
     let mut summaries = Vec::new();
     for kind in [StrategyKind::IsoSplit, StrategyKind::HeteroSplit] {
         let layout = chunks_for(kind, &predictor, size);

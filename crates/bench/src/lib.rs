@@ -38,7 +38,7 @@ pub fn sample_predictor(spec: &ClusterSpec) -> Predictor {
             let eager = sample_rail(&mut sampler, i, &eager_cfg).expect("sampling");
             RailView {
                 rail: RailId(i),
-                name: sampler.rail_name(i),
+                name: sampler.rail_name(i).into(),
                 natural,
                 eager,
                 rdv_threshold: spec.rails[i].rdv_threshold,

@@ -206,15 +206,13 @@ mod tests {
         // profiles describe rails, not node counts.
         let two_node = ClusterSpec::two_nodes(4, spec.rails.clone());
         let mut sampler = nm_sampler::SimTransport::new(two_node);
-        let cfg =
-            nm_sampler::SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+        let cfg = nm_sampler::SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
         let rails = (0..spec.rail_count())
             .map(|i| {
-                let natural =
-                    nm_sampler::sample_rail(&mut sampler, i, &cfg).expect("sampling");
+                let natural = nm_sampler::sample_rail(&mut sampler, i, &cfg).expect("sampling");
                 crate::predictor::RailView {
                     rail: RailId(i),
-                    name: spec.rails[i].name.clone(),
+                    name: spec.rails[i].name.as_str().into(),
                     eager: natural.clone(),
                     natural,
                     rdv_threshold: spec.rails[i].rdv_threshold,
@@ -336,12 +334,7 @@ mod tests {
         e01.post_send(8 * MIB).expect("flood");
         let id = e02.post_send(2 * MIB).expect("post");
         let done = e02.wait(id).expect("wait");
-        let rail1_bytes = done
-            .chunks
-            .iter()
-            .filter(|c| c.0 == RailId(1))
-            .map(|c| c.1)
-            .sum::<u64>();
+        let rail1_bytes = done.chunks.iter().filter(|c| c.0 == RailId(1)).map(|c| c.1).sum::<u64>();
         assert!(
             rail1_bytes as f64 > 0.8 * (2 * MIB) as f64,
             "flooded rail should be mostly avoided: {:?}",

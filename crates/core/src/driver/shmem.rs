@@ -16,8 +16,8 @@ use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use nm_model::SimTime;
-use nm_sim::{CoreId, RailId};
 use nm_runtime::{Tasklet, WorkerPool};
+use nm_sim::{CoreId, RailId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -270,8 +270,7 @@ impl Transport for ShmemDriver {
             Bytes::from((0..chunk.bytes).map(|i| (i * 131 % 251) as u8).collect::<Vec<u8>>())
         });
         let sum = checksum(&payload);
-        let tx_time =
-            Duration::from_secs_f64(payload.len() as f64 / cfg.bytes_per_sec);
+        let tx_time = Duration::from_secs_f64(payload.len() as f64 / cfg.bytes_per_sec);
 
         // Reserve the rail (prediction view): max(now, reserved) + tx_time.
         let now_ns = self.wall_ns();
@@ -315,8 +314,7 @@ impl Transport for ShmemDriver {
             out.push(ev);
         }
         if out.is_empty() {
-            let outstanding: u64 =
-                self.outstanding.iter().map(|o| o.load(Ordering::Acquire)).sum();
+            let outstanding: u64 = self.outstanding.iter().map(|o| o.load(Ordering::Acquire)).sum();
             if outstanding > 0 {
                 if let Ok(ev) = self.events_rx.recv_timeout(Duration::from_millis(50)) {
                     out.push(ev);

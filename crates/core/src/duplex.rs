@@ -103,7 +103,7 @@ fn sample_driver(driver: &mut ShmemDriver, sampling: &SamplingConfig) -> Predict
             let natural = sample_rail(driver, i, sampling).expect("sampling");
             RailView {
                 rail: RailId(i),
-                name: SampleTransport::rail_name(driver, i),
+                name: SampleTransport::rail_name(driver, i).into(),
                 eager: natural.clone(),
                 natural,
                 rdv_threshold: thresholds[i],
@@ -184,10 +184,8 @@ impl Endpoint {
             PacketKind::Eager => {
                 let h = packet.header;
                 let key = (h.flow, h.msg_id);
-                let asm = self
-                    .assemblers
-                    .entry(key)
-                    .or_insert_with(|| Reassembler::new(h.total_len));
+                let asm =
+                    self.assemblers.entry(key).or_insert_with(|| Reassembler::new(h.total_len));
                 let complete =
                     asm.feed(h.offset, &packet.payload).expect("chunks tile the message");
                 if complete {
@@ -205,10 +203,7 @@ impl Endpoint {
     }
 
     fn release(&mut self, flow: u32, flow_seq: u64, msg: Bytes) {
-        let seq = self
-            .sequencers
-            .entry(flow)
-            .or_insert_with(|| Sequencer::new(4096));
+        let seq = self.sequencers.entry(flow).or_insert_with(|| Sequencer::new(4096));
         for out in seq.accept(flow_seq, msg).expect("peer respects flow sequencing") {
             self.received += 1;
             self.ready.push_back((flow, out));
@@ -259,10 +254,7 @@ mod tests {
 
     #[test]
     fn small_messages_aggregate_and_unpack() {
-        let cfg = DuplexConfig {
-            strategy: StrategyKind::Aggregation,
-            ..DuplexConfig::default()
-        };
+        let cfg = DuplexConfig { strategy: StrategyKind::Aggregation, ..DuplexConfig::default() };
         let (mut a, mut b) = pair(cfg);
         // One engine.post per message would kick immediately; the duplex
         // send is per-message, so aggregation happens when sends outpace

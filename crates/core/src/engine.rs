@@ -12,7 +12,7 @@
 
 use crate::error::EngineError;
 use crate::predictor::Predictor;
-use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::strategy::{Action, ChunkList, Ctx, Strategy};
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
 use bytes::Bytes;
 use nm_model::{SimDuration, SimTime};
@@ -120,6 +120,14 @@ pub struct Engine<T: Transport> {
     next_msg: u64,
     next_pack: u64,
     stats: EngineStats,
+    /// Generation counter of the predictor, forwarded to strategies via
+    /// [`Ctx`] so plan caches drop memoized splits whenever the sampled
+    /// knowledge changes (feedback correction, re-sampling).
+    predictor_epoch: u64,
+    /// Reusable buffers for the per-interrogation queue/wait snapshots —
+    /// the hot path allocates nothing per message in steady state.
+    scratch_sizes: Vec<u64>,
+    scratch_waits: Vec<f64>,
 }
 
 /// Maximum out-of-order completions buffered per flow.
@@ -157,6 +165,9 @@ impl<T: Transport> Engine<T> {
             next_msg: 0,
             next_pack: 0,
             stats: EngineStats { rail_bytes: vec![0; rails], ..Default::default() },
+            predictor_epoch: 0,
+            scratch_sizes: Vec::new(),
+            scratch_waits: Vec::with_capacity(rails),
         })
     }
 
@@ -228,10 +239,7 @@ impl<T: Transport> Engine<T> {
     /// is what lets the aggregation strategy actually see a queue: posting
     /// one-by-one interrogates the strategy after every message.
     pub fn post_send_batch(&mut self, sizes: &[u64]) -> Result<Vec<MsgId>, EngineError> {
-        let ids = sizes
-            .iter()
-            .map(|&s| self.enqueue(s, None, 0))
-            .collect::<Result<Vec<_>, _>>()?;
+        let ids = sizes.iter().map(|&s| self.enqueue(s, None, 0)).collect::<Result<Vec<_>, _>>()?;
         self.kick()?;
         Ok(ids)
     }
@@ -284,24 +292,46 @@ impl<T: Transport> Engine<T> {
     }
 
     /// Interrogates the strategy while it keeps consuming the queue.
+    ///
+    /// The per-iteration queue/wait snapshots live in the engine's scratch
+    /// buffers; they are taken out for the duration of the loop (the `Ctx`
+    /// borrows them while `self` stays mutable) and put back afterwards,
+    /// even on early return.
     fn kick(&mut self) -> Result<(), EngineError> {
+        let mut sizes = std::mem::take(&mut self.scratch_sizes);
+        let mut waits = std::mem::take(&mut self.scratch_waits);
+        let result = self.kick_inner(&mut sizes, &mut waits);
+        sizes.clear();
+        waits.clear();
+        self.scratch_sizes = sizes;
+        self.scratch_waits = waits;
+        result
+    }
+
+    fn kick_inner(
+        &mut self,
+        sizes: &mut Vec<u64>,
+        waits: &mut Vec<f64>,
+    ) -> Result<(), EngineError> {
         let mut consecutive_promotes = 0usize;
         while !self.queue.is_empty() {
-            let sizes: Vec<u64> = self.queue.iter().map(|m| m.size).collect();
+            sizes.clear();
+            sizes.extend(self.queue.iter().map(|m| m.size));
             let now = self.transport.now();
-            let rail_waits_us: Vec<f64> = (0..self.transport.rail_count())
-                .map(|r| {
-                    Predictor::wait_us(now, self.transport.rail_busy_until(RailId(r)))
-                })
-                .collect();
+            waits.clear();
+            waits.extend(
+                (0..self.transport.rail_count())
+                    .map(|r| Predictor::wait_us(now, self.transport.rail_busy_until(RailId(r)))),
+            );
             let action = {
                 let ctx = Ctx {
                     now,
                     predictor: &self.predictor,
-                    rail_waits_us,
+                    rail_waits_us: waits,
                     idle_cores: self.transport.idle_cores(),
                     core_count: self.transport.core_count(),
-                    queued_sizes: &sizes,
+                    queued_sizes: sizes,
+                    predictor_epoch: self.predictor_epoch,
                 };
                 self.strategy.decide(&ctx)
             };
@@ -336,7 +366,7 @@ impl<T: Transport> Engine<T> {
         Ok(())
     }
 
-    fn apply_split(&mut self, chunks: Vec<ChunkPlan>) -> Result<(), EngineError> {
+    fn apply_split(&mut self, chunks: ChunkList) -> Result<(), EngineError> {
         let head = self.queue.front().expect("kick checked non-empty");
         if chunks.is_empty() {
             return Err(EngineError::BadPlan("empty chunk list".into()));
@@ -375,9 +405,7 @@ impl<T: Transport> Engine<T> {
         let mut offset = 0u64;
         for (chunk_index, c) in chunks.into_iter().enumerate() {
             let payload = match (&msg.payload, self.framing) {
-                (Some(p), false) => {
-                    Some(p.slice(offset as usize..(offset + c.bytes) as usize))
-                }
+                (Some(p), false) => Some(p.slice(offset as usize..(offset + c.bytes) as usize)),
                 (Some(p), true) => {
                     let slice = p.slice(offset as usize..(offset + c.bytes) as usize);
                     let packet = nm_proto::Packet::new(
@@ -397,8 +425,7 @@ impl<T: Transport> Engine<T> {
                 (None, _) => None,
             };
             offset += c.bytes;
-            let wire_bytes =
-                payload.as_ref().map(|p| p.len() as u64).unwrap_or(c.bytes);
+            let wire_bytes = payload.as_ref().map(|p| p.len() as u64).unwrap_or(c.bytes);
             let submit = ChunkSubmit {
                 rail: c.rail,
                 bytes: wire_bytes,
@@ -429,9 +456,8 @@ impl<T: Transport> Engine<T> {
             Some(nm_model::TransferMode::Eager) => view.eager.predict_us(submit.bytes),
             _ => view.natural.predict_us(submit.bytes),
         };
-        let predicted = now
-            + submit.offload_delay
-            + nm_model::SimDuration::from_micros_f64(wait + dur_us);
+        let predicted =
+            now + submit.offload_delay + nm_model::SimDuration::from_micros_f64(wait + dur_us);
         (submit.rail, now, predicted)
     }
 
@@ -445,13 +471,11 @@ impl<T: Transport> Engine<T> {
         if rail.index() >= self.transport.rail_count() {
             return Err(EngineError::BadPlan(format!("unknown rail {rail:?}")));
         }
-        let msgs: Vec<QueuedMsg> = (0..count)
-            .map(|_| self.queue.pop_front().expect("count validated"))
-            .collect();
+        let msgs: Vec<QueuedMsg> =
+            (0..count).map(|_| self.queue.pop_front().expect("count validated")).collect();
 
         // Wire size of the pack, and the packed payload when bytes exist.
-        let pack_bytes: u64 =
-            msgs.iter().map(|m| m.size + ENTRY_OVERHEAD as u64).sum();
+        let pack_bytes: u64 = msgs.iter().map(|m| m.size + ENTRY_OVERHEAD as u64).sum();
         let all_have_payloads = msgs.iter().all(|m| m.payload.is_some());
         let payload = if all_have_payloads {
             let mut agg = Aggregator::new(pack_bytes as usize + 1);
@@ -467,8 +491,7 @@ impl<T: Transport> Engine<T> {
             // With framing on, the receiver needs the pack header to
             // dispatch to unpack_aggregate; otherwise the bare pack
             // payload suffices for integrity checking.
-            agg.flush(pack_id)
-                .map(|p| if self.framing { p.encode() } else { p.payload })
+            agg.flush(pack_id).map(|p| if self.framing { p.encode() } else { p.payload })
         } else {
             None
         };
@@ -511,8 +534,7 @@ impl<T: Transport> Engine<T> {
         for ev in events {
             match ev {
                 TransportEvent::ChunkDelivered { chunk, at } => {
-                    if let Some((rail, submitted, predicted)) =
-                        self.chunk_prediction.remove(&chunk)
+                    if let Some((rail, submitted, predicted)) = self.chunk_prediction.remove(&chunk)
                     {
                         self.feedback.record(rail, submitted, predicted, at);
                     }
@@ -601,8 +623,8 @@ impl<T: Transport> Engine<T> {
                 // Nothing in flight: the strategy must act now or never.
                 self.kick()?;
                 if self.transport_quiescent() && !self.completions.contains_key(&id) {
-                    let still_known = self.inflight.contains_key(&id)
-                        || self.queue.iter().any(|m| m.id == id);
+                    let still_known =
+                        self.inflight.contains_key(&id) || self.queue.iter().any(|m| m.id == id);
                     if still_known {
                         return Err(EngineError::Transport(format!(
                             "deadlock: transport quiescent but message {} incomplete",
@@ -671,5 +693,12 @@ impl<T: Transport> Engine<T> {
         let factors = self.feedback.correction_factors();
         self.predictor = self.predictor.with_rail_scaling(&factors);
         self.feedback = crate::feedback::Feedback::new(self.predictor.rail_count());
+        // Memoized split plans embed the old predictions — invalidate them.
+        self.predictor_epoch += 1;
+    }
+
+    /// Current predictor generation (bumped on every predictor swap).
+    pub fn predictor_epoch(&self) -> u64 {
+        self.predictor_epoch
     }
 }

@@ -67,19 +67,16 @@ pub fn estimate_eager_split(
     assert!(size > 0, "empty messages are not modeled");
     assert!(offload_us >= 0.0);
     let cost = predictor.eager_cost();
-    let rails: Vec<(RailId, f64)> =
-        (0..predictor.rail_count()).map(|i| (RailId(i), 0.0)).collect();
+    let rails: Vec<(RailId, f64)> = (0..predictor.rail_count()).map(|i| (RailId(i), 0.0)).collect();
 
-    let best_single_us = rails
-        .iter()
-        .map(|&(r, _)| cost.time_us(r, size))
-        .fold(f64::INFINITY, f64::min);
+    let best_single_us =
+        rails.iter().map(|&(r, _)| cost.time_us(r, size)).fold(f64::INFINITY, f64::min);
 
     let split = equal_completion_split(&cost, &rails, size);
     let split_us = offload_us + split.completion_us;
     EagerSplitEstimate {
         size,
-        assignments: split.assignments,
+        assignments: split.assignments.to_vec(),
         split_us,
         best_single_us,
         gain: 1.0 - split_us / best_single_us,

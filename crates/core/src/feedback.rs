@@ -104,9 +104,7 @@ impl Feedback {
     /// relative error over at least `min_count` observations — the signal
     /// to re-sample (or apply [`Predictor::with_rail_scaling`]).
     pub fn drift_detected(&self, threshold: f64, min_count: u64) -> bool {
-        self.rails
-            .iter()
-            .any(|r| r.count >= min_count && r.mean_signed_rel_err.abs() > threshold)
+        self.rails.iter().any(|r| r.count >= min_count && r.mean_signed_rel_err.abs() > threshold)
     }
 }
 

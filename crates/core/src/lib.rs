@@ -48,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod feedback;
+pub mod plan_cache;
 pub mod predictor;
 pub mod selection;
 pub mod session;
@@ -58,6 +59,7 @@ pub mod transport;
 pub use engine::{Engine, MsgCompletion, MsgId};
 pub use error::EngineError;
 pub use feedback::{Feedback, RailFeedback};
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use predictor::{Predictor, RailView};
 pub use session::{Session, SessionBuilder};
 pub use strategy::{Action, ChunkPlan, Ctx, Strategy, StrategyKind};

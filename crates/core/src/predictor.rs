@@ -6,16 +6,19 @@
 //! `r` if submitted now?" — the quantity the paper uses both to discard
 //! NICs (Fig 2) and to equalize chunk completions (Fig 1c).
 
-use nm_model::{PerfProfile, SimTime};
+use nm_model::{PerfProfile, SimTime, MAX_RAILS};
 use nm_sim::RailId;
+use std::sync::Arc;
 
 /// The engine's knowledge of one rail.
 #[derive(Debug, Clone)]
 pub struct RailView {
     /// Rail index (matches the transport).
     pub rail: RailId,
-    /// Rail name.
-    pub name: String,
+    /// Rail name. Shared (`Arc<str>`) so cloning a view — e.g. when the
+    /// feedback loop rebuilds the predictor — bumps a refcount instead of
+    /// copying the string.
+    pub name: Arc<str>,
     /// Profile sampled with the rail's natural protocol choice.
     pub natural: PerfProfile,
     /// Profile sampled with the eager protocol forced — what the multicore
@@ -45,9 +48,11 @@ pub struct Predictor {
 }
 
 impl Predictor {
-    /// Builds a predictor; rails must be indexed contiguously from 0.
+    /// Builds a predictor; rails must be indexed contiguously from 0 and
+    /// number at most [`MAX_RAILS`] (the engine's inline-collection bound).
     pub fn new(rails: Vec<RailView>) -> Self {
         assert!(!rails.is_empty(), "predictor needs at least one rail");
+        assert!(rails.len() <= MAX_RAILS, "at most {MAX_RAILS} rails supported");
         for (i, r) in rails.iter().enumerate() {
             assert_eq!(r.rail.index(), i, "rails must be sorted by index");
         }
@@ -148,7 +153,10 @@ pub(crate) mod test_support {
     /// A predictor over two synthetic rails with clean affine laws:
     /// rail 0: 3 + s/1000 µs, rail 1: 1 + s/500 µs (sampled 4 B..8 MiB).
     pub fn two_rail_predictor() -> Predictor {
-        Predictor::new(vec![affine_rail(0, "fast", 3.0, 1000.0), affine_rail(1, "slow", 1.0, 500.0)])
+        Predictor::new(vec![
+            affine_rail(0, "fast", 3.0, 1000.0),
+            affine_rail(1, "slow", 1.0, 500.0),
+        ])
     }
 
     /// Builds a rail view with `lat + s/bw` laws for both protocols.

@@ -14,6 +14,7 @@
 
 use crate::predictor::CostModel;
 use crate::split::{equal_completion_split, Split};
+use nm_model::{InlineVec, MAX_RAILS};
 use nm_sim::RailId;
 
 /// Computes the participating rail set and their chunk sizes.
@@ -34,17 +35,11 @@ pub fn select_rails<C: CostModel>(
     let mut split = equal_completion_split(cost, rails, size);
     while split.assignments.len() > max_chunks {
         // Drop the smallest contributor and re-balance among the rest.
-        let (drop_rail, _) = *split
-            .assignments
-            .iter()
-            .min_by_key(|&&(_, b)| b)
-            .expect("non-empty");
-        let survivors: Vec<(RailId, f64)> = rails
+        let (drop_rail, _) = *split.assignments.iter().min_by_key(|&&(_, b)| b).expect("non-empty");
+        let survivors: InlineVec<(RailId, f64), MAX_RAILS> = rails
             .iter()
             .copied()
-            .filter(|&(r, _)| {
-                r != drop_rail && split.assignments.iter().any(|&(rr, _)| rr == r)
-            })
+            .filter(|&(r, _)| r != drop_rail && split.assignments.iter().any(|&(rr, _)| rr == r))
             .collect();
         split = equal_completion_split(cost, &survivors, size);
     }

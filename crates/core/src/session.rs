@@ -120,16 +120,12 @@ impl SessionBuilder {
     /// wires the engine.
     pub fn build_sim(self) -> Session {
         let mut sampler = SimTransport::new(self.spec.clone());
-        let rails = sample_views(&mut sampler, &self.sampling, |i| {
-            self.spec.rails[i].rdv_threshold
-        });
+        let rails =
+            sample_views(&mut sampler, &self.sampling, |i| self.spec.rails[i].rdv_threshold);
         let predictor = Predictor::new(rails);
-        let strategy =
-            self.strategy.unwrap_or_else(|| StrategyKind::HeteroSplit.build());
+        let strategy = self.strategy.unwrap_or_else(|| StrategyKind::HeteroSplit.build());
         let transport: Box<dyn Transport> = Box::new(SimDriver::new(self.spec));
-        Session {
-            engine: Engine::new(transport, predictor, strategy).expect("engine config"),
-        }
+        Session { engine: Engine::new(transport, predictor, strategy).expect("engine config") }
     }
 
     /// Builds a session over a real-thread shared-memory driver. The driver
@@ -139,12 +135,9 @@ impl SessionBuilder {
             (0..Transport::rail_count(&driver)).map(|i| driver.rdv_threshold(RailId(i))).collect();
         let rails = sample_views(&mut driver, &self.sampling, |i| thresholds[i]);
         let predictor = Predictor::new(rails);
-        let strategy =
-            self.strategy.unwrap_or_else(|| StrategyKind::HeteroSplit.build());
+        let strategy = self.strategy.unwrap_or_else(|| StrategyKind::HeteroSplit.build());
         let transport: Box<dyn Transport> = Box::new(driver);
-        Session {
-            engine: Engine::new(transport, predictor, strategy).expect("engine config"),
-        }
+        Session { engine: Engine::new(transport, predictor, strategy).expect("engine config") }
     }
 }
 
@@ -157,12 +150,11 @@ fn sample_views<T: SampleTransport>(
     (0..sampler.rail_count())
         .map(|i| {
             let natural = sample_rail(sampler, i, config).expect("sampling");
-            let eager_cfg =
-                SamplingConfig { mode: Some(TransferMode::Eager), ..config.clone() };
+            let eager_cfg = SamplingConfig { mode: Some(TransferMode::Eager), ..config.clone() };
             let eager = sample_rail(sampler, i, &eager_cfg).expect("eager sampling");
             RailView {
                 rail: RailId(i),
-                name: sampler.rail_name(i),
+                name: sampler.rail_name(i).into(),
                 natural,
                 eager,
                 rdv_threshold: threshold_of(i),
@@ -197,8 +189,7 @@ mod tests {
     #[test]
     fn sampled_profiles_carry_rail_names() {
         let s = Session::builder().build_sim();
-        let names: Vec<&str> =
-            s.predictor().rails().iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = s.predictor().rails().iter().map(|r| &*r.name).collect();
         assert_eq!(names, vec!["myri-10g", "qsnet2"]);
     }
 

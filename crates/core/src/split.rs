@@ -17,13 +17,18 @@
 //! Both operate purely on a [`CostModel`], i.e. on sampled predictions.
 
 use crate::predictor::CostModel;
+use nm_model::{InlineVec, MAX_RAILS};
 use nm_sim::RailId;
+
+/// Per-rail byte assignments, stored inline (no heap allocation) since the
+/// engine bounds rails at [`MAX_RAILS`].
+pub type Assignments = InlineVec<(RailId, u64), MAX_RAILS>;
 
 /// Result of a split computation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Split {
     /// `(rail, bytes)` per participating rail; zero-byte rails are omitted.
-    pub assignments: Vec<(RailId, u64)>,
+    pub assignments: Assignments,
     /// Predicted completion of the slowest chunk, µs from now.
     pub completion_us: f64,
 }
@@ -126,12 +131,12 @@ pub fn dichotomy_split<C: CostModel>(
 
     let best = split_completion.min(all_a).min(all_b);
     if best == all_a && all_a <= split_completion {
-        return Split { assignments: vec![(a.0, size)], completion_us: all_a };
+        return Split { assignments: [(a.0, size)].into(), completion_us: all_a };
     }
     if best == all_b && all_b <= split_completion {
-        return Split { assignments: vec![(b.0, size)], completion_us: all_b };
+        return Split { assignments: [(b.0, size)].into(), completion_us: all_b };
     }
-    let mut assignments = Vec::new();
+    let mut assignments = Assignments::new();
     if x > 0 {
         assignments.push((a.0, x));
     }
@@ -147,11 +152,7 @@ pub fn dichotomy_split<C: CostModel>(
 /// contribute by the optimal completion time receive nothing and are
 /// omitted (this is how Fig 2's NIC discarding emerges). The returned
 /// assignments always cover `size` exactly.
-pub fn equal_completion_split<C: CostModel>(
-    cost: &C,
-    rails: &[(RailId, f64)],
-    size: u64,
-) -> Split {
+pub fn equal_completion_split<C: CostModel>(cost: &C, rails: &[(RailId, f64)], size: u64) -> Split {
     assert!(!rails.is_empty(), "need at least one candidate rail");
     assert!(size > 0, "cannot split an empty message");
 
@@ -185,14 +186,11 @@ pub fn equal_completion_split<C: CostModel>(
     // Assign each rail what it can finish by `hi`, trimming the surplus
     // from the largest assignments (they have the highest marginal rate, so
     // trimming them distorts completion the least).
-    let mut raw: Vec<(RailId, u64)> = rails
-        .iter()
-        .map(|&(r, w)| (r, cost.bytes_within(r, hi - w.max(0.0))))
-        .collect();
+    let mut raw: Assignments =
+        rails.iter().map(|&(r, w)| (r, cost.bytes_within(r, hi - w.max(0.0)))).collect();
     let mut surplus = raw.iter().map(|&(_, b)| b).sum::<u64>().saturating_sub(size);
     while surplus > 0 {
-        let (_, bytes) =
-            raw.iter_mut().max_by_key(|(_, b)| *b).expect("non-empty");
+        let (_, bytes) = raw.iter_mut().max_by_key(|(_, b)| *b).expect("non-empty");
         let cut = surplus.min(*bytes);
         *bytes -= cut;
         surplus -= cut;
@@ -205,8 +203,7 @@ pub fn equal_completion_split<C: CostModel>(
         *bytes += size - assigned;
     }
 
-    let assignments: Vec<(RailId, u64)> =
-        raw.into_iter().filter(|&(_, b)| b > 0).collect();
+    let assignments: Assignments = raw.into_iter().filter(|&(_, b)| b > 0).collect();
     let completion_us = assignments
         .iter()
         .map(|&(r, b)| {
@@ -268,13 +265,8 @@ mod tests {
         let p = two_rail_predictor();
         for size in [64u64 * 1024, 1 << 20, 7 << 20] {
             for waits in [[0.0, 0.0], [500.0, 0.0], [0.0, 300.0]] {
-                let d = dichotomy_split(
-                    &p.natural_cost(),
-                    (R0, waits[0]),
-                    (R1, waits[1]),
-                    size,
-                    60,
-                );
+                let d =
+                    dichotomy_split(&p.natural_cost(), (R0, waits[0]), (R1, waits[1]), size, 60);
                 let w = equal_completion_split(
                     &p.natural_cost(),
                     &[(R0, waits[0]), (R1, waits[1])],

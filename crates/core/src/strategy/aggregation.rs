@@ -44,7 +44,7 @@ impl Strategy for Aggregation {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let head = ctx.head_size();
-        let rail = ctx.predictor.fastest_rail(head, &ctx.rail_waits_us);
+        let rail = ctx.predictor.fastest_rail(head, ctx.rail_waits_us);
         if !ctx.is_eager(rail, head) {
             // Large messages do not aggregate; split them properly.
             return self.big_message_fallback.decide(ctx);

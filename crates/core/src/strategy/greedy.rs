@@ -26,7 +26,7 @@ impl Strategy for GreedyBalance {
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         // Prefer the lowest-index idle rail; defer when every NIC is busy.
         match ctx.idle_rails().first() {
-            Some(&rail) => Action::Split(vec![ChunkPlan::new(rail, ctx.head_size())]),
+            Some(&rail) => Action::single(ChunkPlan::new(rail, ctx.head_size())),
             None => Action::Defer,
         }
     }

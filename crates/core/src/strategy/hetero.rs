@@ -9,26 +9,37 @@
 //! computation of the split ratio can thus take into account NICs that are
 //! currently busy but that will be idle soon").
 
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::selection::select_rails;
-use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::strategy::{Action, ChunkList, ChunkPlan, Ctx, Strategy};
 
 /// Sampling-driven hetero split.
 #[derive(Debug, Clone)]
 pub struct HeteroSplit {
     /// Cap on participating rails (`usize::MAX`: all useful rails).
     pub max_chunks: usize,
+    /// Memoized selection+split results (exact-match, epoch-invalidated).
+    cache: PlanCache,
 }
 
 impl HeteroSplit {
     /// Default hetero split: as many rails as are useful.
     pub fn new() -> Self {
-        HeteroSplit { max_chunks: usize::MAX }
+        HeteroSplit { max_chunks: usize::MAX, cache: PlanCache::new(Self::CACHE_ID) }
     }
 
     /// Caps the number of chunks (used by ablations).
     pub fn with_max_chunks(max_chunks: usize) -> Self {
         assert!(max_chunks >= 1);
-        HeteroSplit { max_chunks }
+        HeteroSplit { max_chunks, cache: PlanCache::new(Self::CACHE_ID) }
+    }
+
+    /// Strategy id namespacing this plug-in's plan cache.
+    const CACHE_ID: u64 = 1;
+
+    /// Plan-cache counters (for benches/tests).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
     }
 }
 
@@ -45,10 +56,24 @@ impl Strategy for HeteroSplit {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let size = ctx.head_size();
-        let cost = ctx.predictor.natural_cost();
         let cap = self.max_chunks.min(ctx.predictor.rail_count()).max(1);
-        let split = select_rails(&cost, &ctx.rail_candidates(), size, cap);
-        let chunks: Vec<ChunkPlan> =
+        let split =
+            match self.cache.lookup(ctx.predictor_epoch, cap as u64, size, ctx.rail_waits_us) {
+                Some(cached) => cached,
+                None => {
+                    let cost = ctx.predictor.natural_cost();
+                    let fresh = select_rails(&cost, &ctx.rail_candidates(), size, cap);
+                    self.cache.insert(
+                        ctx.predictor_epoch,
+                        cap as u64,
+                        size,
+                        ctx.rail_waits_us,
+                        fresh.clone(),
+                    );
+                    fresh
+                }
+            };
+        let chunks: ChunkList =
             split.assignments.iter().map(|&(rail, bytes)| ChunkPlan::new(rail, bytes)).collect();
         Action::Split(chunks)
     }

@@ -5,7 +5,7 @@
 //! rail idle while the slow one drains — the paper measures that idle tail
 //! at ~670 µs for a 4 MB message on Myri+Quadrics.
 
-use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::strategy::{Action, ChunkList, ChunkPlan, Ctx, Strategy};
 use nm_proto::split_evenly;
 use nm_sim::RailId;
 
@@ -28,7 +28,7 @@ impl Strategy for IsoSplit {
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let size = ctx.head_size();
         let n = ctx.predictor.rail_count();
-        let chunks: Vec<ChunkPlan> = split_evenly(size, n)
+        let chunks: ChunkList = split_evenly(size, n)
             .into_iter()
             .filter(|c| c.len > 0)
             .map(|c| ChunkPlan::new(RailId(c.index as usize), c.len))

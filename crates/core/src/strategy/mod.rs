@@ -33,7 +33,7 @@ pub mod single;
 pub mod sjf;
 
 use crate::predictor::Predictor;
-use nm_model::{SimDuration, SimTime, TransferMode};
+use nm_model::{InlineVec, SimDuration, SimTime, TransferMode, MAX_RAILS};
 use nm_sim::{CoreId, RailId};
 
 /// Snapshot handed to a strategy when it is interrogated.
@@ -44,13 +44,18 @@ pub struct Ctx<'a> {
     /// Sampled knowledge of every rail.
     pub predictor: &'a Predictor,
     /// Per-rail wait (µs until the local NIC goes idle), indexed by rail.
-    pub rail_waits_us: Vec<f64>,
+    /// Borrowed from the engine's reusable scratch buffer.
+    pub rail_waits_us: &'a [f64],
     /// Locally idle cores right now.
     pub idle_cores: Vec<CoreId>,
     /// Total local cores.
     pub core_count: usize,
     /// Sizes of queued messages, head first (never empty when interrogated).
     pub queued_sizes: &'a [u64],
+    /// Generation counter of the predictor: bumped whenever the engine
+    /// replaces its sampled knowledge (feedback correction, re-sampling).
+    /// Plan caches key on it so stale plans die with the old predictor.
+    pub predictor_epoch: u64,
 }
 
 impl Ctx<'_> {
@@ -60,12 +65,12 @@ impl Ctx<'_> {
     }
 
     /// Candidate `(rail, wait)` pairs for split computations.
-    pub fn rail_candidates(&self) -> Vec<(RailId, f64)> {
+    pub fn rail_candidates(&self) -> InlineVec<(RailId, f64), MAX_RAILS> {
         self.rail_waits_us.iter().enumerate().map(|(i, &w)| (RailId(i), w)).collect()
     }
 
     /// Rails whose NIC is idle right now.
-    pub fn idle_rails(&self) -> Vec<RailId> {
+    pub fn idle_rails(&self) -> InlineVec<RailId, MAX_RAILS> {
         self.rail_waits_us
             .iter()
             .enumerate()
@@ -98,21 +103,22 @@ pub struct ChunkPlan {
 impl ChunkPlan {
     /// A plain chunk on the initiating core.
     pub fn new(rail: RailId, bytes: u64) -> Self {
-        ChunkPlan {
-            rail,
-            bytes,
-            offload_core: None,
-            offload_delay: SimDuration::ZERO,
-            mode: None,
-        }
+        ChunkPlan { rail, bytes, offload_core: None, offload_delay: SimDuration::ZERO, mode: None }
     }
 }
 
+/// Chunk plans for one message, stored inline (one chunk per rail at most).
+pub type ChunkList = InlineVec<ChunkPlan, MAX_RAILS>;
+
 /// A strategy's answer.
+///
+/// `Split` carries its chunks inline (no heap allocation on the decision
+/// fast path); the size skew vs the unit-like variants is deliberate.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// Send the head message as these chunks (possibly a single one).
-    Split(Vec<ChunkPlan>),
+    Split(ChunkList),
     /// Pack the first `count` queued messages into one aggregate packet on
     /// `rail` (all must be eager-sized).
     Aggregate {
@@ -132,6 +138,15 @@ pub enum Action {
     /// Leave the queue untouched; the engine re-interrogates on the next
     /// NIC-idle event.
     Defer,
+}
+
+impl Action {
+    /// A split consisting of a single chunk.
+    pub fn single(plan: ChunkPlan) -> Action {
+        let mut chunks = ChunkList::new();
+        chunks.push(plan);
+        Action::Split(chunks)
+    }
 }
 
 /// The strategy plug-in interface.
@@ -220,10 +235,11 @@ pub(crate) mod test_support {
         let ctx = Ctx {
             now: SimTime::ZERO,
             predictor: &p,
-            rail_waits_us: waits,
+            rail_waits_us: &waits,
             idle_cores: idle_cores.into_iter().map(CoreId).collect(),
             core_count: 4,
             queued_sizes,
+            predictor_epoch: 0,
         };
         strategy.decide(&ctx)
     }
@@ -266,10 +282,11 @@ mod tests {
         let ctx = Ctx {
             now: SimTime::ZERO,
             predictor: &p,
-            rail_waits_us: vec![0.0, 50.0],
+            rail_waits_us: &[0.0, 50.0],
             idle_cores: vec![CoreId(1), CoreId(3)],
             core_count: 4,
             queued_sizes: &sizes,
+            predictor_epoch: 0,
         };
         assert_eq!(ctx.head_size(), 100);
         assert_eq!(ctx.idle_rails(), vec![RailId(0)]);

@@ -17,10 +17,11 @@
 //! Rendezvous-sized messages take the plain hetero split — their DMA phase
 //! needs no core.
 
+use crate::plan_cache::PlanCache;
 use crate::predictor::CostModel;
 use crate::selection::select_rails;
 use crate::strategy::hetero::HeteroSplit;
-use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::strategy::{Action, ChunkList, ChunkPlan, Ctx, Strategy};
 use nm_model::{SimDuration, TransferMode};
 
 /// Offload-aware eager splitting.
@@ -31,6 +32,8 @@ pub struct MulticoreEager {
     /// Offload cost when a thread must be preempted by a signal (paper: 6 µs).
     pub preempt_us: f64,
     rdv_fallback: HeteroSplit,
+    /// Memoized eager-profile splits (salted with the idle-core chunk cap).
+    cache: PlanCache,
 }
 
 impl MulticoreEager {
@@ -42,7 +45,12 @@ impl MulticoreEager {
     /// Custom offload/preemption costs (for the sensitivity ablation).
     pub fn with_costs(offload_us: f64, preempt_us: f64) -> Self {
         assert!(offload_us >= 0.0 && preempt_us >= offload_us);
-        MulticoreEager { offload_us, preempt_us, rdv_fallback: HeteroSplit::new() }
+        MulticoreEager {
+            offload_us,
+            preempt_us,
+            rdv_fallback: HeteroSplit::new(),
+            cache: PlanCache::new(2),
+        }
     }
 }
 
@@ -59,8 +67,7 @@ impl Strategy for MulticoreEager {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let size = ctx.head_size();
-        let eager_everywhere =
-            ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
+        let eager_everywhere = ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
         if !eager_everywhere {
             return self.rdv_fallback.decide(ctx);
         }
@@ -79,25 +86,43 @@ impl Strategy for MulticoreEager {
         let idle_nics = ctx.idle_rails().len();
         let max_chunks = idle_nics.min(ctx.idle_cores.len());
         if max_chunks < 2 {
-            return Action::Split(vec![ChunkPlan {
+            return Action::single(ChunkPlan {
                 mode: Some(TransferMode::Eager),
                 ..ChunkPlan::new(best_single.0, size)
-            }]);
+            });
         }
 
-        let split = select_rails(&cost, &candidates, size, max_chunks);
+        let split = match self.cache.lookup(
+            ctx.predictor_epoch,
+            max_chunks as u64,
+            size,
+            ctx.rail_waits_us,
+        ) {
+            Some(cached) => cached,
+            None => {
+                let fresh = select_rails(&cost, &candidates, size, max_chunks);
+                self.cache.insert(
+                    ctx.predictor_epoch,
+                    max_chunks as u64,
+                    size,
+                    ctx.rail_waits_us,
+                    fresh.clone(),
+                );
+                fresh
+            }
+        };
         // Equation (1): the split only wins if T_O + max(T_D) beats the
         // single-rail send.
         let split_with_offload = self.offload_us + split.completion_us;
         if split.assignments.len() < 2 || split_with_offload >= best_single.1 {
-            return Action::Split(vec![ChunkPlan {
+            return Action::single(ChunkPlan {
                 mode: Some(TransferMode::Eager),
                 ..ChunkPlan::new(best_single.0, size)
-            }]);
+            });
         }
 
         let offload = SimDuration::from_micros_f64(self.offload_us);
-        let chunks: Vec<ChunkPlan> = split
+        let chunks: ChunkList = split
             .assignments
             .iter()
             .zip(ctx.idle_cores.iter())
@@ -144,9 +169,7 @@ mod tests {
                 assert_eq!(chunks.len(), 2);
                 let cores: Vec<_> = chunks.iter().map(|c| c.offload_core.unwrap()).collect();
                 assert_ne!(cores[0], cores[1], "distinct cores");
-                assert!(chunks
-                    .iter()
-                    .all(|c| c.offload_delay == SimDuration::from_micros(3)));
+                assert!(chunks.iter().all(|c| c.offload_delay == SimDuration::from_micros(3)));
                 assert!(chunks.iter().all(|c| c.mode == Some(TransferMode::Eager)));
             }
             other => panic!("{other:?}"),

@@ -56,8 +56,7 @@ impl Strategy for PaperStrategy {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let size = ctx.head_size();
-        let eager_everywhere =
-            ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
+        let eager_everywhere = ctx.predictor.rails().iter().all(|rv| size < rv.rdv_threshold);
         if !eager_everywhere {
             return self.hetero.decide(ctx);
         }

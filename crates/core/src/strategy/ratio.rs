@@ -11,7 +11,7 @@
 //! regardless of size or rail state — exactly the imprecision the paper's
 //! dichotomy removes (see the `ablation_ratio` bench).
 
-use crate::strategy::{Action, ChunkPlan, Ctx, Strategy};
+use crate::strategy::{Action, ChunkList, ChunkPlan, Ctx, Strategy};
 use nm_proto::split_by_ratios;
 use nm_sim::RailId;
 
@@ -54,7 +54,7 @@ impl Strategy for BandwidthRatioSplit {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let ratios = self.ratios(ctx);
-        let chunks: Vec<ChunkPlan> = split_by_ratios(ctx.head_size(), &ratios)
+        let chunks: ChunkList = split_by_ratios(ctx.head_size(), &ratios)
             .into_iter()
             .filter(|c| c.len > 0)
             .map(|c| ChunkPlan::new(RailId(c.index as usize), c.len))

@@ -27,10 +27,9 @@ impl Strategy for SingleRail {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let size = ctx.head_size();
-        let rail = self
-            .fixed
-            .unwrap_or_else(|| ctx.predictor.fastest_rail(size, &ctx.rail_waits_us));
-        Action::Split(vec![ChunkPlan::new(rail, size)])
+        let rail =
+            self.fixed.unwrap_or_else(|| ctx.predictor.fastest_rail(size, ctx.rail_waits_us));
+        Action::single(ChunkPlan::new(rail, size))
     }
 }
 

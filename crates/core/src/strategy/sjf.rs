@@ -42,12 +42,8 @@ impl Strategy for ShortestFirst {
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
         let head = ctx.head_size();
-        if let Some((index, &size)) = ctx
-            .queued_sizes
-            .iter()
-            .enumerate()
-            .skip(1)
-            .min_by_key(|&(_, &s)| s)
+        if let Some((index, &size)) =
+            ctx.queued_sizes.iter().enumerate().skip(1).min_by_key(|&(_, &s)| s)
         {
             if size.saturating_mul(self.factor) <= head {
                 return Action::Promote { index };

@@ -72,10 +72,8 @@ pub fn gige() -> LinkModel {
         name: "gige".into(),
         paradigm: Paradigm::MessagePassing,
         gather_scatter: false,
-        eager: RegimeTable::continuous(45.0, &[(0, 60.0), (4 * KIB, 100.0)])
-            .expect("static table"),
-        rdv: RegimeTable::continuous(40.0, &[(0, 80.0), (64 * KIB, 117.0)])
-            .expect("static table"),
+        eager: RegimeTable::continuous(45.0, &[(0, 60.0), (4 * KIB, 100.0)]).expect("static table"),
+        rdv: RegimeTable::continuous(40.0, &[(0, 80.0), (64 * KIB, 117.0)]).expect("static table"),
         rdv_threshold: 64 * KIB,
         ctrl_latency_us: 45.0,
         rdv_setup_us: 3.0,

@@ -25,6 +25,7 @@
 
 pub mod builtin;
 pub mod error;
+pub mod inline_vec;
 pub mod link;
 pub mod pio;
 pub mod profile;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod units;
 
 pub use error::ModelError;
+pub use inline_vec::{InlineVec, MAX_RAILS};
 pub use link::{LinkModel, Paradigm, TransferMode};
 pub use pio::PioModel;
 pub use profile::PerfProfile;

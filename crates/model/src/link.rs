@@ -228,10 +228,10 @@ mod tests {
         // Paper Fig 8: Myri-10G 1170 MB/s, Quadrics 837 MB/s (MB = 2^20).
         let myri = builtin::myri_10g();
         let quad = builtin::qsnet2();
-        let myri_bw = SimDuration::from_micros_f64(myri.one_way_us(8 * MIB))
-            .bandwidth_mibps(8 * MIB);
-        let quad_bw = SimDuration::from_micros_f64(quad.one_way_us(8 * MIB))
-            .bandwidth_mibps(8 * MIB);
+        let myri_bw =
+            SimDuration::from_micros_f64(myri.one_way_us(8 * MIB)).bandwidth_mibps(8 * MIB);
+        let quad_bw =
+            SimDuration::from_micros_f64(quad.one_way_us(8 * MIB)).bandwidth_mibps(8 * MIB);
         assert!((myri_bw - 1170.0).abs() < 35.0, "myri asymptote: {myri_bw}");
         assert!((quad_bw - 837.0).abs() < 25.0, "quadrics asymptote: {quad_bw}");
     }

@@ -212,10 +212,7 @@ impl PerfProfile {
         let mut by_size: std::collections::BTreeMap<u64, f64> =
             self.samples.iter().copied().collect();
         for &(size, us) in other.samples() {
-            by_size
-                .entry(size)
-                .and_modify(|cur| *cur = cur.min(us))
-                .or_insert(us);
+            by_size.entry(size).and_modify(|cur| *cur = cur.min(us)).or_insert(us);
         }
         PerfProfile::from_samples(self.name.clone(), by_size.into_iter().collect())
     }
@@ -288,10 +285,7 @@ mod tests {
         for size in [4u64, 100, 1000, 12345, 1 << 20, (1 << 22) + 7] {
             let got = p.predict_us(size);
             let want = 2.0 + size as f64 / 1000.0;
-            assert!(
-                (got - want).abs() / want < 1e-9,
-                "size {size}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() / want < 1e-9, "size {size}: got {got}, want {want}");
         }
     }
 

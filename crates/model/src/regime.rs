@@ -116,11 +116,7 @@ impl RegimeTable {
                 // Continuity: L_i = L_{i-1} + s_i * (1/bw_{i-1} - 1/bw_i)
                 latency += min_size as f64 * (1.0 / prev_bw - 1.0 / bw);
             }
-            regimes.push(Regime {
-                min_size,
-                latency_us: latency,
-                bandwidth_mbps: bw,
-            });
+            regimes.push(Regime { min_size, latency_us: latency, bandwidth_mbps: bw });
             prev_bw = bw;
         }
         RegimeTable::new(regimes)
@@ -170,11 +166,8 @@ impl RegimeTable {
         }
         // Rescale as a continuous curve so boundary monotonicity is preserved
         // even for factors < 1.
-        let breaks: Vec<(u64, f64)> = self
-            .regimes
-            .iter()
-            .map(|r| (r.min_size, r.bandwidth_mbps * factor))
-            .collect();
+        let breaks: Vec<(u64, f64)> =
+            self.regimes.iter().map(|r| (r.min_size, r.bandwidth_mbps * factor)).collect();
         RegimeTable::continuous(self.base_latency_us(), &breaks)
     }
 }

@@ -88,33 +88,83 @@ impl Aggregator {
         self.payload_bytes
     }
 
-    /// Drains the pending messages into one `EagerAggregate` packet.
-    /// Returns `None` when empty. `pack_id` becomes the pack's `msg_id`.
-    pub fn flush(&mut self, pack_id: u64) -> Option<Packet> {
+    /// Drains the pending messages into a **zero-copy** pack: per-entry
+    /// headers are slices of one shared buffer and message payloads travel
+    /// as refcounted clones of the original [`Bytes`] — no payload byte is
+    /// copied. Returns `None` when empty. `pack_id` becomes the pack's
+    /// `msg_id`.
+    pub fn flush_segments(&mut self, pack_id: u64) -> Option<AggPack> {
         if self.entries.is_empty() {
             return None;
         }
-        let mut payload = BytesMut::with_capacity(self.payload_bytes);
-        for e in self.entries.drain(..) {
-            payload.put_u32(e.flow);
-            payload.put_u64(e.msg_id);
-            payload.put_u32(e.data.len() as u32);
-            payload.extend_from_slice(&e.data);
+        let n = self.entries.len();
+        let mut headers = BytesMut::with_capacity(n * ENTRY_OVERHEAD);
+        for e in &self.entries {
+            headers.put_u32(e.flow);
+            headers.put_u64(e.msg_id);
+            headers.put_u32(e.data.len() as u32);
         }
+        let headers = headers.freeze();
+        let mut segments = Vec::with_capacity(2 * n);
+        for (i, e) in self.entries.drain(..).enumerate() {
+            segments.push(headers.slice(i * ENTRY_OVERHEAD..(i + 1) * ENTRY_OVERHEAD));
+            if !e.data.is_empty() {
+                segments.push(e.data);
+            }
+        }
+        let total = self.payload_bytes as u64;
         self.payload_bytes = 0;
-        let total = payload.len() as u64;
-        Some(Packet::new(
-            PacketHeader {
+        Some(AggPack {
+            header: PacketHeader {
                 kind: PacketKind::EagerAggregate,
                 flow: 0,
                 msg_id: pack_id,
                 offset: 0,
                 total_len: total,
                 chunk_index: 0,
-                payload_len: 0,
+                payload_len: total as u32,
             },
-            payload.freeze(),
-        ))
+            segments,
+        })
+    }
+
+    /// Drains the pending messages into one contiguous `EagerAggregate`
+    /// packet (a gather of [`Self::flush_segments`] — for transports that
+    /// need a flat buffer). Returns `None` when empty.
+    pub fn flush(&mut self, pack_id: u64) -> Option<Packet> {
+        self.flush_segments(pack_id).map(|pack| pack.into_packet())
+    }
+}
+
+/// A flushed aggregation pack as an ordered segment list, ready for
+/// vectored ("gather") transmission without assembling a contiguous
+/// buffer: `[hdr₀, data₀, hdr₁, data₁, …]` where every `hdrᵢ` is a slice
+/// of one shared header block and every `dataᵢ` shares storage with the
+/// message it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPack {
+    /// Wire header of the pack (its `payload_len`/`total_len` cover the
+    /// concatenated segments).
+    pub header: PacketHeader,
+    /// Payload segments in wire order.
+    pub segments: Vec<Bytes>,
+}
+
+impl AggPack {
+    /// Total payload bytes across all segments.
+    pub fn payload_len(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Gathers the segments into one contiguous [`Packet`] — the single
+    /// copy a flat-buffer transport pays; byte-identical to what the
+    /// pre-segment `flush` produced.
+    pub fn into_packet(self) -> Packet {
+        let mut payload = BytesMut::with_capacity(self.payload_len());
+        for s in &self.segments {
+            payload.extend_from_slice(s);
+        }
+        Packet::new(self.header, payload.freeze())
     }
 }
 
@@ -155,8 +205,7 @@ mod tests {
     #[test]
     fn pack_unpack_round_trip() {
         let mut agg = Aggregator::new(4096);
-        let entries =
-            vec![entry(1, 10, b"alpha"), entry(2, 20, b""), entry(1, 11, &[7u8; 100])];
+        let entries = vec![entry(1, 10, b"alpha"), entry(2, 20, b""), entry(1, 11, &[7u8; 100])];
         for e in &entries {
             assert!(agg.push(e.clone()));
         }
@@ -199,6 +248,62 @@ mod tests {
         let mut cut = packet.clone();
         cut.payload = cut.payload.slice(0..cut.payload.len() - 1);
         assert!(matches!(unpack_aggregate(&cut), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn segments_share_storage_with_the_original_messages() {
+        // The zero-copy claim, verified by pointer identity: the data
+        // segments of a flushed pack alias the pushed payload buffers.
+        let big = Bytes::from(vec![42u8; 1024]);
+        let mut agg = Aggregator::new(4096);
+        agg.push(AggEntry { flow: 1, msg_id: 0, data: big.clone() });
+        agg.push(AggEntry { flow: 1, msg_id: 1, data: big.slice(100..200) });
+        let pack = agg.flush_segments(0).unwrap();
+        // Layout: [hdr0, data0, hdr1, data1].
+        assert_eq!(pack.segments.len(), 4);
+        assert_eq!(pack.segments[1].as_ptr(), big.as_ptr());
+        assert_eq!(pack.segments[3].as_ptr(), big.slice(100..200).as_ptr());
+        // And both entry headers alias ONE shared header block.
+        let h0 = pack.segments[0].as_ptr();
+        let h1 = pack.segments[2].as_ptr();
+        assert_eq!(unsafe { h1.offset_from(h0) }, ENTRY_OVERHEAD as isize);
+    }
+
+    #[test]
+    fn gathered_pack_is_byte_identical_to_reference_layout() {
+        // flush() (a gather of flush_segments) must reproduce the exact
+        // wire bytes of the documented layout: (flow, msg_id, len, data)*.
+        let entries = vec![entry(1, 10, b"alpha"), entry(2, 20, b""), entry(9, 11, &[7u8; 64])];
+        let mut agg = Aggregator::new(4096);
+        for e in &entries {
+            assert!(agg.push(e.clone()));
+        }
+        let packet = agg.flush(5).unwrap();
+
+        let mut reference = BytesMut::new();
+        for e in &entries {
+            reference.put_u32(e.flow);
+            reference.put_u64(e.msg_id);
+            reference.put_u32(e.data.len() as u32);
+            reference.extend_from_slice(&e.data);
+        }
+        assert_eq!(packet.payload, reference.freeze());
+        assert_eq!(packet.header.payload_len as usize, packet.payload.len());
+        assert_eq!(packet.header.total_len, packet.payload.len() as u64);
+    }
+
+    #[test]
+    fn segment_flush_round_trips_through_unpack() {
+        let entries = vec![entry(3, 30, b"abc"), entry(4, 40, b"defg")];
+        let mut agg = Aggregator::new(4096);
+        for e in &entries {
+            agg.push(e.clone());
+        }
+        let pack = agg.flush_segments(8).unwrap();
+        assert_eq!(pack.payload_len(), 2 * ENTRY_OVERHEAD + 7);
+        let packet = pack.into_packet();
+        assert_eq!(packet.header.msg_id, 8);
+        assert_eq!(unpack_aggregate(&packet).unwrap(), entries);
     }
 
     #[test]

@@ -205,7 +205,8 @@ mod tests {
         let mut r = Reassembler::new(1000);
         // Feed in reverse order.
         for c in chunks.iter().rev() {
-            let slice = Bytes::copy_from_slice(&msg[c.offset as usize..(c.offset + c.len) as usize]);
+            let slice =
+                Bytes::copy_from_slice(&msg[c.offset as usize..(c.offset + c.len) as usize]);
             r.feed(c.offset, &slice).unwrap();
         }
         assert!(r.is_complete());

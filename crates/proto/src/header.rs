@@ -186,10 +186,7 @@ mod tests {
         sample().encode(&mut buf);
         let mut bytes = buf.to_vec();
         bytes[0] = 200;
-        assert!(matches!(
-            PacketHeader::decode(&mut &bytes[..]),
-            Err(ProtoError::BadHeader(_))
-        ));
+        assert!(matches!(PacketHeader::decode(&mut &bytes[..]), Err(ProtoError::BadHeader(_))));
     }
 
     #[test]
@@ -199,10 +196,7 @@ mod tests {
         h.payload_len = 8192; // 60000+8192 > 65536
         let mut buf = BytesMut::new();
         h.encode(&mut buf);
-        assert!(matches!(
-            PacketHeader::decode(&mut buf.freeze()),
-            Err(ProtoError::BadHeader(_))
-        ));
+        assert!(matches!(PacketHeader::decode(&mut buf.freeze()), Err(ProtoError::BadHeader(_))));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod flow;
 pub mod header;
 pub mod packet;
 
-pub use aggregate::{Aggregator, unpack_aggregate};
+pub use aggregate::{unpack_aggregate, AggPack, Aggregator};
 pub use chunk::{split_by_ratios, split_evenly, ChunkDesc, Reassembler};
 pub use error::ProtoError;
 pub use flow::{FlowId, Sequencer};

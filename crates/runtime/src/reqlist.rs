@@ -163,8 +163,7 @@ mod tests {
             assert!(l.register(i));
         }
         l.close();
-        let mut all: Vec<usize> =
-            consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<usize> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..n_items).collect::<Vec<_>>());
     }

@@ -108,16 +108,14 @@ fn steal_loop(index: usize, local: Deque<Tasklet>, shared: Arc<Shared>) {
                 .find(|s| !s.is_retry())
                 .and_then(|s| s.success())
                 .or_else(|| {
-                    let got = shared
-                        .stealers
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != index)
-                        .find_map(|(_, s)| {
-                            std::iter::repeat_with(|| s.steal())
-                                .find(|s| !s.is_retry())
-                                .and_then(|s| s.success())
-                        });
+                    let got =
+                        shared.stealers.iter().enumerate().filter(|&(i, _)| i != index).find_map(
+                            |(_, s)| {
+                                std::iter::repeat_with(|| s.steal())
+                                    .find(|s| !s.is_retry())
+                                    .and_then(|s| s.success())
+                            },
+                        );
                     if got.is_some() {
                         shared.stolen.fetch_add(1, Ordering::AcqRel);
                     }

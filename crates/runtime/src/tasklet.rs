@@ -121,9 +121,12 @@ mod tests {
     fn high_priority_drains_before_normal() {
         let q = TaskletQueue::new();
         let log = Arc::new(Mutex::new(Vec::new()));
-        for (name, prio) in
-            [("n1", Priority::Normal), ("h1", Priority::High), ("n2", Priority::Normal), ("h2", Priority::High)]
-        {
+        for (name, prio) in [
+            ("n1", Priority::Normal),
+            ("h1", Priority::High),
+            ("n2", Priority::Normal),
+            ("h2", Priority::High),
+        ] {
             let log = log.clone();
             let t = match prio {
                 Priority::High => Tasklet::high(name, move || log.lock().push(name)),

@@ -59,10 +59,7 @@ impl Topology {
     /// Among `candidates`, picks the one closest to `origin`: same package
     /// first, then lowest index. Returns `None` for no candidates.
     pub fn nearest(&self, origin: usize, candidates: &[usize]) -> Option<usize> {
-        candidates
-            .iter()
-            .copied()
-            .min_by_key(|&c| (!self.same_package(origin, c) as usize, c))
+        candidates.iter().copied().min_by_key(|&c| (!self.same_package(origin, c) as usize, c))
     }
 }
 

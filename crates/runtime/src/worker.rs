@@ -119,8 +119,7 @@ impl WorkerPool {
     /// is flagged as "signaled" (the paper's preemption path).
     pub fn submit_to(&self, worker: usize, tasklet: Tasklet) {
         let sh = &self.shared[worker];
-        let signaled =
-            !sh.idle.load(Ordering::Acquire) || sh.queued.load(Ordering::Acquire) > 0;
+        let signaled = !sh.idle.load(Ordering::Acquire) || sh.queued.load(Ordering::Acquire) > 0;
         sh.queued.fetch_add(1, Ordering::AcqRel);
         self.senders[worker]
             .send(Msg::Run { tasklet, submitted: Instant::now(), signaled })
@@ -201,9 +200,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for i in 0..40 {
             let c = counter.clone();
-            pool.submit_to(i % 4, Tasklet::high("inc", move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }));
+            pool.submit_to(
+                i % 4,
+                Tasklet::high("inc", move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
         }
         assert!(pool.wait_quiescent(Duration::from_secs(5)));
         assert_eq!(counter.load(Ordering::SeqCst), 40);
@@ -228,9 +230,12 @@ mod tests {
         let gate = Arc::new(Mutex::new(()));
         let guard = gate.lock();
         let g2 = gate.clone();
-        pool.submit_to(2, Tasklet::high("block", move || {
-            let _hold = g2.lock();
-        }));
+        pool.submit_to(
+            2,
+            Tasklet::high("block", move || {
+                let _hold = g2.lock();
+            }),
+        );
         // Worker 2 is pinned on the gate: it must leave the idle set.
         let deadline = Instant::now() + Duration::from_secs(5);
         while pool.idle_workers().contains(&2) {
@@ -263,9 +268,12 @@ mod tests {
         let gate = Arc::new(Mutex::new(()));
         let guard = gate.lock();
         let g = gate.clone();
-        pool.submit_to(0, Tasklet::high("gate", move || {
-            let _hold = g.lock();
-        }));
+        pool.submit_to(
+            0,
+            Tasklet::high("gate", move || {
+                let _hold = g.lock();
+            }),
+        );
         for _ in 0..10 {
             pool.submit_to(0, Tasklet::high("queued", || {}));
         }
@@ -283,9 +291,12 @@ mod tests {
         let guard = gate.lock();
         // Busy out worker 0 so origin 0's same-package idle partner is 1.
         let g = gate.clone();
-        pool.submit_to(0, Tasklet::high("gate", move || {
-            let _hold = g.lock();
-        }));
+        pool.submit_to(
+            0,
+            Tasklet::high("gate", move || {
+                let _hold = g.lock();
+            }),
+        );
         let deadline = Instant::now() + Duration::from_secs(5);
         while pool.idle_workers().contains(&0) {
             assert!(Instant::now() < deadline);
@@ -304,9 +315,12 @@ mod tests {
         let guard = gate.lock();
         for w in 0..2 {
             let g = gate.clone();
-            pool.submit_to(w, Tasklet::high("gate", move || {
-                let _hold = g.lock();
-            }));
+            pool.submit_to(
+                w,
+                Tasklet::high("gate", move || {
+                    let _hold = g.lock();
+                }),
+            );
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while pool.idle_count() > 0 {

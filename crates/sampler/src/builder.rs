@@ -20,9 +20,7 @@ pub fn sample_all_rails<T: SampleTransport>(
     transport: &mut T,
     config: &SamplingConfig,
 ) -> Result<Vec<PerfProfile>, ModelError> {
-    (0..transport.rail_count())
-        .map(|rail| sample_rail(transport, rail, config))
-        .collect()
+    (0..transport.rail_count()).map(|rail| sample_rail(transport, rail, config)).collect()
 }
 
 #[cfg(test)]

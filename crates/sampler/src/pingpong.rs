@@ -159,13 +159,8 @@ mod tests {
     #[test]
     fn warmup_iterations_are_not_recorded_but_do_run() {
         let mut t = SimTransport::paper_testbed();
-        let c = SamplingConfig {
-            min_size: 4,
-            max_size: 8,
-            iters: 3,
-            warmup: 2,
-            ..Default::default()
-        };
+        let c =
+            SamplingConfig { min_size: 4, max_size: 8, iters: 3, warmup: 2, ..Default::default() };
         let _ = run_sampling(&mut t, 0, &c);
         // 2 sizes x (2 warmup + 3 timed) = 10 measurements.
         assert_eq!(t.measurement_count(), 10);

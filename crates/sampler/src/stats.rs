@@ -34,11 +34,8 @@ impl Summary {
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
         let cut = n / 10;
         let middle = &sorted[cut..n - cut];
         let trimmed_mean = middle.iter().sum::<f64>() / middle.len() as f64;

@@ -85,7 +85,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("nm_sampler_store_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("nm_sampler_store_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -37,7 +37,13 @@ mod tests {
     #[test]
     fn derived_threshold_is_near_the_protocol_crossing() {
         let mut t = SimTransport::paper_testbed();
-        let cfg = SamplingConfig { min_size: 4, max_size: 1 << 22, iters: 1, warmup: 0, ..Default::default() };
+        let cfg = SamplingConfig {
+            min_size: 4,
+            max_size: 1 << 22,
+            iters: 1,
+            warmup: 0,
+            ..Default::default()
+        };
         let th = derive_rdv_threshold(&mut t, 0, &cfg).expect("rdv must win eventually");
         // Ground truth crossing for the Myri model: where forced-eager and
         // forced-rendezvous curves intersect.
@@ -64,7 +70,8 @@ mod tests {
     fn tiny_range_yields_none() {
         // Rendezvous never wins for 4..64 byte messages.
         let mut t = SimTransport::paper_testbed();
-        let cfg = SamplingConfig { min_size: 4, max_size: 64, iters: 1, warmup: 0, ..Default::default() };
+        let cfg =
+            SamplingConfig { min_size: 4, max_size: 64, iters: 1, warmup: 0, ..Default::default() };
         assert_eq!(derive_rdv_threshold(&mut t, 0, &cfg), None);
         assert_eq!(derive_rdv_threshold(&mut t, 1, &cfg), None);
     }

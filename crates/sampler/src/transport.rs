@@ -114,8 +114,7 @@ mod tests {
         let eager = t.measure_us(0, 1 << 20, Some(TransferMode::Eager));
         let rdv = t.measure_us(0, 1 << 20, Some(TransferMode::Rendezvous));
         let want_eager = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Eager);
-        let want_rdv =
-            builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Rendezvous);
+        let want_rdv = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Rendezvous);
         assert!((eager - want_eager).abs() < 0.01);
         assert!((rdv - want_rdv).abs() < 0.01);
     }

@@ -57,13 +57,7 @@ pub fn render(trace: &Trace, from: SimTime, to: SimTime, width: usize) -> String
     let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(5);
 
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:label_width$}  t = {} .. {} ({} per column)\n",
-        "",
-        from,
-        to,
-        bucket
-    ));
+    out.push_str(&format!("{:label_width$}  t = {} .. {} ({} per column)\n", "", from, to, bucket));
     for row in &rows {
         out.push_str(&format!("{:label_width$} |", row.label));
         for b in 0..width {

@@ -21,11 +21,7 @@ pub struct SerialResource {
 impl SerialResource {
     /// A resource idle since the beginning of time.
     pub fn new() -> Self {
-        SerialResource {
-            busy_until: SimTime::ZERO,
-            busy_total: SimDuration::ZERO,
-            generation: 0,
-        }
+        SerialResource { busy_until: SimTime::ZERO, busy_total: SimDuration::ZERO, generation: 0 }
     }
 
     /// Earliest instant (not before `now`) at which the resource is free.

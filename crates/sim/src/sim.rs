@@ -386,8 +386,7 @@ impl Simulator {
         let (s, inject_end) =
             self.cores[spec.src.index()][spec.send_core.index()].reserve(start, copy);
         debug_assert_eq!(s, start);
-        let (_, nic_end) =
-            self.nic_tx[spec.src.index()][spec.rail.index()].reserve(start, copy);
+        let (_, nic_end) = self.nic_tx[spec.src.index()][spec.rail.index()].reserve(start, copy);
         debug_assert_eq!(nic_end, inject_end);
 
         self.trace.push(TraceRecord::CoreBusy {
@@ -447,10 +446,8 @@ impl Simulator {
             recv_end,
             Ev::NicIdleCheck(NicKey { node: spec.dst, rail: spec.rail }, NicDir::Rx, rx_nic_gen),
         );
-        let rx_core_gen =
-            self.cores[spec.dst.index()][spec.recv_core.index()].generation();
-        self.calendar
-            .push(recv_end, Ev::CoreIdleCheck(spec.dst, spec.recv_core, rx_core_gen));
+        let rx_core_gen = self.cores[spec.dst.index()][spec.recv_core.index()].generation();
+        self.calendar.push(recv_end, Ev::CoreIdleCheck(spec.dst, spec.recv_core, rx_core_gen));
 
         self.schedule_idle_checks_for_send(spec, inject_end);
     }
@@ -493,8 +490,7 @@ impl Simulator {
         let tx = &self.nic_tx[spec.src.index()][spec.rail.index()];
         let rx = &self.nic_rx[spec.dst.index()][spec.rail.index()];
         let dma_start = cts_arrive.max(tx.free_at(cts_arrive)).max(rx.free_at(cts_arrive));
-        let (_, dma_end) =
-            self.nic_tx[spec.src.index()][spec.rail.index()].reserve(dma_start, dma);
+        let (_, dma_end) = self.nic_tx[spec.src.index()][spec.rail.index()].reserve(dma_start, dma);
         self.nic_rx[spec.dst.index()][spec.rail.index()].reserve(dma_start, dma);
         for (node, dir) in [(spec.src, NicDir::Tx), (spec.dst, NicDir::Rx)] {
             self.trace.push(TraceRecord::NicBusy {
@@ -609,8 +605,7 @@ impl Simulator {
                     NicDir::Tx => &self.nic_tx[key.node.index()][key.rail.index()],
                     NicDir::Rx => &self.nic_rx[key.node.index()][key.rail.index()],
                 };
-                if dir == NicDir::Tx && nic.idle_event_is_current(gen) && nic.is_idle(self.now)
-                {
+                if dir == NicDir::Tx && nic.idle_event_is_current(gen) && nic.is_idle(self.now) {
                     self.outbox.push_back(SimEvent::NicIdle {
                         node: key.node,
                         rail: key.rail,
@@ -706,8 +701,9 @@ mod tests {
         let size = 8 * KIB;
         let mut s = sim();
         let a = s.submit(SendSpec::simple(N0, N1, MYRI, size).recv_on_core(CoreId(0)));
-        let b = s
-            .submit(SendSpec::simple(N0, N1, QUAD, size).on_core(CoreId(1)).recv_on_core(CoreId(1)));
+        let b = s.submit(
+            SendSpec::simple(N0, N1, QUAD, size).on_core(CoreId(1)).recv_on_core(CoreId(1)),
+        );
         s.run_until_idle();
         assert_eq!(s.transfer(a).started_at.unwrap(), SimTime::ZERO);
         assert_eq!(s.transfer(b).started_at.unwrap(), SimTime::ZERO);
@@ -718,9 +714,7 @@ mod tests {
         let mut s = sim();
         let d = SimDuration::from_micros(3);
         let id = s.submit(
-            SendSpec::simple(N0, N1, MYRI, 4 * KIB)
-                .on_core(CoreId(2))
-                .with_offload_delay(d),
+            SendSpec::simple(N0, N1, MYRI, 4 * KIB).on_core(CoreId(2)).with_offload_delay(d),
         );
         s.run_until_idle();
         assert_eq!(s.transfer(id).started_at.unwrap(), SimTime::ZERO + d);
@@ -791,8 +785,7 @@ mod tests {
     #[test]
     fn forced_mode_overrides_threshold() {
         let mut s = sim();
-        let id =
-            s.submit(SendSpec::simple(N0, N1, MYRI, MIB).with_mode(TransferMode::Eager));
+        let id = s.submit(SendSpec::simple(N0, N1, MYRI, MIB).with_mode(TransferMode::Eager));
         assert_eq!(s.transfer(id).mode, TransferMode::Eager);
         let at = s.run_until_delivered(id);
         let want = builtin::myri_10g().one_way_us_in_mode(MIB, TransferMode::Eager);

@@ -91,10 +91,8 @@ mod tests {
 
     #[test]
     fn validation_catches_degenerate_clusters() {
-        let one_node = ClusterSpec {
-            nodes: vec![NodeSpec::with_cores(4)],
-            rails: builtin::paper_testbed(),
-        };
+        let one_node =
+            ClusterSpec { nodes: vec![NodeSpec::with_cores(4)], rails: builtin::paper_testbed() };
         assert!(one_node.validate().is_err());
 
         let no_rails = ClusterSpec { nodes: vec![NodeSpec::with_cores(4); 2], rails: vec![] };

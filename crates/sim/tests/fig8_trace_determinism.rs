@@ -1,0 +1,82 @@
+//! The calendar queue must reproduce the legacy heap's event order on the
+//! fig8 workload — the figure harnesses are required to be bit-identical
+//! across the queue swap.
+//!
+//! This test replays fig8's bandwidth-ladder schedule (the paper testbed's
+//! two rails, message sizes 1 KiB → 4 MiB, chunk completions + idle
+//! notifications with occasional retractions) against [`EventQueue`] and
+//! [`LegacyEventQueue`] in lockstep and asserts the popped `(time, event)`
+//! sequences are identical. The committed golden figure outputs (see
+//! `crates/bench/tests/figure_golden.rs`) then pin the end-to-end result.
+
+use nm_model::{SimDuration, SimTime};
+use nm_sim::{EventQueue, LegacyEventQueue};
+
+/// Events of the mimic simulation, tagged for exact comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    ChunkDone { rail: usize, msg: u64 },
+    RailIdle { rail: usize },
+}
+
+/// Affine per-rail chunk duration from the paper testbed's sampled shape:
+/// `lat + bytes / bw` (Myri-10G-like and QsNetII-like).
+fn chunk_ns(rail: usize, bytes: u64) -> u64 {
+    let (lat_ns, bytes_per_us) = if rail == 0 { (2_300, 1_170) } else { (1_400, 840) };
+    lat_ns + bytes * 1_000 / bytes_per_us
+}
+
+#[test]
+fn calendar_replays_fig8_trace_identically() {
+    let mut cal = EventQueue::new();
+    let mut leg = LegacyEventQueue::new();
+
+    // fig8's ladder: sizes 1 KiB .. 4 MiB, split 60/40 over the two rails.
+    let sizes: Vec<u64> = (10..=22).map(|p| 1u64 << p).collect();
+    let mut now = SimTime::ZERO;
+    let mut popped = 0usize;
+
+    for (msg, &size) in sizes.iter().enumerate() {
+        // Submit both chunks at the current instant; each rail also gets an
+        // idle notification scheduled right after its chunk completes.
+        let mut idle_ids = Vec::new();
+        for rail in 0..2 {
+            let bytes = if rail == 0 { size * 6 / 10 } else { size - size * 6 / 10 };
+            let done_at = now + SimDuration::from_nanos(chunk_ns(rail, bytes));
+            cal.push(done_at, Ev::ChunkDone { rail, msg: msg as u64 });
+            leg.push(done_at, Ev::ChunkDone { rail, msg: msg as u64 });
+            let idle_at = done_at + SimDuration::from_nanos(1);
+            idle_ids.push((
+                cal.push(idle_at, Ev::RailIdle { rail }),
+                leg.push(idle_at, Ev::RailIdle { rail }),
+            ));
+        }
+        // The engine retracts rail 1's idle notification every other
+        // message (re-busied by the next submission) — the cancellation
+        // pattern the tombstone set used to absorb.
+        if msg % 2 == 0 {
+            let (cid, lid) = idle_ids[1];
+            cal.cancel(cid);
+            leg.cancel(lid);
+        }
+
+        // Drain this message's events in lockstep before the next rung.
+        loop {
+            assert_eq!(cal.peek_time(), leg.peek_time());
+            let (a, b) = (cal.pop(), leg.pop());
+            assert_eq!(a, b, "divergence after {popped} pops");
+            match a {
+                Some((at, _)) => {
+                    assert!(at >= now, "time went backwards");
+                    now = at;
+                    popped += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(cal.is_empty() && leg.is_empty());
+    }
+
+    // 13 rungs × (2 chunk completions + 1 or 2 live idles).
+    assert_eq!(popped, 13 * 3 + 6);
+}

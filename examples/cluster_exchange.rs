@@ -35,8 +35,7 @@ fn ring_exchange(kind: StrategyKind, nodes: usize, size: u64) -> f64 {
         })
         .collect();
 
-    let ids: Vec<_> =
-        engines.iter_mut().map(|e| e.post_send(size).expect("post")).collect();
+    let ids: Vec<_> = engines.iter_mut().map(|e| e.post_send(size).expect("post")).collect();
     let mut latest = 0.0f64;
     for (e, id) in engines.iter_mut().zip(ids) {
         let done = e.wait(id).expect("wait");

@@ -26,12 +26,9 @@ fn degraded_spec(factor: f64) -> ClusterSpec {
 
 fn run(predictor_spec: &ClusterSpec, actual_spec: ClusterSpec, size: u64) -> f64 {
     let predictor = sample_predictor(predictor_spec);
-    let mut engine = Engine::new(
-        SimDriver::new(actual_spec),
-        predictor,
-        StrategyKind::HeteroSplit.build(),
-    )
-    .expect("engine");
+    let mut engine =
+        Engine::new(SimDriver::new(actual_spec), predictor, StrategyKind::HeteroSplit.build())
+            .expect("engine");
     let id = engine.post_send(size).expect("post");
     engine.wait(id).expect("wait").duration.as_micros_f64()
 }

@@ -48,10 +48,8 @@ fn main() {
     }
 
     println!("\n== three rails (plus gigabit Ethernet) ==");
-    let spec3 = ClusterSpec::two_nodes(
-        4,
-        vec![builtin::myri_10g(), builtin::qsnet2(), builtin::gige()],
-    );
+    let spec3 =
+        ClusterSpec::two_nodes(4, vec![builtin::myri_10g(), builtin::qsnet2(), builtin::gige()]);
     println!("{:<20} {:>12}  rail bytes", "strategy", "done (us)");
     for kind in [StrategyKind::IsoSplit, StrategyKind::RatioSplit, StrategyKind::HeteroSplit] {
         let (end, rail_bytes) = run(kind, spec3.clone());

@@ -43,12 +43,6 @@ fn main() {
         let single = pingpong_bandwidth(StrategyKind::SingleRail(None), size, rounds);
         let iso = pingpong_bandwidth(StrategyKind::IsoSplit, size, rounds);
         let hetero = pingpong_bandwidth(StrategyKind::HeteroSplit, size, rounds);
-        println!(
-            "{:>10} {:>14.0} {:>14.0} {:>14.0}",
-            size / 1024,
-            single,
-            iso,
-            hetero
-        );
+        println!("{:>10} {:>14.0} {:>14.0} {:>14.0}", size / 1024, single, iso, hetero);
     }
 }

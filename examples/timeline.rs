@@ -24,12 +24,10 @@ fn main() {
 
     show("(a) greedy: both segments from core 0, PIO copies serialize", |sim| {
         sim.submit(
-            SendSpec::simple(NodeId(0), NodeId(1), RailId(0), seg)
-                .with_mode(TransferMode::Eager),
+            SendSpec::simple(NodeId(0), NodeId(1), RailId(0), seg).with_mode(TransferMode::Eager),
         );
         sim.submit(
-            SendSpec::simple(NodeId(0), NodeId(1), RailId(1), seg)
-                .with_mode(TransferMode::Eager),
+            SendSpec::simple(NodeId(0), NodeId(1), RailId(1), seg).with_mode(TransferMode::Eager),
         );
     });
 

@@ -50,10 +50,7 @@ fn composite_never_loses_badly_to_any_specialist() {
         StrategyKind::Aggregation,
     ];
     for size in [256u64, 4 * KIB, 32 * KIB, 256 * KIB, 2 * MIB] {
-        let best = specialists
-            .iter()
-            .map(|&k| one_way_us(k, size))
-            .fold(f64::INFINITY, f64::min);
+        let best = specialists.iter().map(|&k| one_way_us(k, size)).fold(f64::INFINITY, f64::min);
         let paper = one_way_us(StrategyKind::Paper, size);
         assert!(
             paper <= best * 1.10 + 0.5,
@@ -73,8 +70,5 @@ fn composite_handles_a_mixed_workload_end_to_end() {
     assert_eq!(stats.bytes_completed, sizes.iter().sum::<u64>());
     // The mixed workload exercises all three paths.
     assert!(stats.packs_submitted >= 1, "aggregation path unused: {stats:?}");
-    assert!(
-        stats.chunks_submitted > sizes.len() as u64 - 2,
-        "split paths unused: {stats:?}"
-    );
+    assert!(stats.chunks_submitted > sizes.len() as u64 - 2, "split paths unused: {stats:?}");
 }

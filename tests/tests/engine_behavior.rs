@@ -12,8 +12,7 @@ fn every_builtin_strategy_completes_a_mixed_workload() {
     let sizes = [64u64, 4 * KIB, 100 * KIB, 2 * MIB, 512, 64 * KIB];
     for kind in StrategyKind::all() {
         let mut engine = paper_engine_kind(kind);
-        let ids: Vec<_> =
-            sizes.iter().map(|&s| engine.post_send(s).expect("post")).collect();
+        let ids: Vec<_> = sizes.iter().map(|&s| engine.post_send(s).expect("post")).collect();
         let done = engine.drain().expect("drain");
         assert_eq!(done.len(), ids.len(), "{kind:?} lost messages");
         let stats = engine.stats();
@@ -68,7 +67,7 @@ fn a_malformed_strategy_plan_is_rejected() {
             "broken"
         }
         fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
-            Action::Split(vec![ChunkPlan::new(RailId(0), ctx.head_size() / 2)])
+            Action::single(ChunkPlan::new(RailId(0), ctx.head_size() / 2))
         }
     }
     let mut engine: Engine<_> = paper_engine(Box::new(Broken));
@@ -85,7 +84,7 @@ fn unknown_rail_in_plan_is_rejected() {
             "bad-rail"
         }
         fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
-            Action::Split(vec![ChunkPlan::new(RailId(7), ctx.head_size())])
+            Action::single(ChunkPlan::new(RailId(7), ctx.head_size()))
         }
     }
     let mut engine: Engine<_> = paper_engine(Box::new(BadRail));
@@ -132,10 +131,7 @@ fn cancelling_a_queued_message_frees_the_flow() {
     assert!(done.iter().all(|c| c.id != ids[2]));
     assert_eq!(engine.stats().cancelled, 1);
     // Waiting on the cancelled id errors out cleanly.
-    assert!(matches!(
-        engine.wait(ids[2]),
-        Err(nm_core::EngineError::UnknownMessage(_))
-    ));
+    assert!(matches!(engine.wait(ids[2]), Err(nm_core::EngineError::UnknownMessage(_))));
 }
 
 #[test]

@@ -16,10 +16,7 @@ fn crossover_sits_in_the_few_kb_region() {
         .expect("splitting must win somewhere below 64K");
     // Paper: "splitting small messages (i.e. smaller than 4 KB) appears to
     // be costly". Accept a crossover in [2K, 16K].
-    assert!(
-        (2 * KIB..=16 * KIB).contains(&crossover),
-        "crossover at {crossover} bytes"
-    );
+    assert!((2 * KIB..=16 * KIB).contains(&crossover), "crossover at {crossover} bytes");
 }
 
 #[test]
@@ -56,10 +53,7 @@ fn the_estimate_is_conservative_versus_the_simulator() {
     // against the estimate within 15%.
     let p = sample_predictor(&ClusterSpec::paper_testbed());
     let est = estimate_eager_split(&p, 64 * KIB, 3.0).split_us;
-    let simulated = nm_tests::one_way_us(
-        nm_core::strategy::StrategyKind::MulticoreEager,
-        64 * KIB,
-    );
+    let simulated = nm_tests::one_way_us(nm_core::strategy::StrategyKind::MulticoreEager, 64 * KIB);
     let rel = (simulated - est).abs() / est;
     assert!(rel < 0.15, "simulated {simulated:.1}us vs estimate {est:.1}us");
 }

@@ -59,8 +59,7 @@ fn many_interleaved_tags_all_release_in_per_tag_order() {
     for round in 0..5u64 {
         for tag in 0..3u32 {
             // Alternate large/small so SJF has something to promote.
-            let size =
-                if (round + tag as u64).is_multiple_of(2) { 512 * KIB } else { 8 * KIB };
+            let size = if (round + tag as u64).is_multiple_of(2) { 512 * KIB } else { 8 * KIB };
             ids.push((tag, engine.post_send_tagged(size, tag).expect("post")));
         }
     }

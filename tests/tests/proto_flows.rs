@@ -36,9 +36,8 @@ fn multiplexed_flow_survives_rail_races() {
     }
 
     // Receive side: reassemble each message, then sequence the flow.
-    let mut assemblers: HashMap<u64, Reassembler> = (0..n_msgs)
-        .map(|m| (m, Reassembler::new(msg_len)))
-        .collect();
+    let mut assemblers: HashMap<u64, Reassembler> =
+        (0..n_msgs).map(|m| (m, Reassembler::new(msg_len))).collect();
     let mut sequencer: Sequencer<Vec<u8>> = Sequencer::new(n_msgs as usize);
     let mut released: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut release_order = Vec::new();
@@ -51,7 +50,8 @@ fn multiplexed_flow_survives_rail_races() {
         for ev in events {
             if let SimEvent::Delivered { transfer, .. } = ev {
                 let &(m, offset, len) = chunk_of.get(&transfer).expect("known chunk");
-                let data = Bytes::from(content(m)[offset as usize..(offset + len) as usize].to_vec());
+                let data =
+                    Bytes::from(content(m)[offset as usize..(offset + len) as usize].to_vec());
                 let asm = assemblers.get_mut(&m).expect("assembler");
                 if asm.feed(offset, &data).expect("valid chunk") {
                     let msg = assemblers.remove(&m).unwrap().into_message();

@@ -28,11 +28,10 @@ fn sample_save_load_rebuild_predictor() {
         .iter()
         .enumerate()
         .map(|(i, link)| {
-            let natural =
-                load_profile(&dir, &link.name).expect("load").expect("present");
+            let natural = load_profile(&dir, &link.name).expect("load").expect("present");
             RailView {
                 rail: RailId(i),
-                name: link.name.clone(),
+                name: link.name.as_str().into(),
                 eager: natural.clone(),
                 natural,
                 rdv_threshold: link.rdv_threshold,
@@ -69,7 +68,7 @@ fn noisy_sampling_still_drives_sane_splits() {
         .enumerate()
         .map(|(i, p)| RailView {
             rail: RailId(i),
-            name: p.name().to_string(),
+            name: p.name().into(),
             eager: p.clone(),
             natural: p,
             rdv_threshold: spec.rails[i].rdv_threshold,
@@ -105,11 +104,14 @@ fn engine_decisions_change_with_cluster_performance() {
     // Same engine code, different cluster: on a homogeneous pair the split
     // is 50/50; on the paper pair it is ~58/42.
     use nm_model::builtin;
-    let homogeneous = ClusterSpec::two_nodes(4, vec![builtin::qsnet2(), {
-        let mut m = builtin::qsnet2();
-        m.name = "qsnet2-b".into();
-        m
-    }]);
+    let homogeneous = ClusterSpec::two_nodes(
+        4,
+        vec![builtin::qsnet2(), {
+            let mut m = builtin::qsnet2();
+            m.name = "qsnet2-b".into();
+            m
+        }],
+    );
     let p = nm_tests::sample_predictor(&homogeneous);
     let split = nm_core::selection::select_rails(
         &p.natural_cost(),

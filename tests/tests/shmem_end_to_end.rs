@@ -7,7 +7,9 @@ use nm_core::prelude::*;
 use nm_core::strategy::StrategyKind;
 
 fn payload(len: usize, seed: u8) -> Bytes {
-    Bytes::from((0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>())
+    Bytes::from(
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect::<Vec<u8>>(),
+    )
 }
 
 fn shmem_session(kind: StrategyKind) -> Session {
@@ -37,10 +39,7 @@ fn payloads_survive_hetero_splitting_across_real_threads() {
     }
     // The driver verified every delivered chunk.
     // (Downcast via the stats the Session exposes: completed bytes.)
-    assert_eq!(
-        session.stats().bytes_completed,
-        sizes.iter().map(|&s| s as u64).sum::<u64>()
-    );
+    assert_eq!(session.stats().bytes_completed, sizes.iter().map(|&s| s as u64).sum::<u64>());
 }
 
 #[test]

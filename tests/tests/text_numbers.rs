@@ -50,16 +50,11 @@ fn hetero_split_chunk_sizes_and_balance() {
         .map(|&(r, b)| sim.submit(SendSpec::simple(NodeId(0), NodeId(1), r, b)))
         .collect();
     sim.run_until_idle();
-    let ends: Vec<f64> = ids
-        .iter()
-        .map(|&i| sim.transfer(i).delivered_at.unwrap().as_micros_f64())
-        .collect();
+    let ends: Vec<f64> =
+        ids.iter().map(|&i| sim.transfer(i).delivered_at.unwrap().as_micros_f64()).collect();
     let spread = (ends[0] - ends[1]).abs();
     let max_end = ends[0].max(ends[1]);
-    assert!(
-        spread / max_end < 0.02,
-        "chunk completions {ends:?} differ by more than 2%"
-    );
+    assert!(spread / max_end < 0.02, "chunk completions {ends:?} differ by more than 2%");
     // And the completion is within 10% of the paper's ~2000us.
     assert!((max_end - 2000.0).abs() / 2000.0 < 0.10, "completion {max_end:.0}us");
 }
