@@ -7,3 +7,14 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+
+# Resilience harness: deterministic seeded chaos run + JSON key schema.
+cargo run --release -p nm-bench --bin resilience -- --seed 42
+for key in bench seed msgs msg_bytes fault_free_completion_us faulted_completion_us \
+    completion_inflation_pct failover_latency_us_mean retransmitted_bytes \
+    retries failovers quarantines readmissions probes_sent; do
+    grep -q "\"$key\":" BENCH_resilience.json || {
+        echo "BENCH_resilience.json missing key: $key" >&2
+        exit 1
+    }
+done

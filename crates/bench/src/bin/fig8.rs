@@ -5,43 +5,12 @@
 //! Hetero-split. Paper reference points: 1170 MB/s (Myri), 837 MB/s
 //! (Quadrics), ~1670 MB/s (iso), ~1987 MB/s (hetero, near the theoretical
 //! aggregate). Bandwidths are in the paper's unit (MB = 2^20 bytes).
+//!
+//! The table itself is rendered by [`nm_bench::fig8_report`], shared with
+//! the resilience harness's fault-free golden path.
 
-use nm_bench::{bandwidth_mibps, Table};
-use nm_core::strategy::StrategyKind;
-use nm_model::units::{format_size, pow2_sizes, KIB, MIB};
-use nm_sim::RailId;
+use nm_bench::{fig8_report, paper_engine_kind};
 
 fn main() {
-    let series: Vec<(&str, StrategyKind)> = vec![
-        ("Myri-10G", StrategyKind::SingleRail(Some(RailId(0)))),
-        ("Quadrics", StrategyKind::SingleRail(Some(RailId(1)))),
-        ("Iso-split", StrategyKind::IsoSplit),
-        ("Hetero-split", StrategyKind::HeteroSplit),
-    ];
-
-    println!("# Fig 8: Message splitting - Bandwidth (MB/s, MB = 2^20 bytes)");
-    println!("# paper: Myri 1170, Quadrics 837, iso ~1670, hetero ~1987 (max)\n");
-
-    let mut table = Table::new(&["size", "Myri-10G", "Quadrics", "Iso-split", "Hetero-split"]);
-    let mut maxima = vec![0.0f64; series.len()];
-    for size in pow2_sizes(32 * KIB, 8 * MIB) {
-        let mut cells = vec![format_size(size)];
-        for (i, (_, kind)) in series.iter().enumerate() {
-            let bw = bandwidth_mibps(*kind, size);
-            maxima[i] = maxima[i].max(bw);
-            cells.push(format!("{bw:.0}"));
-        }
-        table.row(cells);
-    }
-    table.print();
-
-    println!();
-    for ((name, _), max) in series.iter().zip(&maxima) {
-        println!("# max {name}: {max:.0} MB/s");
-    }
-    let aggregate = maxima[0] + maxima[1];
-    println!(
-        "# hetero reaches {:.1}% of the single-rail sum ({aggregate:.0} MB/s)",
-        100.0 * maxima[3] / aggregate
-    );
+    print!("{}", fig8_report(paper_engine_kind));
 }

@@ -1,0 +1,107 @@
+//! Resilience harness: completion-time inflation under a seeded rail outage.
+//!
+//! Replays the same 40 x 1 MiB hetero-split stream twice over the chaos
+//! driver — once with an empty fault schedule (bit-identical to the plain
+//! simulator, see `resilience_golden.rs`) and once with the fastest rail
+//! going hard-down mid-stream. Reports how much the outage inflates total
+//! completion time, the mean failover latency (first failure of a chunk to
+//! its eventual delivery), and the retransmission overhead.
+//!
+//! Results go to stdout and to `BENCH_resilience.json` in the working
+//! directory (machine-readable; CI pins the key schema).
+//!
+//! Usage: `resilience [--seed N]` (default seed 42).
+
+use nm_bench::{chaos_paper_engine_kind, one_way_us_in};
+use nm_core::engine::EngineStats;
+use nm_core::strategy::StrategyKind;
+use nm_core::transport::Transport;
+use nm_core::HealthConfig;
+use nm_faults::{FaultKind, FaultSchedule, FaultSpec};
+use nm_model::units::MIB;
+use nm_model::{SimDuration, SimTime};
+use nm_sim::RailId;
+
+const MSGS: usize = 40;
+const MSG_BYTES: u64 = MIB;
+const DOWN_RAIL: RailId = RailId(0); // myri-10g, the faster rail
+
+fn outage_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule::new(seed).with(FaultSpec {
+        rail: DOWN_RAIL,
+        at: SimTime::from_micros(2_000),
+        kind: FaultKind::RailDown { duration: SimDuration::from_micros(10_000) },
+    })
+}
+
+fn health_config() -> HealthConfig {
+    HealthConfig {
+        // Brisk probing so re-admission lands inside the 40-message stream.
+        max_probe_backoff: SimDuration::from_micros(2_000),
+        ..HealthConfig::default()
+    }
+}
+
+/// Runs the stream and returns (total completion µs, final stats).
+fn run_stream(schedule: FaultSchedule) -> (f64, EngineStats) {
+    let mut engine = chaos_paper_engine_kind(StrategyKind::HeteroSplit, schedule, health_config());
+    let mut total_us = 0.0;
+    for _ in 0..MSGS {
+        one_way_us_in(&mut engine, MSG_BYTES);
+        total_us = engine.transport().now().as_micros_f64();
+    }
+    (total_us, engine.stats().clone())
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seed requires an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (clean_us, clean) = run_stream(FaultSchedule::empty());
+    let (faulted_us, s) = run_stream(outage_schedule(seed));
+    assert_eq!(
+        (clean.chunks_failed, clean.retries, clean.quarantines),
+        (0, 0, 0),
+        "empty schedule must be inert"
+    );
+
+    let inflation_pct = 100.0 * (faulted_us - clean_us) / clean_us;
+    let failover_latency_us_mean = if s.failover_completions > 0 {
+        s.failover_latency_us_sum / s.failover_completions as f64
+    } else {
+        0.0
+    };
+
+    println!("# resilience: seeded RailDown on {DOWN_RAIL:?} mid-stream (seed {seed})");
+    println!("stream:                    {MSGS} x {} hetero-split", MSG_BYTES);
+    println!("fault-free completion:     {clean_us:10.1} us");
+    println!("faulted completion:        {faulted_us:10.1} us");
+    println!("completion inflation:      {inflation_pct:10.1} %");
+    println!("mean failover latency:     {failover_latency_us_mean:10.1} us");
+    println!("retransmitted bytes:       {:10}", s.retransmitted_bytes);
+    println!("retries:                   {:10}", s.retries);
+    println!("failovers:                 {:10}", s.failovers);
+    println!("quarantines/readmissions:  {:10}/{}", s.quarantines, s.readmissions);
+    println!("probes sent:               {:10}", s.probes_sent);
+
+    let json = format!(
+        "{{\n  \"bench\": \"resilience\",\n  \"seed\": {seed},\n  \"msgs\": {MSGS},\n  \"msg_bytes\": {MSG_BYTES},\n  \"fault_free_completion_us\": {clean_us:.1},\n  \"faulted_completion_us\": {faulted_us:.1},\n  \"completion_inflation_pct\": {inflation_pct:.2},\n  \"failover_latency_us_mean\": {failover_latency_us_mean:.1},\n  \"retransmitted_bytes\": {},\n  \"retries\": {},\n  \"failovers\": {},\n  \"quarantines\": {},\n  \"readmissions\": {},\n  \"probes_sent\": {}\n}}\n",
+        s.retransmitted_bytes, s.retries, s.failovers, s.quarantines, s.readmissions, s.probes_sent
+    );
+    match std::fs::write("BENCH_resilience.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_resilience.json"),
+        Err(e) => eprintln!("could not write BENCH_resilience.json: {e}"),
+    }
+}

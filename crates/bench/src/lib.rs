@@ -17,10 +17,15 @@
 //!
 //! Criterion micro-benchmarks live in `benches/` (`cargo bench -p nm-bench`).
 
+use nm_core::driver::faulty::FaultSimDriver;
 use nm_core::driver::sim::SimDriver;
 use nm_core::engine::Engine;
 use nm_core::predictor::{Predictor, RailView};
 use nm_core::strategy::{Strategy, StrategyKind};
+use nm_core::transport::Transport;
+use nm_core::HealthConfig;
+use nm_faults::FaultSchedule;
+use nm_model::units::{format_size, pow2_sizes, KIB, MIB};
 use nm_model::TransferMode;
 use nm_sampler::{sample_rail, SampleTransport, SamplingConfig, SimTransport};
 use nm_sim::{ClusterSpec, RailId};
@@ -74,6 +79,70 @@ pub fn one_way_us(kind: StrategyKind, size: u64) -> f64 {
 pub fn bandwidth_mibps(kind: StrategyKind, size: u64) -> f64 {
     let us = one_way_us(kind, size);
     size as f64 / (1024.0 * 1024.0) / (us / 1e6)
+}
+
+/// One-way duration (µs) of a single message on an existing engine over
+/// any transport (the generic sibling of [`one_way_us`]).
+pub fn one_way_us_in<T: Transport>(engine: &mut Engine<T>, size: u64) -> f64 {
+    let id = engine.post_send(size).expect("post");
+    engine.wait(id).expect("wait").duration.as_micros_f64()
+}
+
+/// A paper-testbed engine over the chaos driver, replaying `schedule` with
+/// fault tolerance `cfg` — the resilience harness substrate.
+pub fn chaos_paper_engine_kind(
+    kind: StrategyKind,
+    schedule: FaultSchedule,
+    cfg: HealthConfig,
+) -> Engine<FaultSimDriver> {
+    let spec = ClusterSpec::paper_testbed();
+    let predictor = sample_predictor(&spec);
+    Engine::new(FaultSimDriver::new(spec, schedule), predictor, kind.build())
+        .expect("engine")
+        .with_fault_tolerance(cfg)
+        .expect("health config")
+}
+
+/// Renders the Fig 8 report (header, bandwidth table, maxima footer) for
+/// engines produced by `make` — one fresh engine per (strategy, size)
+/// point, exactly like the `fig8` binary. Generic over the transport so
+/// the resilience harness can pin its fault-free path to the same bytes.
+pub fn fig8_report<T: Transport>(mut make: impl FnMut(StrategyKind) -> Engine<T>) -> String {
+    let series: Vec<(&str, StrategyKind)> = vec![
+        ("Myri-10G", StrategyKind::SingleRail(Some(RailId(0)))),
+        ("Quadrics", StrategyKind::SingleRail(Some(RailId(1)))),
+        ("Iso-split", StrategyKind::IsoSplit),
+        ("Hetero-split", StrategyKind::HeteroSplit),
+    ];
+
+    let mut out = String::new();
+    out.push_str("# Fig 8: Message splitting - Bandwidth (MB/s, MB = 2^20 bytes)\n");
+    out.push_str("# paper: Myri 1170, Quadrics 837, iso ~1670, hetero ~1987 (max)\n\n");
+
+    let mut table = Table::new(&["size", "Myri-10G", "Quadrics", "Iso-split", "Hetero-split"]);
+    let mut maxima = vec![0.0f64; series.len()];
+    for size in pow2_sizes(32 * KIB, 8 * MIB) {
+        let mut cells = vec![format_size(size)];
+        for (i, (_, kind)) in series.iter().enumerate() {
+            let us = one_way_us_in(&mut make(*kind), size);
+            let bw = size as f64 / (1024.0 * 1024.0) / (us / 1e6);
+            maxima[i] = maxima[i].max(bw);
+            cells.push(format!("{bw:.0}"));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+
+    out.push('\n');
+    for ((name, _), max) in series.iter().zip(&maxima) {
+        out.push_str(&format!("# max {name}: {max:.0} MB/s\n"));
+    }
+    let aggregate = maxima[0] + maxima[1];
+    out.push_str(&format!(
+        "# hetero reaches {:.1}% of the single-rail sum ({aggregate:.0} MB/s)\n",
+        100.0 * maxima[3] / aggregate
+    ));
+    out
 }
 
 /// Time (µs) for a batch of messages enqueued together to all complete

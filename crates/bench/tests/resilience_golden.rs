@@ -1,0 +1,18 @@
+//! The fault-free resilience path must be invisible: running the full
+//! Fig 8 sweep through the chaos driver with an *empty* schedule and fault
+//! tolerance enabled has to reproduce the golden figure bit-identically.
+//! This pins the "empty schedule is inert" guarantee (no extra events, no
+//! RNG draws, no duration rounding, no health-driven planning changes)
+//! end-to-end through the public `Engine` API.
+
+use nm_bench::{chaos_paper_engine_kind, fig8_report};
+use nm_core::HealthConfig;
+use nm_faults::FaultSchedule;
+
+#[test]
+fn fault_free_chaos_sweep_reproduces_fig8_bit_identically() {
+    let report = fig8_report(|kind| {
+        chaos_paper_engine_kind(kind, FaultSchedule::empty(), HealthConfig::default())
+    });
+    assert_eq!(report, include_str!("golden/fig8.txt"), "fig8 via chaos driver diverged");
+}

@@ -1,0 +1,375 @@
+//! The chaos substrate: a [`SimDriver`] replaying a fault schedule.
+//!
+//! [`FaultSimDriver`] wraps the simulated-cluster driver and injects the
+//! failures of an [`nm_faults::FaultSchedule`] at exact virtual instants
+//! (each transition is pinned with a simulator wakeup, so onset never
+//! depends on polling cadence):
+//!
+//! * **Rail down** — submissions to the rail are rejected (the chunk fails
+//!   on the next poll without touching the simulator) and chunks already in
+//!   flight fail at onset, their residual simulator events swallowed.
+//! * **Transient loss** — each submission draws the schedule's seeded
+//!   lottery; a doomed chunk runs normally on the wire but its delivery is
+//!   reported as [`TransportEvent::ChunkFailed`] (the receive side never
+//!   confirms — the send side still completes, as on real hardware).
+//! * **Latency spike / bandwidth degrade** — mapped onto the simulator's
+//!   per-rail duration shaping ([`nm_sim::Simulator::set_rail_fault`]).
+//!
+//! With an **empty schedule** every hook is inert: no wakeups are
+//! scheduled, no RNG is consumed and events pass through untouched, so a
+//! fault-free chaos run is bit-identical to a plain [`SimDriver`] run —
+//! pinned by the resilience golden test in `nm-bench`.
+
+use crate::driver::sim::SimDriver;
+use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
+use nm_faults::{Change, FaultSchedule, FaultState, Transition};
+use nm_model::SimTime;
+use nm_sim::{ClusterSpec, CoreId, RailId};
+use std::collections::{HashMap, HashSet};
+
+/// Chunk ids minted for submissions rejected at the driver (down rail);
+/// disjoint from the simulator's transfer-id space.
+const REJECTED_CHUNK_BASE: u64 = 1 << 63;
+
+/// Wakeup token marking fault-transition timers (the engine's own wakeups
+/// use token 0; both surface identically as [`TransportEvent::Wakeup`]).
+const FAULT_WAKEUP_TOKEN: u64 = 1;
+
+/// A [`SimDriver`] with a fault schedule spliced into its event stream.
+pub struct FaultSimDriver {
+    inner: SimDriver,
+    state: FaultState,
+    timeline: Vec<Transition>,
+    next_transition: usize,
+    /// Live chunks per rail — the victims list when a rail goes down.
+    inflight: HashMap<ChunkId, RailId>,
+    /// Chunks that lost the loss lottery: delivery becomes failure.
+    doomed: HashSet<ChunkId>,
+    /// Chunks failed at rail-down onset: residual sim events are swallowed.
+    suppressed: HashSet<ChunkId>,
+    /// Rejected submissions awaiting their failure report.
+    pending_failures: Vec<ChunkId>,
+    next_rejected: u64,
+}
+
+impl FaultSimDriver {
+    /// A driver over a fresh simulator for `spec`, replaying `schedule`.
+    /// Panics on an invalid schedule.
+    pub fn new(spec: ClusterSpec, schedule: FaultSchedule) -> Self {
+        Self::from_driver(SimDriver::new(spec), schedule)
+    }
+
+    /// The paper's testbed under `schedule`.
+    pub fn paper_testbed(schedule: FaultSchedule) -> Self {
+        Self::new(ClusterSpec::paper_testbed(), schedule)
+    }
+
+    /// Wraps an existing driver (e.g. one whose simulator has jitter).
+    pub fn from_driver(mut inner: SimDriver, schedule: FaultSchedule) -> Self {
+        schedule.validate().expect("invalid fault schedule");
+        let rails = inner.rail_count();
+        let timeline = schedule.transitions();
+        // Pin every transition instant with a wakeup so faults strike at
+        // exact virtual times even when the calendar is otherwise quiet.
+        let mut last_at = None;
+        for t in &timeline {
+            if last_at != Some(t.at) {
+                inner.simulator_mut().schedule_wakeup(t.at, FAULT_WAKEUP_TOKEN);
+                last_at = Some(t.at);
+            }
+        }
+        FaultSimDriver {
+            inner,
+            state: FaultState::new(rails, schedule.seed()),
+            timeline,
+            next_transition: 0,
+            inflight: HashMap::new(),
+            doomed: HashSet::new(),
+            suppressed: HashSet::new(),
+            pending_failures: Vec::new(),
+            next_rejected: 0,
+        }
+    }
+
+    /// The wrapped driver.
+    pub fn inner(&self) -> &SimDriver {
+        &self.inner
+    }
+
+    /// True while the rail's hard-down window is open.
+    pub fn rail_is_down(&self, rail: RailId) -> bool {
+        self.state.is_down(rail)
+    }
+
+    /// Applies every transition due at or before `at`; rail-down onsets
+    /// fail the rail's in-flight chunks into `out`.
+    fn apply_transitions_until(&mut self, at: SimTime, out: &mut Vec<TransportEvent>) {
+        while let Some(t) = self.timeline.get(self.next_transition) {
+            if t.at > at {
+                break;
+            }
+            let t = t.clone();
+            self.next_transition += 1;
+            self.state.apply(&t);
+            match t.change {
+                Change::DownBegin => {
+                    let mut victims: Vec<ChunkId> = self
+                        .inflight
+                        .iter()
+                        .filter(|&(_, r)| *r == t.rail)
+                        .map(|(c, _)| *c)
+                        .collect();
+                    victims.sort_by_key(|c| c.0); // hash order is not deterministic
+                    for chunk in victims {
+                        self.inflight.remove(&chunk);
+                        self.doomed.remove(&chunk);
+                        self.suppressed.insert(chunk);
+                        out.push(TransportEvent::ChunkFailed { chunk, at: t.at });
+                    }
+                }
+                Change::ShapeBegin { time_scale, extra_latency } => {
+                    self.inner.simulator_mut().set_rail_fault(t.rail, time_scale, extra_latency);
+                }
+                Change::ShapeEnd => {
+                    self.inner.simulator_mut().clear_rail_fault(t.rail);
+                }
+                Change::DownEnd | Change::LossBegin { .. } | Change::LossEnd => {}
+            }
+        }
+    }
+
+    fn event_time(ev: &TransportEvent) -> SimTime {
+        match ev {
+            TransportEvent::ChunkDelivered { at, .. }
+            | TransportEvent::ChunkSendDone { at, .. }
+            | TransportEvent::RailIdle { at, .. }
+            | TransportEvent::CoreIdle { at, .. }
+            | TransportEvent::ChunkFailed { at, .. }
+            | TransportEvent::Wakeup { at } => *at,
+        }
+    }
+}
+
+impl Transport for FaultSimDriver {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn rail_count(&self) -> usize {
+        self.inner.rail_count()
+    }
+
+    fn rail_name(&self, rail: RailId) -> String {
+        self.inner.rail_name(rail)
+    }
+
+    fn rdv_threshold(&self, rail: RailId) -> u64 {
+        self.inner.rdv_threshold(rail)
+    }
+
+    fn rail_busy_until(&self, rail: RailId) -> SimTime {
+        self.inner.rail_busy_until(rail)
+    }
+
+    fn core_count(&self) -> usize {
+        self.inner.core_count()
+    }
+
+    fn idle_cores(&self) -> Vec<CoreId> {
+        self.inner.idle_cores()
+    }
+
+    fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId {
+        let rail = chunk.rail;
+        if self.state.is_down(rail) {
+            let id = ChunkId(REJECTED_CHUNK_BASE | self.next_rejected);
+            self.next_rejected += 1;
+            self.pending_failures.push(id);
+            return id;
+        }
+        let doomed = self.state.should_drop(rail);
+        let id = self.inner.submit(chunk);
+        self.inflight.insert(id, rail);
+        if doomed {
+            self.doomed.insert(id);
+        }
+        id
+    }
+
+    fn poll(&mut self) -> Vec<TransportEvent> {
+        let mut out = Vec::new();
+        let now = self.inner.now();
+        for chunk in self.pending_failures.drain(..) {
+            out.push(TransportEvent::ChunkFailed { chunk, at: now });
+        }
+        // A whole inner batch can be swallowed (suppressed chunks of a
+        // downed rail); keep polling so that an empty return always means
+        // the wrapped driver is exhausted.
+        loop {
+            let inner_events = self.inner.poll();
+            let exhausted = inner_events.is_empty();
+            for ev in inner_events {
+                self.apply_transitions_until(Self::event_time(&ev), &mut out);
+                match ev {
+                    TransportEvent::ChunkDelivered { chunk, at } => {
+                        if self.suppressed.remove(&chunk) {
+                            continue; // already reported failed at rail-down onset
+                        }
+                        self.inflight.remove(&chunk);
+                        if self.doomed.remove(&chunk) {
+                            out.push(TransportEvent::ChunkFailed { chunk, at });
+                        } else {
+                            out.push(TransportEvent::ChunkDelivered { chunk, at });
+                        }
+                    }
+                    TransportEvent::ChunkSendDone { chunk, .. } => {
+                        if !self.suppressed.contains(&chunk) {
+                            out.push(ev);
+                        }
+                    }
+                    other => out.push(other),
+                }
+            }
+            if !out.is_empty() || exhausted {
+                return out;
+            }
+        }
+    }
+
+    fn schedule_wakeup(&mut self, at: SimTime) {
+        self.inner.schedule_wakeup(at);
+    }
+
+    fn cancel_chunks(&mut self, chunks: &[ChunkId]) -> bool {
+        if chunks.iter().any(|c| c.0 >= REJECTED_CHUNK_BASE) {
+            return false; // rejected chunks have no simulator backing
+        }
+        if self.inner.cancel_chunks(chunks) {
+            for c in chunks {
+                self.inflight.remove(c);
+                self.doomed.remove(c);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_faults::{FaultKind, FaultSpec};
+    use nm_model::units::{KIB, MIB};
+    use nm_model::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    fn drain(driver: &mut FaultSimDriver) -> Vec<TransportEvent> {
+        let mut all = Vec::new();
+        loop {
+            let evs = driver.poll();
+            if evs.is_empty() {
+                return all;
+            }
+            all.extend(evs);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_passes_events_through_unchanged() {
+        let mut plain = SimDriver::paper_testbed();
+        let mut chaos = FaultSimDriver::paper_testbed(FaultSchedule::empty());
+        let p = plain.submit(ChunkSubmit::new(RailId(0), 64 * KIB));
+        let c = chaos.submit(ChunkSubmit::new(RailId(0), 64 * KIB));
+        assert_eq!(p, c);
+        let mut plain_events = Vec::new();
+        loop {
+            let evs = plain.poll();
+            if evs.is_empty() {
+                break;
+            }
+            plain_events.extend(evs);
+        }
+        assert_eq!(drain(&mut chaos), plain_events);
+    }
+
+    #[test]
+    fn submission_to_a_down_rail_fails_without_touching_the_sim() {
+        let schedule = FaultSchedule::new(1).with(FaultSpec {
+            rail: RailId(0),
+            at: SimTime::ZERO,
+            kind: FaultKind::RailDown { duration: d(1000) },
+        });
+        let mut driver = FaultSimDriver::paper_testbed(schedule);
+        // Advance past the onset wakeup so the window is open.
+        let _ = driver.poll();
+        assert!(driver.rail_is_down(RailId(0)));
+        let id = driver.submit(ChunkSubmit::new(RailId(0), 64 * KIB));
+        assert!(id.0 >= REJECTED_CHUNK_BASE);
+        assert_eq!(driver.rail_busy_until(RailId(0)), SimTime::ZERO, "sim untouched");
+        let events = driver.poll();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::ChunkFailed { chunk, .. } if *chunk == id)),
+            "rejected submission must fail on the next poll: {events:?}"
+        );
+    }
+
+    #[test]
+    fn rail_down_onset_fails_chunks_in_flight() {
+        let schedule = FaultSchedule::new(1).with(FaultSpec {
+            rail: RailId(0),
+            at: t(100),
+            kind: FaultKind::RailDown { duration: d(10_000) },
+        });
+        let mut driver = FaultSimDriver::paper_testbed(schedule);
+        let id = driver.submit(ChunkSubmit::new(RailId(0), 4 * MIB)); // takes ~3.5ms
+        let events = drain(&mut driver);
+        let failed_at = events.iter().find_map(|e| match e {
+            TransportEvent::ChunkFailed { chunk, at } if *chunk == id => Some(*at),
+            _ => None,
+        });
+        assert_eq!(failed_at, Some(t(100)), "failure strikes at the exact onset instant");
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::ChunkDelivered { chunk, .. } if *chunk == id)),
+            "a failed chunk must not also deliver"
+        );
+    }
+
+    #[test]
+    fn transient_loss_dooms_a_deterministic_subset() {
+        let schedule = |seed| {
+            FaultSchedule::new(seed).with(FaultSpec {
+                rail: RailId(0),
+                at: SimTime::ZERO,
+                kind: FaultKind::TransientLoss { prob: 0.5, duration: d(1_000_000) },
+            })
+        };
+        let run = |seed| {
+            let mut driver = FaultSimDriver::paper_testbed(schedule(seed));
+            let _ = driver.poll(); // open the window
+            let ids: Vec<ChunkId> =
+                (0..16).map(|_| driver.submit(ChunkSubmit::new(RailId(0), 4 * KIB))).collect();
+            let events = drain(&mut driver);
+            ids.iter()
+                .map(|id| {
+                    events.iter().any(
+                        |e| matches!(e, TransportEvent::ChunkFailed { chunk, .. } if chunk == id),
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same losses");
+        assert!(a.iter().any(|&x| x) && !a.iter().all(|&x| x), "p=0.5 over 16 draws");
+    }
+}

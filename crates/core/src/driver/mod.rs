@@ -7,7 +7,11 @@
 //!   through throttled in-process rails, with checksum verification at the
 //!   receive side. It proves the engine/strategy/protocol stack is not
 //!   simulator-shaped.
+//! * [`faulty`] — the chaos substrate: a [`sim::SimDriver`] replaying an
+//!   [`nm_faults::FaultSchedule`], for exercising health tracking and
+//!   failover deterministically.
 
 pub mod cluster;
+pub mod faulty;
 pub mod shmem;
 pub mod sim;

@@ -37,6 +37,13 @@ impl SimDriver {
         &self.sim
     }
 
+    /// Mutable access to the underlying simulator (fault injection, extra
+    /// wakeups). The engine never uses this; wrappers like the fault
+    /// driver do.
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
     /// The cluster spec.
     pub fn spec(&self) -> &ClusterSpec {
         self.sim.spec()
@@ -87,25 +94,46 @@ impl Transport for SimDriver {
     }
 
     fn poll(&mut self) -> Vec<TransportEvent> {
-        let events = self.sim.step();
-        events
-            .into_iter()
-            .filter_map(|ev| match ev {
-                SimEvent::Delivered { transfer, at } => {
-                    Some(TransportEvent::ChunkDelivered { chunk: ChunkId(transfer.0), at })
-                }
-                SimEvent::SendDone { transfer, at } => {
-                    Some(TransportEvent::ChunkSendDone { chunk: ChunkId(transfer.0), at })
-                }
-                SimEvent::NicIdle { node, rail, at } if node == self.src => {
-                    Some(TransportEvent::RailIdle { rail, at })
-                }
-                SimEvent::CoreIdle { node, core, at } if node == self.src => {
-                    Some(TransportEvent::CoreIdle { core, at })
-                }
-                _ => None,
-            })
-            .collect()
+        // A step may surface only foreign events (remote-node activity,
+        // rendezvous handshake progress); keep stepping so that an empty
+        // return always means the calendar is exhausted.
+        loop {
+            let events = self.sim.step();
+            if events.is_empty() {
+                return Vec::new();
+            }
+            let mapped: Vec<TransportEvent> = events
+                .into_iter()
+                .filter_map(|ev| match ev {
+                    SimEvent::Delivered { transfer, at } => {
+                        Some(TransportEvent::ChunkDelivered { chunk: ChunkId(transfer.0), at })
+                    }
+                    SimEvent::SendDone { transfer, at } => {
+                        Some(TransportEvent::ChunkSendDone { chunk: ChunkId(transfer.0), at })
+                    }
+                    SimEvent::NicIdle { node, rail, at } if node == self.src => {
+                        Some(TransportEvent::RailIdle { rail, at })
+                    }
+                    SimEvent::CoreIdle { node, core, at } if node == self.src => {
+                        Some(TransportEvent::CoreIdle { core, at })
+                    }
+                    SimEvent::Wakeup { at, .. } => Some(TransportEvent::Wakeup { at }),
+                    _ => None,
+                })
+                .collect();
+            if !mapped.is_empty() {
+                return mapped;
+            }
+        }
+    }
+
+    fn schedule_wakeup(&mut self, at: SimTime) {
+        self.sim.schedule_wakeup(at, 0);
+    }
+
+    fn cancel_chunks(&mut self, chunks: &[ChunkId]) -> bool {
+        let ids: Vec<nm_sim::TransferId> = chunks.iter().map(|c| nm_sim::TransferId(c.0)).collect();
+        self.sim.try_cancel_all(&ids)
     }
 }
 

@@ -149,8 +149,9 @@ impl Endpoint {
             if let Some(front) = self.ready.pop_front() {
                 return Some(front);
             }
-            // Keep our own sends progressing while we wait.
-            let _ = self.engine.poll();
+            // Keep our own sends progressing while we wait. Completion ids
+            // are claimed later by `flush`; errors must still surface.
+            self.engine.poll().expect("send engine poll");
             match self.incoming.recv_timeout(Duration::from_millis(1)) {
                 Ok(delivery) => self.ingest(delivery.payload),
                 Err(_) => {
@@ -164,7 +165,7 @@ impl Endpoint {
 
     /// Waits until every posted send completed locally (buffers reusable).
     pub fn flush(&mut self) {
-        let _ = self.engine.drain().expect("drain");
+        self.engine.drain().expect("drain");
     }
 
     /// Messages received so far.

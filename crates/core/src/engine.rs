@@ -11,14 +11,16 @@
 //! * chunk deliveries are folded back into message completions.
 
 use crate::error::EngineError;
+use crate::health::{HealthConfig, HealthTracker};
 use crate::predictor::Predictor;
+use crate::selection::select_rails;
 use crate::strategy::{Action, ChunkList, Ctx, Strategy};
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
 use bytes::Bytes;
-use nm_model::{SimDuration, SimTime};
+use nm_model::{InlineVec, SimDuration, SimTime, MAX_RAILS};
 use nm_proto::aggregate::{AggEntry, Aggregator, ENTRY_OVERHEAD};
 use nm_sim::RailId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Message handle returned by [`Engine::post_send`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +67,33 @@ pub struct EngineStats {
     pub rail_bytes: Vec<u64>,
     /// Times the strategy answered `Defer`.
     pub defers: u64,
+    /// Chunks the transport reported failed (includes probe chunks).
+    pub chunks_failed: u64,
+    /// Chunks the engine's watchdog declared lost by timeout.
+    pub chunks_timed_out: u64,
+    /// Resubmissions of failed chunks.
+    pub retries: u64,
+    /// Payload bytes resubmitted after failures.
+    pub retransmitted_bytes: u64,
+    /// Failed chunks re-planned onto a rail other than the one that lost
+    /// them.
+    pub failovers: u64,
+    /// Quarantine transitions.
+    pub quarantines: u64,
+    /// Rails re-admitted after a passed probe ladder.
+    pub readmissions: u64,
+    /// Health-probe chunks submitted.
+    pub probes_sent: u64,
+    /// Sum over recovered chunks of (recovered delivery − first failure),
+    /// in µs — divide by [`Self::failover_completions`] for the mean
+    /// failover latency.
+    pub failover_latency_us_sum: f64,
+    /// Recovered deliveries contributing to the latency sum.
+    pub failover_completions: u64,
+    /// Per-rail payload-chunk failures (explicit + timeout).
+    pub rail_failures: Vec<u64>,
+    /// Per-rail retries, charged to the rail that lost the chunk.
+    pub rail_retries: Vec<u64>,
 }
 
 struct QueuedMsg {
@@ -91,6 +120,41 @@ enum ChunkOwner {
     Msg(MsgId),
     /// An aggregate pack carrying several messages.
     Pack(Vec<MsgId>),
+    /// A health probe on a quarantined rail (no application message).
+    Probe(RailId),
+}
+
+/// What the failover layer needs to resubmit a chunk: the exact submission
+/// (payload included — `Bytes` clones are refcounted), its retry lineage,
+/// and where it sits in the owner's layout.
+struct ChunkMeta {
+    submit: ChunkSubmit,
+    /// Failed transmissions of this lineage so far (0 = first attempt).
+    attempt: u32,
+    /// When the lineage first failed (anchors the failover latency).
+    first_failed_at: Option<SimTime>,
+    /// Index into the owning message's `layout` (0 for pack members).
+    layout_idx: usize,
+}
+
+/// A failed chunk waiting out its retry backoff.
+struct RetryEntry {
+    owner: ChunkOwner,
+    meta: ChunkMeta,
+    not_before: SimTime,
+    from_rail: RailId,
+}
+
+/// All fault-tolerance state, boxed behind an `Option` so the fault-free
+/// engine pays nothing (and stays bit-identical to the pre-failover code).
+struct FaultTolerance {
+    tracker: HealthTracker,
+    retries: VecDeque<RetryEntry>,
+    /// Submission record per in-flight chunk.
+    chunk_meta: HashMap<ChunkId, ChunkMeta>,
+    /// Timed-out chunks the transport could not retract: their late
+    /// deliveries must be swallowed, not treated as unknown chunks.
+    abandoned: HashSet<ChunkId>,
 }
 
 /// The multirail engine over some transport.
@@ -128,6 +192,9 @@ pub struct Engine<T: Transport> {
     /// the hot path allocates nothing per message in steady state.
     scratch_sizes: Vec<u64>,
     scratch_waits: Vec<f64>,
+    /// Fault tolerance (health tracking, retries, probes); `None` keeps
+    /// every fault path fully disabled.
+    health: Option<Box<FaultTolerance>>,
 }
 
 /// Maximum out-of-order completions buffered per flow.
@@ -164,11 +231,37 @@ impl<T: Transport> Engine<T> {
             framing: false,
             next_msg: 0,
             next_pack: 0,
-            stats: EngineStats { rail_bytes: vec![0; rails], ..Default::default() },
+            stats: EngineStats {
+                rail_bytes: vec![0; rails],
+                rail_failures: vec![0; rails],
+                rail_retries: vec![0; rails],
+                ..Default::default()
+            },
             predictor_epoch: 0,
             scratch_sizes: Vec::new(),
             scratch_waits: Vec::with_capacity(rails),
+            health: None,
         })
+    }
+
+    /// Enables fault tolerance: rail health tracking, quarantine/probing,
+    /// bounded retries with exponential backoff, and a timeout watchdog.
+    /// Without this, a [`TransportEvent::ChunkFailed`] is a hard error.
+    pub fn with_fault_tolerance(mut self, cfg: HealthConfig) -> Result<Self, EngineError> {
+        let tracker =
+            HealthTracker::new(cfg, self.transport.rail_count()).map_err(EngineError::Config)?;
+        self.health = Some(Box::new(FaultTolerance {
+            tracker,
+            retries: VecDeque::new(),
+            chunk_meta: HashMap::new(),
+            abandoned: HashSet::new(),
+        }));
+        Ok(self)
+    }
+
+    /// The health tracker, when fault tolerance is enabled.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_deref().map(|ft| &ft.tracker)
     }
 
     /// Enables wire framing: every chunk payload is prefixed with a
@@ -323,6 +416,25 @@ impl<T: Transport> Engine<T> {
                 (0..self.transport.rail_count())
                     .map(|r| Predictor::wait_us(now, self.transport.rail_busy_until(RailId(r)))),
             );
+            if let Some(ft) = &self.health {
+                if ft.tracker.any_excluded() {
+                    if ft.tracker.selectable_count() == 0 {
+                        // Every rail is quarantined or probing: nothing can
+                        // be scheduled until a probe re-admits one.
+                        self.stats.defers += 1;
+                        return Ok(());
+                    }
+                    // Quarantined/probing rails report an infinite wait, so
+                    // selection and the split dichotomy discard them through
+                    // the existing busy-NIC mechanism (Fig 2) — no strategy
+                    // needs to know about health explicitly.
+                    for (r, w) in waits.iter_mut().enumerate() {
+                        if !ft.tracker.is_selectable(RailId(r)) {
+                            *w = f64::INFINITY;
+                        }
+                    }
+                }
+            }
             let action = {
                 let ctx = Ctx {
                     now,
@@ -385,6 +497,14 @@ impl<T: Transport> Engine<T> {
             if c.rail.index() >= self.transport.rail_count() {
                 return Err(EngineError::BadPlan(format!("unknown rail {:?}", c.rail)));
             }
+            if let Some(ft) = &self.health {
+                if !ft.tracker.is_selectable(c.rail) {
+                    return Err(EngineError::BadPlan(format!(
+                        "chunk planned on unselectable rail {:?}",
+                        c.rail
+                    )));
+                }
+            }
         }
 
         let msg = self.queue.pop_front().expect("validated above");
@@ -437,10 +557,23 @@ impl<T: Transport> Engine<T> {
             };
             self.stats.chunks_submitted += 1;
             self.stats.rail_bytes[c.rail.index()] += c.bytes;
+            let meta_submit = self.health.is_some().then(|| submit.clone());
             let prediction = self.predict_completion(&submit);
             let chunk_id = self.transport.submit(submit);
             self.chunk_prediction.insert(chunk_id, prediction);
             self.chunk_owner.insert(chunk_id, ChunkOwner::Msg(msg.id));
+            if let Some(ms) = meta_submit {
+                self.arm_watchdog(&prediction);
+                self.health.as_mut().expect("meta_submit implies health").chunk_meta.insert(
+                    chunk_id,
+                    ChunkMeta {
+                        submit: ms,
+                        attempt: 0,
+                        first_failed_at: None,
+                        layout_idx: chunk_index,
+                    },
+                );
+            }
         }
         Ok(())
     }
@@ -470,6 +603,13 @@ impl<T: Transport> Engine<T> {
         }
         if rail.index() >= self.transport.rail_count() {
             return Err(EngineError::BadPlan(format!("unknown rail {rail:?}")));
+        }
+        if let Some(ft) = &self.health {
+            if !ft.tracker.is_selectable(rail) {
+                return Err(EngineError::BadPlan(format!(
+                    "pack planned on unselectable rail {rail:?}"
+                )));
+            }
         }
         let msgs: Vec<QueuedMsg> =
             (0..count).map(|_| self.queue.pop_front().expect("count validated")).collect();
@@ -518,15 +658,24 @@ impl<T: Transport> Engine<T> {
         self.stats.rail_bytes[rail.index()] += pack_bytes;
         let wire_bytes = payload.as_ref().map(|p| p.len() as u64).unwrap_or(pack_bytes);
         let submit = ChunkSubmit { payload, ..ChunkSubmit::new(rail, wire_bytes) };
+        let meta_submit = self.health.is_some().then(|| submit.clone());
         let prediction = self.predict_completion(&submit);
         let chunk_id = self.transport.submit(submit);
         self.chunk_prediction.insert(chunk_id, prediction);
         self.chunk_owner.insert(chunk_id, ChunkOwner::Pack(ids));
+        if let Some(ms) = meta_submit {
+            self.arm_watchdog(&prediction);
+            self.health.as_mut().expect("meta_submit implies health").chunk_meta.insert(
+                chunk_id,
+                ChunkMeta { submit: ms, attempt: 0, first_failed_at: None, layout_idx: 0 },
+            );
+        }
         Ok(())
     }
 
     /// Advances the transport once and folds events into completions.
     /// Returns ids of messages that completed during this poll.
+    #[must_use = "dropping the completed ids silently loses completions; at minimum check for errors"]
     pub fn poll(&mut self) -> Result<Vec<MsgId>, EngineError> {
         let events = self.transport.poll();
         let mut done = Vec::new();
@@ -534,27 +683,41 @@ impl<T: Transport> Engine<T> {
         for ev in events {
             match ev {
                 TransportEvent::ChunkDelivered { chunk, at } => {
-                    if let Some((rail, submitted, predicted)) = self.chunk_prediction.remove(&chunk)
-                    {
-                        self.feedback.record(rail, submitted, predicted, at);
-                    }
+                    let prediction = self.chunk_prediction.remove(&chunk);
                     match self.chunk_owner.remove(&chunk) {
                         Some(ChunkOwner::Msg(id)) => {
+                            if let Some((rail, submitted, predicted)) = prediction {
+                                self.feedback.record(rail, submitted, predicted, at);
+                            }
+                            self.note_chunk_recovery(chunk, at);
                             if self.note_chunk_done(id, at) {
                                 done.push(id);
                             }
                         }
                         Some(ChunkOwner::Pack(ids)) => {
+                            if let Some((rail, submitted, predicted)) = prediction {
+                                self.feedback.record(rail, submitted, predicted, at);
+                            }
+                            self.note_chunk_recovery(chunk, at);
                             for id in ids {
                                 if self.note_chunk_done(id, at) {
                                     done.push(id);
                                 }
                             }
                         }
+                        Some(ChunkOwner::Probe(rail)) => {
+                            rekick |= self.on_probe_delivered(rail, prediction, at);
+                        }
                         None => {
-                            return Err(EngineError::Transport(format!(
-                                "delivery for unknown chunk {chunk:?}"
-                            )))
+                            // A timed-out chunk the transport could not
+                            // retract may still deliver; swallow it.
+                            let late =
+                                self.health.as_mut().is_some_and(|ft| ft.abandoned.remove(&chunk));
+                            if !late {
+                                return Err(EngineError::Transport(format!(
+                                    "delivery for unknown chunk {chunk:?}"
+                                )));
+                            }
                         }
                     }
                 }
@@ -562,12 +725,421 @@ impl<T: Transport> Engine<T> {
                 TransportEvent::RailIdle { .. } | TransportEvent::CoreIdle { .. } => {
                     rekick = true;
                 }
+                TransportEvent::ChunkFailed { chunk, at } => {
+                    self.handle_chunk_failure(chunk, at, false)?;
+                    rekick = true;
+                }
+                TransportEvent::Wakeup { .. } => {
+                    rekick = true;
+                }
             }
+        }
+        if self.health.is_some() {
+            let now = self.transport.now();
+            self.expire_overdue_chunks(now)?;
+            self.flush_due(now)?;
         }
         if rekick {
             self.kick()?;
         }
         Ok(done)
+    }
+
+    /// Timeout watchdog: declares lost any in-flight chunk that exceeded
+    /// `timeout_factor ×` its predicted duration (floored at `min_timeout`).
+    /// Covers transports that drop silently instead of raising
+    /// [`TransportEvent::ChunkFailed`].
+    fn expire_overdue_chunks(&mut self, now: SimTime) -> Result<(), EngineError> {
+        let (factor, min_timeout) = {
+            let cfg = self.health.as_ref().expect("caller checked").tracker.config();
+            (cfg.timeout_factor, cfg.min_timeout)
+        };
+        let mut expired: Vec<ChunkId> = self
+            .chunk_prediction
+            .iter()
+            .filter(|&(_, &(_, submitted, predicted))| {
+                let allowance =
+                    predicted.saturating_since(submitted).mul_f64(factor).max(min_timeout);
+                now >= submitted + allowance
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        // HashMap iteration order is nondeterministic; the failure order
+        // must not be.
+        expired.sort_unstable_by_key(|c| c.0);
+        for chunk in expired {
+            self.handle_chunk_failure(chunk, now, true)?;
+        }
+        Ok(())
+    }
+
+    /// Folds one lost chunk into the failover machinery: health transition,
+    /// retry scheduling, bookkeeping. `timed_out` distinguishes watchdog
+    /// expiries from explicit transport failures.
+    fn handle_chunk_failure(
+        &mut self,
+        chunk: ChunkId,
+        at: SimTime,
+        timed_out: bool,
+    ) -> Result<(), EngineError> {
+        self.chunk_prediction.remove(&chunk);
+        let Some(owner) = self.chunk_owner.remove(&chunk) else {
+            return Ok(()); // already written off (e.g. timeout beat the event)
+        };
+        if self.health.is_none() {
+            return Err(EngineError::Transport(format!(
+                "chunk {chunk:?} failed but fault tolerance is disabled"
+            )));
+        }
+        if timed_out {
+            self.stats.chunks_timed_out += 1;
+            // Best effort: retract the zombie from the transport; if it
+            // cannot be retracted, remember to swallow its late delivery.
+            if !self.transport.cancel_chunks(&[chunk]) {
+                self.health.as_mut().expect("checked").abandoned.insert(chunk);
+            }
+        } else {
+            self.stats.chunks_failed += 1;
+        }
+        if let ChunkOwner::Probe(rail) = owner {
+            let next = {
+                let ft = self.health.as_mut().expect("checked");
+                ft.tracker.probe_failed(rail, at);
+                ft.tracker.next_probe_at(rail)
+            };
+            self.transport.schedule_wakeup(next);
+            return Ok(());
+        }
+        let mut meta = self
+            .health
+            .as_mut()
+            .expect("checked")
+            .chunk_meta
+            .remove(&chunk)
+            .expect("fault tolerance records every submitted chunk");
+        let rail = meta.submit.rail;
+        self.stats.rail_failures[rail.index()] += 1;
+        meta.attempt += 1;
+        if meta.first_failed_at.is_none() {
+            meta.first_failed_at = Some(at);
+        }
+        let (quarantined, probe_at, max_retries, retry_backoff) = {
+            let ft = self.health.as_mut().expect("checked");
+            let q = ft.tracker.on_chunk_failure(rail, at);
+            let cfg = ft.tracker.config();
+            (q, ft.tracker.next_probe_at(rail), cfg.max_retries, cfg.retry_backoff)
+        };
+        if quarantined {
+            self.stats.quarantines += 1;
+            // Split plans memoized against the old rail set must die.
+            self.predictor_epoch += 1;
+            self.transport.schedule_wakeup(probe_at);
+        }
+        if meta.attempt > max_retries {
+            return Err(EngineError::Transport(format!(
+                "chunk {chunk:?} abandoned after {} failed attempts (last rail {rail:?})",
+                meta.attempt
+            )));
+        }
+        // Exponential backoff: base × 2^(attempt-1).
+        let not_before = at + retry_backoff * (1u64 << (u64::from(meta.attempt) - 1).min(16));
+        self.transport.schedule_wakeup(not_before);
+        self.health.as_mut().expect("checked").retries.push_back(RetryEntry {
+            owner,
+            meta,
+            not_before,
+            from_rail: rail,
+        });
+        Ok(())
+    }
+
+    /// A chunk delivered while fault tolerance is on: clear its submission
+    /// record, credit the rail, check drift, and close out failover latency
+    /// accounting for recovered lineages.
+    fn note_chunk_recovery(&mut self, chunk: ChunkId, at: SimTime) {
+        let Some(ft) = self.health.as_mut() else { return };
+        let Some(meta) = ft.chunk_meta.remove(&chunk) else { return };
+        let rail = meta.submit.rail;
+        ft.tracker.on_chunk_success(rail);
+        // Feedback drift marks the rail Degraded (still selectable, so no
+        // epoch bump): the cue to adopt_feedback_correction or re-sample.
+        let (min_count, threshold) = {
+            let cfg = ft.tracker.config();
+            (cfg.degrade_min_count, cfg.degrade_drift_threshold)
+        };
+        let fb = self.feedback.rail(rail);
+        if fb.count >= min_count && fb.mean_signed_rel_err.abs() > threshold {
+            ft.tracker.note_drift(rail);
+        }
+        if meta.attempt > 0 {
+            if let Some(failed_at) = meta.first_failed_at {
+                self.stats.failover_latency_us_sum +=
+                    at.saturating_since(failed_at).as_micros_f64();
+                self.stats.failover_completions += 1;
+            }
+        }
+    }
+
+    /// A probe chunk delivered: judge it against its prediction. Returns
+    /// `true` when the rail was re-admitted (the queue deserves a kick).
+    fn on_probe_delivered(
+        &mut self,
+        rail: RailId,
+        prediction: Option<(RailId, SimTime, SimTime)>,
+        at: SimTime,
+    ) -> bool {
+        let tolerance = self
+            .health
+            .as_ref()
+            .expect("probe chunks only exist with health enabled")
+            .tracker
+            .config()
+            .probe
+            .tolerance;
+        let passed = prediction.is_some_and(|(_, submitted, predicted)| {
+            nm_sampler::probe_ok(
+                predicted.saturating_since(submitted).as_micros_f64(),
+                at.saturating_since(submitted).as_micros_f64(),
+                tolerance,
+            )
+        });
+        enum Outcome {
+            Next(u64),
+            Readmitted,
+            Failed(SimTime),
+        }
+        let outcome = {
+            let ft = self.health.as_mut().expect("checked");
+            if passed {
+                match ft.tracker.probe_point_passed(rail) {
+                    Some(next_size) => Outcome::Next(next_size),
+                    None => Outcome::Readmitted,
+                }
+            } else {
+                ft.tracker.probe_failed(rail, at);
+                Outcome::Failed(ft.tracker.next_probe_at(rail))
+            }
+        };
+        match outcome {
+            Outcome::Next(size) => {
+                self.submit_probe(rail, size);
+                false
+            }
+            Outcome::Readmitted => {
+                self.stats.readmissions += 1;
+                // The selectable set grew: memoized plans are stale.
+                self.predictor_epoch += 1;
+                true
+            }
+            Outcome::Failed(next) => {
+                self.transport.schedule_wakeup(next);
+                false
+            }
+        }
+    }
+
+    /// Launches due probes and resubmits retry entries whose backoff
+    /// elapsed.
+    fn flush_due(&mut self, now: SimTime) -> Result<(), EngineError> {
+        for r in 0..self.transport.rail_count() {
+            let rail = RailId(r);
+            let size = {
+                let ft = self.health.as_mut().expect("caller checked");
+                ft.tracker.probe_due(rail, now).then(|| ft.tracker.begin_probe(rail))
+            };
+            if let Some(size) = size {
+                self.submit_probe(rail, size);
+            }
+        }
+        loop {
+            // Backoffs grow per attempt, so the deque is not sorted by
+            // deadline: scan for any due entry.
+            let entry = {
+                let ft = self.health.as_mut().expect("caller checked");
+                match ft.retries.iter().position(|e| e.not_before <= now) {
+                    Some(i) => ft.retries.remove(i).expect("position valid"),
+                    None => break,
+                }
+            };
+            self.resubmit(entry, now)?;
+        }
+        Ok(())
+    }
+
+    /// Puts one probe chunk on a rail under test.
+    fn submit_probe(&mut self, rail: RailId, size: u64) {
+        let submit = ChunkSubmit::new(rail, size);
+        let prediction = self.predict_completion(&submit);
+        self.stats.probes_sent += 1;
+        let chunk = self.transport.submit(submit);
+        self.chunk_prediction.insert(chunk, prediction);
+        self.chunk_owner.insert(chunk, ChunkOwner::Probe(rail));
+        self.arm_watchdog(&prediction);
+    }
+
+    /// Re-plans one failed chunk (or pack) onto the surviving rails.
+    fn resubmit(&mut self, entry: RetryEntry, now: SimTime) -> Result<(), EngineError> {
+        let RetryEntry { owner, meta, from_rail, .. } = entry;
+        let (any_selectable, earliest_probe) = {
+            let ft = self.health.as_ref().expect("retry implies health");
+            (ft.tracker.selectable_count() > 0, ft.tracker.earliest_probe_at())
+        };
+        if !any_selectable {
+            // Every rail is down: park the retry until a probe can
+            // re-admit one (probes due now were already launched, so the
+            // earliest pending probe is strictly in the future).
+            let not_before = earliest_probe.unwrap_or(now) + SimDuration::from_micros(1);
+            self.transport.schedule_wakeup(not_before);
+            self.health.as_mut().expect("checked").retries.push_back(RetryEntry {
+                owner,
+                meta,
+                not_before,
+                from_rail,
+            });
+            return Ok(());
+        }
+        let candidates: InlineVec<(RailId, f64), MAX_RAILS> = (0..self.transport.rail_count())
+            .map(RailId)
+            .filter(|&r| self.health.as_ref().expect("checked").tracker.is_selectable(r))
+            .map(|r| (r, Predictor::wait_us(now, self.transport.rail_busy_until(r))))
+            .collect();
+        let bytes = meta.submit.bytes;
+        match owner {
+            ChunkOwner::Probe(_) => unreachable!("probes are never retried"),
+            ChunkOwner::Msg(id) => {
+                if !self.inflight.contains_key(&id) {
+                    return Ok(()); // cancelled while the retry waited
+                }
+                self.stats.retries += 1;
+                self.stats.rail_retries[from_rail.index()] += 1;
+                self.stats.retransmitted_bytes += bytes;
+                if meta.submit.payload.is_none() && candidates.len() > 1 {
+                    // Re-split the stranded byte range across the
+                    // survivors, equal-completion style.
+                    let split = select_rails(
+                        &self.predictor.natural_cost(),
+                        &candidates,
+                        bytes,
+                        candidates.len(),
+                    );
+                    if split.assignments.iter().any(|&(r, _)| r != from_rail) {
+                        self.stats.failovers += 1;
+                    }
+                    self.inflight.get_mut(&id).expect("checked").chunks_total +=
+                        split.assignments.len() - 1;
+                    for (i, &(rail, b)) in split.assignments.iter().enumerate() {
+                        let layout_idx = {
+                            let m = self.inflight.get_mut(&id).expect("checked");
+                            if i == 0 {
+                                m.layout[meta.layout_idx] = (rail, b);
+                                meta.layout_idx
+                            } else {
+                                m.layout.push((rail, b));
+                                m.layout.len() - 1
+                            }
+                        };
+                        let submit = ChunkSubmit::new(rail, b);
+                        let new_meta = ChunkMeta {
+                            submit: submit.clone(),
+                            attempt: meta.attempt,
+                            first_failed_at: meta.first_failed_at,
+                            layout_idx,
+                        };
+                        self.submit_tracked(ChunkOwner::Msg(id), submit, new_meta);
+                    }
+                } else {
+                    // Payload-carrying chunks move whole — their framing is
+                    // already encoded for this exact byte range.
+                    let rail = self.fastest_among(&candidates, bytes);
+                    if rail != from_rail {
+                        self.stats.failovers += 1;
+                    }
+                    self.inflight.get_mut(&id).expect("checked").layout[meta.layout_idx] =
+                        (rail, bytes);
+                    let mut submit = meta.submit.clone();
+                    submit.rail = rail;
+                    // The original offload plan died with the failure.
+                    submit.send_core = nm_sim::CoreId(0);
+                    submit.recv_core = nm_sim::CoreId(0);
+                    submit.offload_delay = SimDuration::ZERO;
+                    let new_meta = ChunkMeta {
+                        submit: submit.clone(),
+                        attempt: meta.attempt,
+                        first_failed_at: meta.first_failed_at,
+                        layout_idx: meta.layout_idx,
+                    };
+                    self.submit_tracked(ChunkOwner::Msg(id), submit, new_meta);
+                }
+            }
+            ChunkOwner::Pack(ids) => {
+                self.stats.retries += 1;
+                self.stats.rail_retries[from_rail.index()] += 1;
+                self.stats.retransmitted_bytes += bytes;
+                let rail = self.fastest_among(&candidates, bytes);
+                if rail != from_rail {
+                    self.stats.failovers += 1;
+                }
+                for mid in &ids {
+                    if let Some(m) = self.inflight.get_mut(mid) {
+                        for slot in &mut m.layout {
+                            if slot.0 == from_rail {
+                                slot.0 = rail;
+                            }
+                        }
+                    }
+                }
+                let mut submit = meta.submit.clone();
+                submit.rail = rail;
+                let new_meta = ChunkMeta {
+                    submit: submit.clone(),
+                    attempt: meta.attempt,
+                    first_failed_at: meta.first_failed_at,
+                    layout_idx: 0,
+                };
+                self.submit_tracked(ChunkOwner::Pack(ids), submit, new_meta);
+            }
+        }
+        Ok(())
+    }
+
+    /// Best whole-chunk rail among `candidates` by predicted completion.
+    fn fastest_among(&self, candidates: &[(RailId, f64)], bytes: u64) -> RailId {
+        candidates
+            .iter()
+            .map(|&(r, w)| (r, self.predictor.completion_us(r, bytes, w)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("at least one selectable rail")
+            .0
+    }
+
+    /// Submits a failover chunk with full fault-tolerance bookkeeping.
+    fn submit_tracked(&mut self, owner: ChunkOwner, submit: ChunkSubmit, meta: ChunkMeta) {
+        self.stats.chunks_submitted += 1;
+        self.stats.rail_bytes[submit.rail.index()] += submit.bytes;
+        let prediction = self.predict_completion(&submit);
+        let chunk = self.transport.submit(submit);
+        self.chunk_prediction.insert(chunk, prediction);
+        self.chunk_owner.insert(chunk, owner);
+        self.health
+            .as_mut()
+            .expect("tracked submission implies health")
+            .chunk_meta
+            .insert(chunk, meta);
+        self.arm_watchdog(&prediction);
+    }
+
+    /// Schedules the watchdog wakeup for a just-submitted chunk (no-op
+    /// without fault tolerance).
+    fn arm_watchdog(&mut self, prediction: &(RailId, SimTime, SimTime)) {
+        if let Some(ft) = &self.health {
+            let (_, submitted, predicted) = *prediction;
+            let cfg = ft.tracker.config();
+            let allowance = predicted
+                .saturating_since(submitted)
+                .mul_f64(cfg.timeout_factor)
+                .max(cfg.min_timeout);
+            self.transport.schedule_wakeup(submitted + allowance);
+        }
     }
 
     fn note_chunk_done(&mut self, id: MsgId, at: SimTime) -> bool {
@@ -638,6 +1210,7 @@ impl<T: Transport> Engine<T> {
 
     /// Runs until every posted message completes; returns all completions
     /// in completion order (ties broken by id).
+    #[must_use = "dropping the completions loses delivery results; at minimum check for errors"]
     pub fn drain(&mut self) -> Result<Vec<MsgCompletion>, EngineError> {
         let mut ids: Vec<MsgId> = self.queue.iter().map(|m| m.id).collect();
         ids.extend(self.inflight.keys().copied());
@@ -647,7 +1220,7 @@ impl<T: Transport> Engine<T> {
     }
 
     fn transport_quiescent(&self) -> bool {
-        self.chunk_owner.is_empty()
+        self.chunk_owner.is_empty() && self.health.as_ref().is_none_or(|ft| ft.retries.is_empty())
     }
 
     /// Takes an already-recorded completion without blocking.
@@ -655,16 +1228,65 @@ impl<T: Transport> Engine<T> {
         self.completions.remove(&id)
     }
 
-    /// Cancels a message that is still *queued* (not yet handed to a rail).
-    /// Returns `true` if it was removed; `false` when it already left the
-    /// queue (in flight, held or completed) — in-flight transfers cannot be
-    /// retracted from a NIC, matching real drivers.
+    /// Cancels a message. Queued messages are always removable. In-flight
+    /// messages are retracted when the transport still holds *every* one of
+    /// their chunks un-started (the reserved rail time is released); once
+    /// any chunk has begun moving — or the message shares a pack with
+    /// others, or a chunk is mid-retry — cancellation fails and the message
+    /// completes normally. Returns `true` iff the message was removed.
     pub fn cancel(&mut self, id: MsgId) -> Result<bool, EngineError> {
         let Some(pos) = self.queue.iter().position(|m| m.id == id) else {
-            return Ok(false);
+            return self.cancel_inflight(id);
         };
         let msg = self.queue.remove(pos).expect("position found");
         // The flow must not stall waiting for the cancelled sequence.
+        let sequencer = self
+            .flow_release
+            .entry(msg.tag)
+            .or_insert_with(|| nm_proto::Sequencer::new(FLOW_REORDER_WINDOW));
+        let released = sequencer
+            .skip(msg.flow_seq)
+            .map_err(|e| EngineError::Transport(format!("flow skip: {e}")))?;
+        for c in released {
+            self.held.remove(&c.id);
+            self.completions.insert(c.id, c);
+        }
+        self.stats.cancelled += 1;
+        Ok(true)
+    }
+
+    /// The in-flight half of [`Engine::cancel`]: retract every chunk of
+    /// `id` from the transport, releasing the rail time it had reserved.
+    fn cancel_inflight(&mut self, id: MsgId) -> Result<bool, EngineError> {
+        let Some(m) = self.inflight.get(&id) else {
+            return Ok(false); // held, completed or unknown
+        };
+        if m.chunks_done > 0 {
+            return Ok(false); // partially delivered: too late
+        }
+        let chunks_total = m.chunks_total;
+        let chunks: Vec<ChunkId> = self
+            .chunk_owner
+            .iter()
+            .filter(|(_, o)| matches!(o, ChunkOwner::Msg(owner) if *owner == id))
+            .map(|(&c, _)| c)
+            .collect();
+        // Fewer owned chunks than the ledger expects means some are packed
+        // with other messages or parked in the retry queue — unretractable.
+        if chunks.len() != chunks_total {
+            return Ok(false);
+        }
+        if !self.transport.cancel_chunks(&chunks) {
+            return Ok(false); // transport already started moving bytes
+        }
+        for c in &chunks {
+            self.chunk_owner.remove(c);
+            self.chunk_prediction.remove(c);
+            if let Some(ft) = self.health.as_mut() {
+                ft.chunk_meta.remove(c);
+            }
+        }
+        let msg = self.inflight.remove(&id).expect("checked above");
         let sequencer = self
             .flow_release
             .entry(msg.tag)
@@ -695,6 +1317,10 @@ impl<T: Transport> Engine<T> {
         self.feedback = crate::feedback::Feedback::new(self.predictor.rail_count());
         // Memoized split plans embed the old predictions — invalidate them.
         self.predictor_epoch += 1;
+        // The corrected predictor absorbs the drift that degraded rails.
+        if let Some(ft) = self.health.as_mut() {
+            ft.tracker.clear_degraded();
+        }
     }
 
     /// Current predictor generation (bumped on every predictor swap).

@@ -55,6 +55,12 @@ pub struct Feedback {
 /// EWMA smoothing constant.
 const ALPHA: f64 = 0.2;
 
+/// Clamp range for [`Feedback::correction_factors`]: a handful of wild
+/// outliers (e.g. chunks that sat behind a fault) must not collapse or
+/// explode the corrected profile beyond recognition.
+const MIN_CORRECTION: f64 = 0.05;
+const MAX_CORRECTION: f64 = 20.0;
+
 impl Feedback {
     /// A tracker for `rail_count` rails.
     pub fn new(rail_count: usize) -> Self {
@@ -95,9 +101,19 @@ impl Feedback {
     }
 
     /// Duration correction factors (actual/predicted EWMA), one per rail;
-    /// 1.0 where nothing was observed.
+    /// 1.0 where nothing was observed, clamped to `[0.05, 20]` so outliers
+    /// can never produce a degenerate scaled profile.
     pub fn correction_factors(&self) -> Vec<f64> {
-        self.rails.iter().map(|r| if r.count == 0 { 1.0 } else { r.ewma_ratio }).collect()
+        self.rails
+            .iter()
+            .map(|r| {
+                if r.count == 0 {
+                    1.0
+                } else {
+                    r.ewma_ratio.clamp(MIN_CORRECTION, MAX_CORRECTION)
+                }
+            })
+            .collect()
     }
 
     /// True when any rail shows a systematic drift beyond `threshold`
@@ -220,5 +236,41 @@ mod tests {
     fn factor_count_must_match() {
         let p = two_rail_predictor();
         let _ = p.with_rail_scaling(&[1.0]);
+    }
+
+    #[test]
+    fn extreme_ratios_are_clamped() {
+        let mut fb = Feedback::new(2);
+        // Rail 0: predictions 1000x too slow; rail 1: 1000x too fast.
+        for i in 0..100u64 {
+            fb.record(RailId(0), t(i * 10_000), t(i * 10_000 + 1000), t(i * 10_000 + 1));
+            fb.record(RailId(1), t(i * 10_000), t(i * 10_000 + 1), t(i * 10_000 + 1000));
+        }
+        let f = fb.correction_factors();
+        assert_eq!(f[0], MIN_CORRECTION, "shrink factor clamped at the floor");
+        assert_eq!(f[1], MAX_CORRECTION, "growth factor clamped at the cap");
+        // Clamped factors still build a valid scaled predictor.
+        let p = two_rail_predictor().with_rail_scaling(&f);
+        assert!(p.natural_cost().time_us(RailId(0), 1 << 20) > 0.0);
+    }
+
+    #[test]
+    fn zero_count_rails_never_drift_and_stay_unit() {
+        let fb = Feedback::new(3);
+        assert!(!fb.drift_detected(0.0, 0), "no observations, no drift");
+        assert_eq!(fb.correction_factors(), vec![1.0, 1.0, 1.0]);
+        let r = fb.rail(RailId(2));
+        assert_eq!((r.count, r.mean_signed_rel_err), (0, 0.0));
+    }
+
+    #[test]
+    fn drift_respects_the_min_count_boundary() {
+        let mut fb = Feedback::new(1);
+        for i in 0..9u64 {
+            fb.record(RailId(0), t(i * 1000), t(i * 1000 + 100), t(i * 1000 + 400));
+        }
+        assert!(!fb.drift_detected(0.5, 10), "one observation short");
+        fb.record(RailId(0), t(9000), t(9100), t(9400));
+        assert!(fb.drift_detected(0.5, 10), "boundary reached");
     }
 }

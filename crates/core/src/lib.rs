@@ -27,6 +27,12 @@
 //! based only on the [`predictor`] view — sampled profiles plus the
 //! busy-until state of each rail — never on the driver's ground truth.
 //!
+//! Beyond the paper, [`Engine::with_fault_tolerance`](engine::Engine::with_fault_tolerance)
+//! arms a per-rail [`health`] state machine: failed or timed-out chunks are
+//! retried with backoff and re-split across surviving rails, failing rails
+//! are quarantined (excluded from selection) and probed back in, and the
+//! `nm-faults` crate injects deterministic rail outages to exercise it all.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -48,6 +54,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod feedback;
+pub mod health;
 pub mod plan_cache;
 pub mod predictor;
 pub mod selection;
@@ -59,6 +66,7 @@ pub mod transport;
 pub use engine::{Engine, MsgCompletion, MsgId};
 pub use error::EngineError;
 pub use feedback::{Feedback, RailFeedback};
+pub use health::{HealthConfig, HealthTracker, RailState};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use predictor::{Predictor, RailView};
 pub use session::{Session, SessionBuilder};
@@ -67,6 +75,7 @@ pub use transport::{ChunkSubmit, Transport, TransportEvent};
 
 /// Convenient glob import for applications.
 pub mod prelude {
+    pub use crate::driver::faulty::FaultSimDriver;
     pub use crate::driver::shmem::ShmemDriver;
     pub use crate::driver::sim::SimDriver;
     pub use crate::engine::{Engine, MsgCompletion, MsgId};

@@ -80,6 +80,21 @@ pub enum TransportEvent {
         /// Transition instant.
         at: SimTime,
     },
+    /// A chunk was lost: the rail rejected it, dropped it, or went down
+    /// with it in flight. The chunk will never deliver; the engine's
+    /// failover layer re-plans it (see `nm-core`'s health module).
+    ChunkFailed {
+        /// The chunk.
+        chunk: ChunkId,
+        /// When the loss was detected.
+        at: SimTime,
+    },
+    /// A timer requested with [`Transport::schedule_wakeup`] fired — the
+    /// engine's cue to flush retry backoffs and due health probes.
+    Wakeup {
+        /// Firing instant.
+        at: SimTime,
+    },
 }
 
 /// The transfer-layer contract.
@@ -111,6 +126,22 @@ pub trait Transport {
     /// Advances the transport and returns newly raised events. An empty vec
     /// means nothing is in flight (the transport is quiescent).
     fn poll(&mut self) -> Vec<TransportEvent>;
+
+    /// Requests a [`TransportEvent::Wakeup`] at `at` (a virtual-time timer
+    /// for retry backoffs and probe deadlines). Drivers without a timer
+    /// facility may ignore the request — the engine also flushes due work
+    /// on every other event.
+    fn schedule_wakeup(&mut self, _at: SimTime) {}
+
+    /// Atomically retracts a set of submitted chunks none of whose
+    /// resources started serving them, releasing the reserved rail time.
+    /// All-or-nothing: returns `false` (and retracts nothing) when any
+    /// chunk already started, finished, or has later submissions queued
+    /// behind it. The default refuses every request, matching drivers
+    /// whose NICs cannot revoke queued work.
+    fn cancel_chunks(&mut self, _chunks: &[ChunkId]) -> bool {
+        false
+    }
 }
 
 impl<T: Transport + ?Sized> Transport for Box<T> {
@@ -140,6 +171,12 @@ impl<T: Transport + ?Sized> Transport for Box<T> {
     }
     fn poll(&mut self) -> Vec<TransportEvent> {
         (**self).poll()
+    }
+    fn schedule_wakeup(&mut self, at: SimTime) {
+        (**self).schedule_wakeup(at)
+    }
+    fn cancel_chunks(&mut self, chunks: &[ChunkId]) -> bool {
+        (**self).cancel_chunks(chunks)
     }
 }
 

@@ -1,0 +1,30 @@
+//! # nm-faults — deterministic rail fault injection
+//!
+//! The paper's strategy (§II-B) trusts every rail to stay as fast as its
+//! init-time ping-pong profile. This crate supplies the adversary: seedable,
+//! reproducible fault schedules that the simulated transport replays so the
+//! engine's health tracking and failover re-planning (in `nm-core`) can be
+//! exercised — and benchmarked — without any nondeterminism.
+//!
+//! Four fault models cover the failure classes a multirail node sees:
+//!
+//! | model | effect |
+//! |---|---|
+//! | [`FaultKind::RailDown`] | submissions fail, in-flight chunks are lost |
+//! | [`FaultKind::TransientLoss`] | each chunk independently lost with `prob` |
+//! | [`FaultKind::LatencySpike`] | fixed extra one-way latency |
+//! | [`FaultKind::BandwidthDegrade`] | modeled durations stretched by `1/factor` |
+//!
+//! A [`FaultSchedule`] validates its windows and compiles to time-sorted
+//! [`Transition`]s; a [`FaultState`] applies them as virtual time advances.
+//! Everything probabilistic draws from one RNG seeded by the schedule, so
+//! `(workload, schedule)` fully determines a chaos run. An **empty**
+//! schedule is guaranteed inert: the injecting driver adds no events,
+//! perturbs no RNG stream and rounds no duration, which is what lets the
+//! fault-free chaos harness reproduce the golden figures bit-identically.
+
+pub mod schedule;
+pub mod state;
+
+pub use schedule::{Change, FaultKind, FaultSchedule, FaultSpec, Transition};
+pub use state::FaultState;

@@ -1,0 +1,413 @@
+//! Fault schedules: what goes wrong, where, and when.
+//!
+//! A [`FaultSchedule`] is a declarative, validated list of [`FaultSpec`]s —
+//! each one a rail, an onset instant and a [`FaultKind`]. Schedules carry
+//! the RNG seed for any probabilistic model (transient loss), so a chaos
+//! run is a pure function of `(workload, schedule)`: replaying the same
+//! schedule reproduces the same failures, retries and recoveries bit for
+//! bit.
+//!
+//! Consumers do not interpret specs directly; they compile the schedule
+//! into a time-sorted list of [`Transition`]s (every fault contributes a
+//! begin and an end) and feed those to a
+//! [`FaultState`](crate::state::FaultState) as virtual time passes.
+
+use nm_model::{SimDuration, SimTime};
+use nm_sim::RailId;
+
+/// What kind of failure strikes a rail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The rail is hard-down: submissions fail immediately and in-flight
+    /// chunks on the rail are lost at onset.
+    RailDown {
+        /// How long the outage lasts.
+        duration: SimDuration,
+    },
+    /// Each chunk submitted while the window is open is independently lost
+    /// with probability `prob` (send side completes; delivery never does).
+    TransientLoss {
+        /// Loss probability in `[0, 1]`.
+        prob: f64,
+        /// How long the lossy window lasts.
+        duration: SimDuration,
+    },
+    /// Every chunk started while the window is open pays `extra` additional
+    /// latency (a congested or flapping path).
+    LatencySpike {
+        /// Added one-way latency.
+        extra: SimDuration,
+        /// How long the spike lasts.
+        duration: SimDuration,
+    },
+    /// The rail's effective bandwidth drops to `factor` of nominal: modeled
+    /// durations are stretched by `1/factor` while the window is open.
+    BandwidthDegrade {
+        /// Remaining bandwidth fraction in `(0, 1]`.
+        factor: f64,
+        /// How long the degradation lasts.
+        duration: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// How long the fault window stays open.
+    pub fn duration(&self) -> SimDuration {
+        match self {
+            FaultKind::RailDown { duration }
+            | FaultKind::TransientLoss { duration, .. }
+            | FaultKind::LatencySpike { duration, .. }
+            | FaultKind::BandwidthDegrade { duration, .. } => *duration,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::RailDown { .. } => "rail-down",
+            FaultKind::TransientLoss { .. } => "transient-loss",
+            FaultKind::LatencySpike { .. } => "latency-spike",
+            FaultKind::BandwidthDegrade { .. } => "bandwidth-degrade",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Afflicted rail.
+    pub rail: RailId,
+    /// Onset instant (virtual time).
+    pub at: SimTime,
+    /// Failure model.
+    pub kind: FaultKind,
+}
+
+/// A state change at one instant, produced by compiling a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Affected rail.
+    pub rail: RailId,
+    /// The change itself.
+    pub change: Change,
+}
+
+/// The state change carried by a [`Transition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Change {
+    /// Rail goes hard-down.
+    DownBegin,
+    /// Rail hardware is reachable again (health layer still gates traffic).
+    DownEnd,
+    /// Probabilistic chunk loss starts.
+    LossBegin {
+        /// Loss probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Probabilistic chunk loss ends.
+    LossEnd,
+    /// Duration shaping starts: modeled durations are scaled by
+    /// `time_scale` and `extra_latency` is added to the one-way path.
+    ShapeBegin {
+        /// Multiplicative duration stretch (`1.0` = nominal).
+        time_scale: f64,
+        /// Additive one-way latency.
+        extra_latency: SimDuration,
+    },
+    /// Duration shaping ends.
+    ShapeEnd,
+}
+
+/// A deterministic, seedable fault schedule.
+///
+/// ```
+/// use nm_faults::{FaultKind, FaultSchedule, FaultSpec};
+/// use nm_model::{SimDuration, SimTime};
+/// use nm_sim::RailId;
+///
+/// let schedule = FaultSchedule::new(42).with(FaultSpec {
+///     rail: RailId(0),
+///     at: SimTime::from_micros(3_000),
+///     kind: FaultKind::RailDown { duration: SimDuration::from_micros(20_000) },
+/// });
+/// schedule.validate().unwrap();
+/// let ts = schedule.transitions();
+/// assert_eq!(ts.len(), 2); // DownBegin at 3ms, DownEnd at 23ms
+/// assert!(ts[0].at < ts[1].at);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule whose probabilistic draws use `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule { seed, faults: Vec::new() }
+    }
+
+    /// The fault-free schedule — injection hooks stay completely inert.
+    pub fn empty() -> Self {
+        FaultSchedule::new(0)
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// The RNG seed for probabilistic fault models.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Checks parameter sanity and rejects overlapping windows of the same
+    /// class on one rail (the runtime state tracks one active window per
+    /// class per rail).
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.faults {
+            if f.kind.duration() <= SimDuration::ZERO {
+                return Err(format!(
+                    "{} on {:?}: duration must be positive",
+                    f.kind.label(),
+                    f.rail
+                ));
+            }
+            match f.kind {
+                FaultKind::TransientLoss { prob, .. } => {
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(format!("transient-loss prob {prob} outside [0, 1]"));
+                    }
+                }
+                FaultKind::BandwidthDegrade { factor, .. } => {
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!("bandwidth-degrade factor {factor} outside (0, 1]"));
+                    }
+                }
+                FaultKind::LatencySpike { extra, .. } => {
+                    if extra <= SimDuration::ZERO {
+                        return Err("latency-spike extra latency must be positive".into());
+                    }
+                }
+                FaultKind::RailDown { .. } => {}
+            }
+        }
+        for (i, a) in self.faults.iter().enumerate() {
+            for b in &self.faults[i + 1..] {
+                if a.rail == b.rail && Self::same_class(&a.kind, &b.kind) && Self::overlap(a, b) {
+                    return Err(format!(
+                        "overlapping {} windows on {:?} (at {} and {})",
+                        a.kind.label(),
+                        a.rail,
+                        a.at,
+                        b.at
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn same_class(a: &FaultKind, b: &FaultKind) -> bool {
+        use FaultKind::*;
+        matches!(
+            (a, b),
+            (RailDown { .. }, RailDown { .. })
+                | (TransientLoss { .. }, TransientLoss { .. })
+                | (LatencySpike { .. }, LatencySpike { .. } | BandwidthDegrade { .. })
+                | (BandwidthDegrade { .. }, LatencySpike { .. } | BandwidthDegrade { .. })
+        )
+    }
+
+    fn overlap(a: &FaultSpec, b: &FaultSpec) -> bool {
+        a.at < b.at + b.kind.duration() && b.at < a.at + a.kind.duration()
+    }
+
+    /// Compiles the schedule into a time-sorted transition list. Ties are
+    /// broken by (rail, end-before-begin) so a back-to-back window on one
+    /// rail closes before the next opens.
+    pub fn transitions(&self) -> Vec<Transition> {
+        let mut out = Vec::with_capacity(self.faults.len() * 2);
+        for f in &self.faults {
+            let end_at = f.at + f.kind.duration();
+            let (begin, end) = match f.kind {
+                FaultKind::RailDown { .. } => (Change::DownBegin, Change::DownEnd),
+                FaultKind::TransientLoss { prob, .. } => {
+                    (Change::LossBegin { prob }, Change::LossEnd)
+                }
+                FaultKind::LatencySpike { extra, .. } => {
+                    (Change::ShapeBegin { time_scale: 1.0, extra_latency: extra }, Change::ShapeEnd)
+                }
+                FaultKind::BandwidthDegrade { factor, .. } => (
+                    Change::ShapeBegin {
+                        time_scale: 1.0 / factor,
+                        extra_latency: SimDuration::ZERO,
+                    },
+                    Change::ShapeEnd,
+                ),
+            };
+            out.push(Transition { at: f.at, rail: f.rail, change: begin });
+            out.push(Transition { at: end_at, rail: f.rail, change: end });
+        }
+        out.sort_by_key(|t| {
+            let is_begin = matches!(
+                t.change,
+                Change::DownBegin | Change::LossBegin { .. } | Change::ShapeBegin { .. }
+            );
+            (t.at, t.rail.index(), is_begin)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn empty_schedule_has_no_transitions() {
+        let s = FaultSchedule::empty();
+        assert!(s.is_empty());
+        assert!(s.validate().is_ok());
+        assert!(s.transitions().is_empty());
+    }
+
+    #[test]
+    fn transitions_are_time_sorted_with_ends_before_begins() {
+        let s = FaultSchedule::new(1)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(100),
+                kind: FaultKind::RailDown { duration: d(50) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(150),
+                kind: FaultKind::RailDown { duration: d(10) },
+            });
+        s.validate().unwrap();
+        let ts = s.transitions();
+        assert_eq!(ts.len(), 4);
+        // At t=150 the first outage ends before the second begins.
+        assert_eq!(ts[1].at, t(150));
+        assert_eq!(ts[1].change, Change::DownEnd);
+        assert_eq!(ts[2].at, t(150));
+        assert_eq!(ts[2].change, Change::DownBegin);
+    }
+
+    #[test]
+    fn degrade_maps_to_time_scale_and_spike_to_extra_latency() {
+        let s = FaultSchedule::new(1)
+            .with(FaultSpec {
+                rail: RailId(1),
+                at: t(0),
+                kind: FaultKind::BandwidthDegrade { factor: 0.25, duration: d(10) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::LatencySpike { extra: d(500), duration: d(10) },
+            });
+        let ts = s.transitions();
+        let shape_of = |rail: RailId| {
+            ts.iter()
+                .find_map(|tr| match tr.change {
+                    Change::ShapeBegin { time_scale, extra_latency } if tr.rail == rail => {
+                        Some((time_scale, extra_latency))
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(shape_of(RailId(1)), (4.0, SimDuration::ZERO));
+        assert_eq!(shape_of(RailId(0)), (1.0, d(500)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bad = |kind| {
+            FaultSchedule::new(0).with(FaultSpec { rail: RailId(0), at: t(0), kind }).validate()
+        };
+        assert!(bad(FaultKind::RailDown { duration: SimDuration::ZERO }).is_err());
+        assert!(bad(FaultKind::TransientLoss { prob: 1.5, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::BandwidthDegrade { factor: 0.0, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::BandwidthDegrade { factor: 1.5, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::LatencySpike { extra: SimDuration::ZERO, duration: d(10) }).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_same_class_overlap_on_one_rail() {
+        let overlapping = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::RailDown { duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(50),
+                kind: FaultKind::RailDown { duration: d(100) },
+            });
+        assert!(overlapping.validate().is_err());
+        // Same windows on different rails are fine.
+        let disjoint_rails = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::RailDown { duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(1),
+                at: t(50),
+                kind: FaultKind::RailDown { duration: d(100) },
+            });
+        assert!(disjoint_rails.validate().is_ok());
+        // Spike and degrade share the shaping slot: overlap rejected too.
+        let shape_overlap = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::LatencySpike { extra: d(5), duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(50),
+                kind: FaultKind::BandwidthDegrade { factor: 0.5, duration: d(100) },
+            });
+        assert!(shape_overlap.validate().is_err());
+        // A down window overlapping a loss window is allowed (distinct classes).
+        let cross_class = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::RailDown { duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(50),
+                kind: FaultKind::TransientLoss { prob: 0.5, duration: d(100) },
+            });
+        assert!(cross_class.validate().is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! Runtime fault state: which windows are open right now.
+//!
+//! A [`FaultState`] is the mutable counterpart of a compiled
+//! [`Transition`](crate::schedule::Transition) list. The injecting driver
+//! applies transitions as virtual time reaches them and consults the state
+//! on every submission. All randomness (transient-loss draws) comes from
+//! one seeded RNG, so a schedule replays identically run after run.
+
+use crate::schedule::{Change, Transition};
+use nm_model::SimDuration;
+use nm_sim::RailId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Open fault windows per rail, plus the deterministic loss RNG.
+#[derive(Debug)]
+pub struct FaultState {
+    down: Vec<bool>,
+    loss: Vec<Option<f64>>,
+    shape: Vec<(f64, SimDuration)>,
+    rng: StdRng,
+}
+
+impl FaultState {
+    /// All-healthy state for `rails` rails, drawing from `seed`.
+    pub fn new(rails: usize, seed: u64) -> Self {
+        FaultState {
+            down: vec![false; rails],
+            loss: vec![None; rails],
+            shape: vec![(1.0, SimDuration::ZERO); rails],
+            rng: StdRng::seed_from_u64(seed ^ 0x6e6d_666c_7400),
+        }
+    }
+
+    /// Applies one transition.
+    pub fn apply(&mut self, t: &Transition) {
+        let r = t.rail.index();
+        match t.change {
+            Change::DownBegin => self.down[r] = true,
+            Change::DownEnd => self.down[r] = false,
+            Change::LossBegin { prob } => self.loss[r] = Some(prob),
+            Change::LossEnd => self.loss[r] = None,
+            Change::ShapeBegin { time_scale, extra_latency } => {
+                self.shape[r] = (time_scale, extra_latency)
+            }
+            Change::ShapeEnd => self.shape[r] = (1.0, SimDuration::ZERO),
+        }
+    }
+
+    /// True while the rail is hard-down.
+    pub fn is_down(&self, rail: RailId) -> bool {
+        self.down[rail.index()]
+    }
+
+    /// Draws the loss lottery for one submission. Consumes randomness only
+    /// while a loss window is open, so fault-free rails never perturb the
+    /// RNG stream.
+    pub fn should_drop(&mut self, rail: RailId) -> bool {
+        match self.loss[rail.index()] {
+            None => false,
+            Some(prob) => self.rng.random_range(0.0..1.0) < prob,
+        }
+    }
+
+    /// Current `(time_scale, extra_latency)` shaping of a rail
+    /// (`(1.0, ZERO)` = nominal).
+    pub fn shaping(&self, rail: RailId) -> (f64, SimDuration) {
+        self.shape[rail.index()]
+    }
+
+    /// True when any window is open on any rail.
+    pub fn any_active(&self) -> bool {
+        self.down.iter().any(|&d| d)
+            || self.loss.iter().any(|l| l.is_some())
+            || self.shape.iter().any(|&s| s != (1.0, SimDuration::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::SimTime;
+
+    fn tr(rail: usize, change: Change) -> Transition {
+        Transition { at: SimTime::ZERO, rail: RailId(rail), change }
+    }
+
+    #[test]
+    fn windows_open_and_close() {
+        let mut s = FaultState::new(2, 7);
+        assert!(!s.any_active());
+        s.apply(&tr(0, Change::DownBegin));
+        assert!(s.is_down(RailId(0)));
+        assert!(!s.is_down(RailId(1)));
+        assert!(s.any_active());
+        s.apply(&tr(0, Change::DownEnd));
+        assert!(!s.any_active());
+
+        s.apply(&tr(
+            1,
+            Change::ShapeBegin { time_scale: 4.0, extra_latency: SimDuration::from_micros(10) },
+        ));
+        assert_eq!(s.shaping(RailId(1)), (4.0, SimDuration::from_micros(10)));
+        s.apply(&tr(1, Change::ShapeEnd));
+        assert_eq!(s.shaping(RailId(1)), (1.0, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn loss_draws_are_deterministic_per_seed() {
+        let draw = |seed: u64| {
+            let mut s = FaultState::new(1, seed);
+            s.apply(&tr(0, Change::LossBegin { prob: 0.5 }));
+            (0..64).map(|_| s.should_drop(RailId(0))).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3), "same seed, same lottery");
+        assert_ne!(draw(3), draw(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn extreme_probabilities_behave() {
+        let mut s = FaultState::new(1, 0);
+        s.apply(&tr(0, Change::LossBegin { prob: 0.0 }));
+        assert!((0..32).all(|_| !s.should_drop(RailId(0))));
+        s.apply(&tr(0, Change::LossBegin { prob: 1.0 }));
+        assert!((0..32).all(|_| s.should_drop(RailId(0))));
+    }
+
+    #[test]
+    fn closed_loss_window_never_draws() {
+        let mut a = FaultState::new(1, 9);
+        for _ in 0..100 {
+            assert!(!a.should_drop(RailId(0)));
+        }
+        // The RNG stream was untouched: first real draw matches a fresh state.
+        let mut b = FaultState::new(1, 9);
+        a.apply(&tr(0, Change::LossBegin { prob: 0.5 }));
+        b.apply(&tr(0, Change::LossBegin { prob: 0.5 }));
+        assert_eq!(a.should_drop(RailId(0)), b.should_drop(RailId(0)));
+    }
+}

@@ -19,9 +19,13 @@
 //! * [`threshold`] — derives the eager/rendezvous switch point from the
 //!   samples ("sampling measurements can also be used to determine other
 //!   parameters such as rendezvous threshold").
+//! * [`probe`] — the cheap re-admission check: a 2–3 point mini ping-pong
+//!   judged against the rail's existing profile, used by the engine's
+//!   health tracker before letting a quarantined rail back in.
 
 pub mod builder;
 pub mod pingpong;
+pub mod probe;
 pub mod stats;
 pub mod store;
 pub mod threshold;
@@ -29,5 +33,6 @@ pub mod transport;
 
 pub use builder::{sample_all_rails, sample_rail};
 pub use pingpong::{Estimator, SamplingConfig};
+pub use probe::{probe_ok, probe_rail, ProbeConfig};
 pub use stats::Summary;
 pub use transport::{SampleTransport, SimTransport};

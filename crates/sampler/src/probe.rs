@@ -1,0 +1,143 @@
+//! Health probes: a 2–3 point mini ping-pong for rail re-admission.
+//!
+//! A full sampling campaign (the power-of-two ladder of [`crate::pingpong`])
+//! costs too much to run every time a quarantined rail wants back in. A
+//! *probe* is the cheap version: the same timed-transfer machinery at two
+//! or three representative sizes, judged against the rail's existing
+//! sampled profile instead of rebuilding it. The engine's health tracker
+//! re-admits a rail only when every probe point lands within tolerance of
+//! its prediction.
+
+use crate::transport::SampleTransport;
+use nm_model::units::KIB;
+
+/// Parameters of a re-admission probe.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Probe sizes, smallest first. Two points (one eager-sized, one
+    /// rendezvous-sized) catch both protocol paths; a third adds margin.
+    pub sizes: Vec<u64>,
+    /// A point passes when `actual <= tolerance × predicted`. Probes run
+    /// on a freshly idle rail, so honest points land near 1×; the slack
+    /// absorbs jitter without re-admitting a degraded rail.
+    pub tolerance: f64,
+}
+
+impl Default for ProbeConfig {
+    /// 4 KiB (eager) + 512 KiB (rendezvous) at 3× tolerance.
+    fn default() -> Self {
+        ProbeConfig { sizes: vec![4 * KIB, 512 * KIB], tolerance: 3.0 }
+    }
+}
+
+impl ProbeConfig {
+    /// Checks parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sizes.is_empty() {
+            return Err("probe needs at least one size".into());
+        }
+        if self.sizes.contains(&0) {
+            return Err("zero-byte probe size".into());
+        }
+        if !(self.tolerance.is_finite() && self.tolerance >= 1.0) {
+            return Err(format!("probe tolerance {} must be >= 1", self.tolerance));
+        }
+        Ok(())
+    }
+}
+
+/// Verdict for one probe point: did the measured duration stay within
+/// `tolerance ×` the predicted one? Non-finite or non-positive inputs
+/// fail the probe (a rail that can't produce a sane measurement is not
+/// healthy).
+pub fn probe_ok(predicted_us: f64, actual_us: f64, tolerance: f64) -> bool {
+    predicted_us > 0.0
+        && actual_us.is_finite()
+        && actual_us > 0.0
+        && actual_us <= predicted_us * tolerance
+}
+
+/// Runs a full probe out-of-band over a [`SampleTransport`]: measures each
+/// configured size on `rail` and compares with `expected` `(size, us)`
+/// pairs (typically the rail's sampled profile evaluated at the probe
+/// sizes). Returns `true` only if every point passes.
+///
+/// The in-band variant — probing through the engine's own transport while
+/// traffic continues on surviving rails — lives in `nm-core`'s health
+/// module and reuses [`probe_ok`] for the verdict.
+pub fn probe_rail<T: SampleTransport>(
+    transport: &mut T,
+    rail: usize,
+    config: &ProbeConfig,
+    expected: &[(u64, f64)],
+) -> bool {
+    config.validate().expect("invalid probe config");
+    config.sizes.iter().all(|&size| {
+        let Some(&(_, predicted)) = expected.iter().find(|(s, _)| *s == size) else {
+            return false; // no baseline for this size: cannot vouch
+        };
+        let actual = transport.measure_us(rail, size, None);
+        probe_ok(predicted, actual, config.tolerance)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+
+    #[test]
+    fn default_config_is_valid_and_two_point() {
+        let c = ProbeConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.sizes.len(), 2);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let ok = ProbeConfig::default();
+        assert!(ProbeConfig { sizes: vec![], ..ok.clone() }.validate().is_err());
+        assert!(ProbeConfig { sizes: vec![0], ..ok.clone() }.validate().is_err());
+        assert!(ProbeConfig { tolerance: 0.5, ..ok.clone() }.validate().is_err());
+        assert!(ProbeConfig { tolerance: f64::NAN, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn verdict_boundaries() {
+        assert!(probe_ok(100.0, 100.0, 3.0));
+        assert!(probe_ok(100.0, 300.0, 3.0), "exactly at tolerance passes");
+        assert!(!probe_ok(100.0, 301.0, 3.0));
+        assert!(!probe_ok(0.0, 50.0, 3.0), "degenerate prediction fails");
+        assert!(!probe_ok(100.0, f64::INFINITY, 3.0));
+        assert!(!probe_ok(100.0, -1.0, 3.0));
+    }
+
+    #[test]
+    fn healthy_rail_passes_probe_against_its_own_model() {
+        let mut t = SimTransport::paper_testbed();
+        let cfg = ProbeConfig::default();
+        let expected: Vec<(u64, f64)> =
+            cfg.sizes.iter().map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s))).collect();
+        assert!(probe_rail(&mut t, 0, &cfg, &expected));
+    }
+
+    #[test]
+    fn slowed_rail_fails_probe() {
+        let mut t = SimTransport::paper_testbed();
+        let cfg = ProbeConfig::default();
+        // Expectations claim the rail is 10x faster than it really is.
+        let expected: Vec<(u64, f64)> = cfg
+            .sizes
+            .iter()
+            .map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s) / 10.0))
+            .collect();
+        assert!(!probe_rail(&mut t, 0, &cfg, &expected));
+    }
+
+    #[test]
+    fn missing_baseline_point_fails_closed() {
+        let mut t = SimTransport::paper_testbed();
+        let cfg = ProbeConfig::default();
+        assert!(!probe_rail(&mut t, 0, &cfg, &[]));
+    }
+}

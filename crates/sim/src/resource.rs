@@ -51,6 +51,18 @@ impl SerialResource {
         (begin, end)
     }
 
+    /// Undoes the most recent reservation: `prev_busy_until` is the value
+    /// [`Self::busy_until`] held before that reservation and `duration` its
+    /// length. The caller must guarantee the window is still the tail of
+    /// the chain (nothing reserved after it). The generation is *not*
+    /// bumped: the retracted window's own idle-check event stays current
+    /// and reports the (now earlier) idle transition, conservatively late.
+    pub fn retract(&mut self, prev_busy_until: SimTime, duration: SimDuration) {
+        debug_assert!(prev_busy_until <= self.busy_until, "retract target beyond current chain");
+        self.busy_until = prev_busy_until;
+        self.busy_total -= duration;
+    }
+
     /// Current generation (see type docs).
     pub fn generation(&self) -> u64 {
         self.generation
@@ -109,6 +121,21 @@ mod tests {
         assert!(r.is_idle(t(10)));
         assert_eq!(r.free_at(t(5)), t(10));
         assert_eq!(r.free_at(t(30)), t(30));
+    }
+
+    #[test]
+    fn retract_restores_the_previous_chain() {
+        let mut r = SerialResource::new();
+        r.reserve(t(0), d(10));
+        let prev = r.busy_until();
+        let (b, e) = r.reserve(t(0), d(5));
+        assert_eq!((b, e), (t(10), t(15)));
+        r.retract(prev, e - b);
+        assert_eq!(r.busy_until(), t(10));
+        assert_eq!(r.busy_total(), d(10));
+        // A new reservation chains from the restored tail.
+        let (b2, _) = r.reserve(t(0), d(3));
+        assert_eq!(b2, t(10));
     }
 
     #[test]

@@ -154,6 +154,24 @@ pub enum SimEvent {
     },
 }
 
+/// A serially-occupied device, addressable for window bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ResKey {
+    NicTx(NodeId, RailId),
+    NicRx(NodeId, RailId),
+    Core(NodeId, CoreId),
+}
+
+/// One reservation made on behalf of a transfer: enough to undo it.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    res: ResKey,
+    begin: SimTime,
+    end: SimTime,
+    /// The resource's busy-until before this reservation was made.
+    prev: SimTime,
+}
+
 /// Internal calendar payloads.
 #[derive(Debug, Clone)]
 enum Ev {
@@ -190,6 +208,13 @@ pub struct Simulator {
     nic_rx: Vec<Vec<SerialResource>>,
     /// `cores[node][core]`.
     cores: Vec<Vec<SerialResource>>,
+    /// Reserved windows per transfer, parallel to `transfers` — what
+    /// [`Self::try_cancel_all`] retracts.
+    windows: Vec<Vec<Window>>,
+    /// Per-rail fault shaping `(time_scale, extra_latency)` applied to
+    /// subsequently submitted transfers; `(1.0, ZERO)` bypasses the
+    /// arithmetic entirely.
+    rail_fault: Vec<(f64, SimDuration)>,
     trace: Trace,
     jitter_frac: f64,
     rng: StdRng,
@@ -212,6 +237,7 @@ impl Simulator {
             .iter()
             .map(|n| (0..n.cores).map(|_| SerialResource::new()).collect())
             .collect();
+        let rail_fault = vec![(1.0, SimDuration::ZERO); spec.rail_count()];
         Simulator {
             spec,
             now: SimTime::ZERO,
@@ -221,6 +247,8 @@ impl Simulator {
             nic_tx,
             nic_rx,
             cores,
+            windows: Vec::new(),
+            rail_fault,
             trace: Trace::disabled(),
             jitter_frac: 0.0,
             rng: StdRng::seed_from_u64(0x6e6d_7369_6d00),
@@ -323,6 +351,25 @@ impl Simulator {
         self.calendar.push(at, Ev::Wakeup(token));
     }
 
+    /// Sets fault shaping on a rail: modeled durations of transfers
+    /// submitted *from now on* are stretched by `time_scale` and each
+    /// one-way flight pays `extra_latency` on top. `(1.0, ZERO)` is
+    /// nominal — and with nominal shaping the computation is skipped
+    /// outright, so an unfaulted simulator stays bit-identical to one
+    /// that never heard of faults.
+    pub fn set_rail_fault(&mut self, rail: RailId, time_scale: f64, extra_latency: SimDuration) {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "fault time scale must be positive, got {time_scale}"
+        );
+        self.rail_fault[rail.index()] = (time_scale, extra_latency);
+    }
+
+    /// Restores nominal shaping on a rail.
+    pub fn clear_rail_fault(&mut self, rail: RailId) {
+        self.rail_fault[rail.index()] = (1.0, SimDuration::ZERO);
+    }
+
     /// Submits a transfer; send-side work starts as soon as the required
     /// resources are free (and not before `now + offload_delay`).
     pub fn submit(&mut self, spec: SendSpec) -> TransferId {
@@ -345,6 +392,7 @@ impl Simulator {
             send_done_at: None,
             delivered_at: None,
         });
+        self.windows.push(Vec::new());
         match mode {
             TransferMode::Eager => self.submit_eager(id, &spec),
             TransferMode::Rendezvous => self.submit_rdv(id, &spec),
@@ -374,9 +422,18 @@ impl Simulator {
         let link = &self.spec.rails[spec.rail.index()];
         let copy_raw = link.pio.copy_time(spec.size);
         let one_way_raw = link.eager.time(spec.size);
-        let copy = self.jitter(copy_raw);
+        let (fault_scale, fault_extra) = self.rail_fault[spec.rail.index()];
+        let mut copy = self.jitter(copy_raw);
+        let mut one_way = self.jitter(one_way_raw);
+        if fault_scale != 1.0 {
+            copy = copy.mul_f64(fault_scale);
+            one_way = one_way.mul_f64(fault_scale);
+        }
+        if fault_extra > SimDuration::ZERO {
+            one_way += fault_extra;
+        }
         // One-way time, floored to exceed the copy so the wire gap is >= 0.
-        let one_way = self.jitter(one_way_raw).max(copy + SimDuration::from_nanos(50));
+        let one_way = one_way.max(copy + SimDuration::from_nanos(50));
 
         let earliest = self.now + spec.offload_delay;
         let core = &self.cores[spec.src.index()][spec.send_core.index()];
@@ -384,9 +441,10 @@ impl Simulator {
         let start = earliest.max(core.free_at(earliest)).max(nic.free_at(earliest));
 
         let (s, inject_end) =
-            self.cores[spec.src.index()][spec.send_core.index()].reserve(start, copy);
+            self.reserve_tracked(id, ResKey::Core(spec.src, spec.send_core), start, copy);
         debug_assert_eq!(s, start);
-        let (_, nic_end) = self.nic_tx[spec.src.index()][spec.rail.index()].reserve(start, copy);
+        let (_, nic_end) =
+            self.reserve_tracked(id, ResKey::NicTx(spec.src, spec.rail), start, copy);
         debug_assert_eq!(nic_end, inject_end);
 
         self.trace.push(TraceRecord::CoreBusy {
@@ -423,8 +481,8 @@ impl Simulator {
         let recv_start =
             wire_arrive.max(rx_nic.free_at(wire_arrive)).max(rx_core.free_at(wire_arrive));
         let (_, recv_end) =
-            self.nic_rx[spec.dst.index()][spec.rail.index()].reserve(recv_start, copy);
-        self.cores[spec.dst.index()][spec.recv_core.index()].reserve(recv_start, copy);
+            self.reserve_tracked(id, ResKey::NicRx(spec.dst, spec.rail), recv_start, copy);
+        self.reserve_tracked(id, ResKey::Core(spec.dst, spec.recv_core), recv_start, copy);
         self.trace.push(TraceRecord::NicBusy {
             node: spec.dst,
             rail: spec.rail,
@@ -456,16 +514,24 @@ impl Simulator {
         let link = &self.spec.rails[spec.rail.index()];
         let (setup_us, ctrl_us) = (link.rdv_setup_us, link.ctrl_latency_us);
         let rdv_raw = link.rdv.time(spec.size);
+        let (fault_scale, fault_extra) = self.rail_fault[spec.rail.index()];
         let setup = self.jitter(SimDuration::from_micros_f64(setup_us));
-        let rts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
-        let cts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
-        let dma = self.jitter(rdv_raw);
+        let mut rts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
+        let mut cts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
+        let mut dma = self.jitter(rdv_raw);
+        if fault_scale != 1.0 {
+            dma = dma.mul_f64(fault_scale);
+        }
+        if fault_extra > SimDuration::ZERO {
+            rts_flight += fault_extra;
+            cts_flight += fault_extra;
+        }
 
         let earliest = self.now + spec.offload_delay;
         let core = &self.cores[spec.src.index()][spec.send_core.index()];
         let start = earliest.max(core.free_at(earliest));
         let (_, post_end) =
-            self.cores[spec.src.index()][spec.send_core.index()].reserve(start, setup);
+            self.reserve_tracked(id, ResKey::Core(spec.src, spec.send_core), start, setup);
 
         self.trace.push(TraceRecord::CoreBusy {
             node: spec.src,
@@ -490,8 +556,9 @@ impl Simulator {
         let tx = &self.nic_tx[spec.src.index()][spec.rail.index()];
         let rx = &self.nic_rx[spec.dst.index()][spec.rail.index()];
         let dma_start = cts_arrive.max(tx.free_at(cts_arrive)).max(rx.free_at(cts_arrive));
-        let (_, dma_end) = self.nic_tx[spec.src.index()][spec.rail.index()].reserve(dma_start, dma);
-        self.nic_rx[spec.dst.index()][spec.rail.index()].reserve(dma_start, dma);
+        let (_, dma_end) =
+            self.reserve_tracked(id, ResKey::NicTx(spec.src, spec.rail), dma_start, dma);
+        self.reserve_tracked(id, ResKey::NicRx(spec.dst, spec.rail), dma_start, dma);
         for (node, dir) in [(spec.src, NicDir::Tx), (spec.dst, NicDir::Rx)] {
             self.trace.push(TraceRecord::NicBusy {
                 node,
@@ -515,6 +582,99 @@ impl Simulator {
         );
         let core_gen = self.cores[spec.src.index()][spec.send_core.index()].generation();
         self.calendar.push(post_end, Ev::CoreIdleCheck(spec.src, spec.send_core, core_gen));
+    }
+
+    fn resource(&self, res: ResKey) -> &SerialResource {
+        match res {
+            ResKey::NicTx(node, rail) => &self.nic_tx[node.index()][rail.index()],
+            ResKey::NicRx(node, rail) => &self.nic_rx[node.index()][rail.index()],
+            ResKey::Core(node, core) => &self.cores[node.index()][core.index()],
+        }
+    }
+
+    fn resource_mut(&mut self, res: ResKey) -> &mut SerialResource {
+        match res {
+            ResKey::NicTx(node, rail) => &mut self.nic_tx[node.index()][rail.index()],
+            ResKey::NicRx(node, rail) => &mut self.nic_rx[node.index()][rail.index()],
+            ResKey::Core(node, core) => &mut self.cores[node.index()][core.index()],
+        }
+    }
+
+    /// Reserves `res` on behalf of transfer `id`, remembering the window so
+    /// it can later be retracted by [`Self::try_cancel_all`].
+    fn reserve_tracked(
+        &mut self,
+        id: TransferId,
+        res: ResKey,
+        start: SimTime,
+        duration: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let r = self.resource_mut(res);
+        let prev = r.busy_until();
+        let (begin, end) = r.reserve(start, duration);
+        self.windows[id.0 as usize].push(Window { res, begin, end, prev });
+        (begin, end)
+    }
+
+    /// Atomically retracts a set of not-yet-started transfers, releasing
+    /// every resource window they reserved. Succeeds (returns `true`) only
+    /// when, for every transfer in the set: nothing has been served yet
+    /// (every window begins strictly after `now`, no send-done/delivery)
+    /// and the set's windows form the exact tail of each touched resource's
+    /// reservation chain — i.e. no outside transfer queued behind them.
+    /// On failure nothing is mutated.
+    ///
+    /// Cancelled transfers produce no further `Delivered`/`SendDone`
+    /// events; their already-scheduled idle checks fire at the original
+    /// window ends and report the (now earlier) idle transitions late,
+    /// which is conservative but correct.
+    pub fn try_cancel_all(&mut self, ids: &[TransferId]) -> bool {
+        use std::collections::HashMap;
+        if ids.is_empty() {
+            return false;
+        }
+        for &id in ids {
+            let t = &self.transfers[id.0 as usize];
+            if t.state == TransferState::Cancelled
+                || t.send_done_at.is_some()
+                || t.delivered_at.is_some()
+            {
+                return false;
+            }
+            if self.windows[id.0 as usize].iter().any(|w| w.begin <= self.now) {
+                return false;
+            }
+        }
+        let mut groups: HashMap<ResKey, Vec<Window>> = HashMap::new();
+        for &id in ids {
+            for w in &self.windows[id.0 as usize] {
+                groups.entry(w.res).or_default().push(*w);
+            }
+        }
+        for (res, ws) in &mut groups {
+            ws.sort_by_key(|w| w.end);
+            // Walking tail-first, each window must end exactly where the
+            // chain currently ends, and expose its predecessor's end as
+            // the next expected tail. A duplicate id or an interleaved
+            // outside reservation breaks the chain and rejects the set.
+            let mut expect_end = self.resource(*res).busy_until();
+            for w in ws.iter().rev() {
+                if w.end != expect_end {
+                    return false;
+                }
+                expect_end = w.prev;
+            }
+        }
+        for (res, ws) in &groups {
+            for w in ws.iter().rev() {
+                self.resource_mut(*res).retract(w.prev, w.end - w.begin);
+            }
+        }
+        for &id in ids {
+            self.transfers[id.0 as usize].state = TransferState::Cancelled;
+            self.windows[id.0 as usize].clear();
+        }
+        true
     }
 
     fn schedule_idle_checks_for_send(&mut self, spec: &SendSpec, end: SimTime) {
@@ -568,6 +728,13 @@ impl Simulator {
     }
 
     fn handle(&mut self, ev: Ev) {
+        // Events of a cancelled transfer are inert (the calendar entries
+        // themselves are cheaper to ignore than to unschedule).
+        if let Ev::InjectEnd(id) | Ev::RecvEnd(id) | Ev::RtsArrive(id) | Ev::DmaEnd(id) = ev {
+            if self.transfers[id.0 as usize].state == TransferState::Cancelled {
+                return;
+            }
+        }
         match ev {
             Ev::InjectEnd(id) => {
                 let t = &mut self.transfers[id.0 as usize];
@@ -847,6 +1014,93 @@ mod tests {
             (gap.as_micros_f64() - 670.0).abs() < 200.0,
             "idle gap {gap} should be in the neighbourhood of the paper's 670us"
         );
+    }
+
+    #[test]
+    fn bandwidth_degrade_stretches_durations_and_clears() {
+        let size = 64 * KIB;
+        let clean = {
+            let mut s = sim();
+            let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+            s.run_until_delivered(id).as_micros_f64()
+        };
+        let mut s = sim();
+        s.set_rail_fault(MYRI, 4.0, SimDuration::ZERO);
+        let slow = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let slow_at = s.run_until_delivered(slow).as_micros_f64();
+        assert!(
+            (slow_at - 4.0 * clean).abs() / clean < 0.05,
+            "4x time scale: {slow_at:.1}us vs clean {clean:.1}us"
+        );
+        s.clear_rail_fault(MYRI);
+        let healed = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let healed_dur = s.run_until_delivered(healed) - s.transfer(healed).started_at.unwrap();
+        assert!((healed_dur.as_micros_f64() - clean).abs() < 0.01, "shaping must clear");
+    }
+
+    #[test]
+    fn latency_spike_adds_fixed_extra_time() {
+        let size = 4 * KIB; // eager: one flight pays the extra once
+        let extra = SimDuration::from_micros(500);
+        let clean = builtin::myri_10g().one_way_us(size);
+        let mut s = sim();
+        s.set_rail_fault(MYRI, 1.0, extra);
+        let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let at = s.run_until_delivered(id).as_micros_f64();
+        assert!((at - (clean + 500.0)).abs() < 0.01, "spiked {at:.1}us vs clean {clean:.1}us");
+    }
+
+    #[test]
+    fn nominal_fault_shaping_is_exactly_inert() {
+        let run = |touch: bool| {
+            let mut s = Simulator::paper_testbed().with_jitter(0.05, 11);
+            if touch {
+                s.set_rail_fault(MYRI, 1.0, SimDuration::ZERO);
+            }
+            let a = s.submit(SendSpec::simple(N0, N1, MYRI, 64 * KIB));
+            let b = s.submit(SendSpec::simple(N0, N1, QUAD, 2 * MIB));
+            s.run_until_idle();
+            (s.transfer(a).delivered_at, s.transfer(b).delivered_at)
+        };
+        assert_eq!(run(false), run(true), "(1.0, ZERO) shaping must be bit-identical");
+    }
+
+    #[test]
+    fn cancel_retracts_queued_transfer_and_frees_the_rail() {
+        let size = MIB;
+        let mut s = sim();
+        let a = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let busy_after_a = s.nic_busy_until(N0, MYRI);
+        let b = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        assert!(s.nic_busy_until(N0, MYRI) > busy_after_a);
+        assert!(s.try_cancel_all(&[b]), "queued-behind transfer must be cancellable");
+        assert_eq!(s.nic_busy_until(N0, MYRI), busy_after_a, "rail time released");
+        assert_eq!(s.transfer(b).state, TransferState::Cancelled);
+        // The survivor still delivers on schedule; the cancelled one never does.
+        let a_at = s.run_until_delivered(a);
+        assert_eq!(a_at, busy_after_a);
+        assert_eq!(s.transfer(b).delivered_at, None);
+        // Double cancel is refused.
+        assert!(!s.try_cancel_all(&[b]));
+    }
+
+    #[test]
+    fn cancel_refuses_started_or_interleaved_transfers() {
+        let size = MIB;
+        // Started: transfer A begins at t=0 on an idle rail.
+        let mut s = sim();
+        let a = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        assert!(!s.try_cancel_all(&[a]), "a window touching now must not retract");
+
+        // Interleaved: C queued behind B; cancelling B alone would leave a
+        // hole under C's reservation.
+        let mut s = sim();
+        let _a = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let b = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let c = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        assert!(!s.try_cancel_all(&[b]), "not the tail of the chain");
+        // Cancelling both rear transfers together is fine.
+        assert!(s.try_cancel_all(&[b, c]));
     }
 
     #[test]

@@ -12,6 +12,9 @@ pub enum TransferState {
     InFlight,
     /// Fully delivered to the destination.
     Delivered,
+    /// Retracted before any resource started serving it (see
+    /// [`crate::Simulator::try_cancel_all`]); produces no further events.
+    Cancelled,
 }
 
 /// One simulated transfer and its measured timeline.

@@ -135,6 +135,33 @@ fn cancelling_a_queued_message_frees_the_flow() {
 }
 
 #[test]
+fn cancelling_an_inflight_message_releases_reserved_rail_time() {
+    use nm_core::Transport;
+    // Single rail: the second message's chunk is submitted behind the
+    // first and has not started moving — cancel must retract it and give
+    // the reserved rail time back.
+    let mut engine = paper_engine_kind(StrategyKind::SingleRail(Some(RailId(0))));
+    let first = engine.post_send(4 * MIB).expect("post");
+    let busy_after_first = engine.transport().rail_busy_until(RailId(0));
+    let second = engine.post_send(4 * MIB).expect("post");
+    assert!(
+        engine.transport().rail_busy_until(RailId(0)) > busy_after_first,
+        "second message reserves rail time"
+    );
+    assert!(engine.cancel(second).expect("cancel"), "unstarted transfer is retractable");
+    assert_eq!(
+        engine.transport().rail_busy_until(RailId(0)),
+        busy_after_first,
+        "cancel must release the reserved rail time"
+    );
+    let done = engine.drain().expect("drain");
+    assert_eq!(done.len(), 1, "only the first message completes");
+    assert_eq!(done[0].id, first);
+    assert_eq!(engine.stats().cancelled, 1);
+    assert!(matches!(engine.wait(second), Err(nm_core::EngineError::UnknownMessage(_))));
+}
+
+#[test]
 fn multicore_eager_beats_single_rail_for_medium_messages() {
     let single = nm_tests::one_way_us(StrategyKind::SingleRail(None), 64 * KIB);
     let multi = nm_tests::one_way_us(StrategyKind::MulticoreEager, 64 * KIB);
