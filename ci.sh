@@ -18,3 +18,14 @@ for key in bench seed msgs msg_bytes fault_free_completion_us faulted_completion
         exit 1
     }
 done
+
+# Overload harness: deterministic admission-control sweep + JSON key schema.
+cargo run --release -p nm-bench --bin overload -- --seed 42
+for key in bench seed msg_bytes deadline_us offered_msgs accepted rejected shed \
+    completed goodput_mibps p99_completion_us corrupt_chunks retries \
+    degrade_transitions; do
+    grep -q "\"$key\":" BENCH_overload.json || {
+        echo "BENCH_overload.json missing key: $key" >&2
+        exit 1
+    }
+done

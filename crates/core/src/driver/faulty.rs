@@ -14,6 +14,18 @@
 //!   confirms — the send side still completes, as on real hardware).
 //! * **Latency spike / bandwidth degrade** — mapped onto the simulator's
 //!   per-rail duration shaping ([`nm_sim::Simulator::set_rail_fault`]).
+//! * **Payload / header corruption** — the chunk's bytes are damaged in
+//!   flight (one byte XORed). Whether the receiver *detects* it follows the
+//!   wire contract: size-only chunks model a NIC-level CRC (always
+//!   detected, reported as [`TransportEvent::ChunkCorrupt`]); framed
+//!   payloads are re-decoded on delivery — integrity framing catches the
+//!   flip, legacy framing lets it through *silently* (the pre-integrity
+//!   failure mode the checksums exist to close).
+//! * **Duplicate chunk** — a cleanly delivered chunk raises
+//!   [`TransportEvent::ChunkDelivered`] twice back-to-back.
+//! * **Reorder storm** — deliveries on the rail are held while the window
+//!   is open and released in reverse arrival order (re-stamped) when it
+//!   closes.
 //!
 //! With an **empty schedule** every hook is inert: no wakeups are
 //! scheduled, no RNG is consumed and events pass through untouched, so a
@@ -22,8 +34,10 @@
 
 use crate::driver::sim::SimDriver;
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
+use bytes::Bytes;
 use nm_faults::{Change, FaultSchedule, FaultState, Transition};
 use nm_model::SimTime;
+use nm_proto::{Packet, HEADER_LEN};
 use nm_sim::{ClusterSpec, CoreId, RailId};
 use std::collections::{HashMap, HashSet};
 
@@ -47,6 +61,14 @@ pub struct FaultSimDriver {
     doomed: HashSet<ChunkId>,
     /// Chunks failed at rail-down onset: residual sim events are swallowed.
     suppressed: HashSet<ChunkId>,
+    /// Chunks corrupted in flight → was the damage *detected*? Detected
+    /// corruption surfaces as [`TransportEvent::ChunkCorrupt`]; undetected
+    /// corruption delivers normally (the silent-corruption failure mode).
+    corrupted: HashMap<ChunkId, bool>,
+    /// Chunks the duplication lottery selected: delivered twice.
+    dup: HashSet<ChunkId>,
+    /// Per-rail delivery hold buffers while a reorder storm is open.
+    held: Vec<Vec<TransportEvent>>,
     /// Rejected submissions awaiting their failure report.
     pending_failures: Vec<ChunkId>,
     next_rejected: u64,
@@ -86,6 +108,9 @@ impl FaultSimDriver {
             inflight: HashMap::new(),
             doomed: HashSet::new(),
             suppressed: HashSet::new(),
+            corrupted: HashMap::new(),
+            dup: HashSet::new(),
+            held: vec![Vec::new(); rails],
             pending_failures: Vec::new(),
             next_rejected: 0,
         }
@@ -133,9 +158,67 @@ impl FaultSimDriver {
                 Change::ShapeEnd => {
                     self.inner.simulator_mut().clear_rail_fault(t.rail);
                 }
-                Change::DownEnd | Change::LossBegin { .. } | Change::LossEnd => {}
+                Change::ReorderEnd => {
+                    // Release held deliveries in reverse arrival order,
+                    // re-stamped at the storm's close (their original
+                    // instants are in the past).
+                    let held = std::mem::take(&mut self.held[t.rail.index()]);
+                    for ev in held.into_iter().rev() {
+                        out.push(match ev {
+                            TransportEvent::ChunkDelivered { chunk, .. } => {
+                                TransportEvent::ChunkDelivered { chunk, at: t.at }
+                            }
+                            TransportEvent::ChunkCorrupt { chunk, .. } => {
+                                TransportEvent::ChunkCorrupt { chunk, at: t.at }
+                            }
+                            other => other,
+                        });
+                    }
+                }
+                Change::DownEnd
+                | Change::LossBegin { .. }
+                | Change::LossEnd
+                | Change::CorruptBegin { .. }
+                | Change::CorruptEnd { .. }
+                | Change::DupBegin { .. }
+                | Change::DupEnd
+                | Change::ReorderBegin => {}
             }
         }
+    }
+
+    /// Damages one byte of the chunk's payload in flight (`header` selects
+    /// the header area of a framed packet vs the data area). Returns
+    /// whether the receiver will *detect* the damage: size-only chunks
+    /// model a NIC-level CRC (always detected); framed payloads are
+    /// re-decoded — integrity framing catches the flip, legacy framing
+    /// passes it through silently.
+    fn corrupt_in_flight(chunk: &mut ChunkSubmit, header: bool) -> bool {
+        let Some(bytes) = chunk.payload.take() else {
+            return true; // size-only chunk: modeled NIC CRC fires
+        };
+        if bytes.is_empty() {
+            chunk.payload = Some(bytes);
+            return true; // nothing to flip; treat as a detected frame error
+        }
+        let framed_integrity =
+            Packet::decode(&mut bytes.clone()).map(|p| p.integrity).unwrap_or(false);
+        let mut raw = bytes.to_vec();
+        let idx = if header {
+            // Byte 4 is the first header field past kind/flags/check (the
+            // flow id) — damaging it misroutes the chunk; clamp for tiny
+            // unframed payloads.
+            4.min(raw.len() - 1)
+        } else if raw.len() > HEADER_LEN {
+            HEADER_LEN + (raw.len() - HEADER_LEN) / 2
+        } else {
+            raw.len() / 2
+        };
+        raw[idx] ^= 0xA5;
+        let corrupted = Bytes::from(raw);
+        let detected = framed_integrity && Packet::decode(&mut corrupted.clone()).is_err();
+        chunk.payload = Some(corrupted);
+        detected
     }
 
     fn event_time(ev: &TransportEvent) -> SimTime {
@@ -145,6 +228,7 @@ impl FaultSimDriver {
             | TransportEvent::RailIdle { at, .. }
             | TransportEvent::CoreIdle { at, .. }
             | TransportEvent::ChunkFailed { at, .. }
+            | TransportEvent::ChunkCorrupt { at, .. }
             | TransportEvent::Wakeup { at } => *at,
         }
     }
@@ -179,7 +263,7 @@ impl Transport for FaultSimDriver {
         self.inner.idle_cores()
     }
 
-    fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId {
+    fn submit(&mut self, mut chunk: ChunkSubmit) -> ChunkId {
         let rail = chunk.rail;
         if self.state.is_down(rail) {
             let id = ChunkId(REJECTED_CHUNK_BASE | self.next_rejected);
@@ -187,11 +271,27 @@ impl Transport for FaultSimDriver {
             self.pending_failures.push(id);
             return id;
         }
+        // Fixed lottery order keeps the RNG stream reproducible; each draw
+        // consumes randomness only while its window is open.
         let doomed = self.state.should_drop(rail);
+        let corrupt_header = self.state.should_corrupt_header(rail);
+        let corrupt_payload = self.state.should_corrupt_payload(rail);
+        let duplicate = self.state.should_duplicate(rail);
+        let corruption = if corrupt_header || corrupt_payload {
+            Some(Self::corrupt_in_flight(&mut chunk, corrupt_header))
+        } else {
+            None
+        };
         let id = self.inner.submit(chunk);
         self.inflight.insert(id, rail);
         if doomed {
             self.doomed.insert(id);
+        } else if let Some(detected) = corruption {
+            self.corrupted.insert(id, detected);
+        } else if duplicate {
+            // Only clean chunks duplicate — a corrupt chunk delivered twice
+            // would double-count the corruption it models.
+            self.dup.insert(id);
         }
         id
     }
@@ -215,11 +315,28 @@ impl Transport for FaultSimDriver {
                         if self.suppressed.remove(&chunk) {
                             continue; // already reported failed at rail-down onset
                         }
-                        self.inflight.remove(&chunk);
+                        let rail = self.inflight.remove(&chunk);
                         if self.doomed.remove(&chunk) {
                             out.push(TransportEvent::ChunkFailed { chunk, at });
+                            continue;
+                        }
+                        let delivery = match self.corrupted.remove(&chunk) {
+                            Some(true) => TransportEvent::ChunkCorrupt { chunk, at },
+                            // Undetected corruption (or none): delivers
+                            // normally from the transport's point of view.
+                            Some(false) | None => TransportEvent::ChunkDelivered { chunk, at },
+                        };
+                        let twice = self.dup.remove(&chunk);
+                        let storm = rail.is_some_and(|r| self.state.reorder_active(r));
+                        let sink = if storm {
+                            // Held until the storm closes (released reversed).
+                            &mut self.held[rail.unwrap().index()]
                         } else {
-                            out.push(TransportEvent::ChunkDelivered { chunk, at });
+                            &mut out
+                        };
+                        sink.push(delivery.clone());
+                        if twice {
+                            sink.push(delivery);
                         }
                     }
                     TransportEvent::ChunkSendDone { chunk, .. } => {
@@ -248,6 +365,8 @@ impl Transport for FaultSimDriver {
             for c in chunks {
                 self.inflight.remove(c);
                 self.doomed.remove(c);
+                self.corrupted.remove(c);
+                self.dup.remove(c);
             }
             true
         } else {
@@ -342,6 +461,127 @@ mod tests {
                 .iter()
                 .any(|e| matches!(e, TransportEvent::ChunkDelivered { chunk, .. } if *chunk == id)),
             "a failed chunk must not also deliver"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_on_size_only_chunks_is_detected() {
+        let schedule = FaultSchedule::new(3).with(FaultSpec {
+            rail: RailId(0),
+            at: SimTime::ZERO,
+            kind: FaultKind::PayloadCorrupt { prob: 1.0, duration: d(1_000_000) },
+        });
+        let mut driver = FaultSimDriver::paper_testbed(schedule);
+        let _ = driver.poll(); // open the window
+        let id = driver.submit(ChunkSubmit::new(RailId(0), 64 * KIB));
+        let clean = driver.submit(ChunkSubmit::new(RailId(1), 64 * KIB));
+        let events = drain(&mut driver);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::ChunkCorrupt { chunk, .. } if *chunk == id)),
+            "size-only chunk models a NIC CRC: corruption must be detected: {events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::ChunkDelivered { chunk, .. } if *chunk == id)),
+            "a detected-corrupt chunk must not also deliver"
+        );
+        assert!(
+            events.iter().any(
+                |e| matches!(e, TransportEvent::ChunkDelivered { chunk, .. } if *chunk == clean)
+            ),
+            "the other rail is untouched"
+        );
+    }
+
+    #[test]
+    fn framed_corruption_detection_follows_the_integrity_flag() {
+        use nm_proto::{PacketHeader, PacketKind};
+        let packet = |integrity: bool| {
+            Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Eager,
+                    flow: 1,
+                    msg_id: 1,
+                    offset: 0,
+                    total_len: 1024,
+                    chunk_index: 0,
+                    payload_len: 0,
+                },
+                Bytes::from(vec![0x5Au8; 1024]),
+            )
+            .with_integrity(integrity)
+            .encode()
+        };
+        let run = |integrity: bool, header_fault: bool| {
+            let kind = if header_fault {
+                FaultKind::HeaderCorrupt { prob: 1.0, duration: d(1_000_000) }
+            } else {
+                FaultKind::PayloadCorrupt { prob: 1.0, duration: d(1_000_000) }
+            };
+            let schedule =
+                FaultSchedule::new(3).with(FaultSpec { rail: RailId(0), at: SimTime::ZERO, kind });
+            let mut driver = FaultSimDriver::paper_testbed(schedule);
+            let _ = driver.poll();
+            let mut sub = ChunkSubmit::new(RailId(0), 1024);
+            sub.payload = Some(packet(integrity));
+            let id = driver.submit(sub);
+            let events = drain(&mut driver);
+            events
+                .iter()
+                .any(|e| matches!(e, TransportEvent::ChunkCorrupt { chunk, .. } if *chunk == id))
+        };
+        assert!(run(true, false), "integrity framing catches a payload flip");
+        assert!(run(true, true), "integrity framing catches a header flip");
+        assert!(!run(false, false), "legacy framing passes payload corruption silently");
+    }
+
+    #[test]
+    fn duplicate_chunks_deliver_twice() {
+        let schedule = FaultSchedule::new(5).with(FaultSpec {
+            rail: RailId(0),
+            at: SimTime::ZERO,
+            kind: FaultKind::DuplicateChunk { prob: 1.0, duration: d(1_000_000) },
+        });
+        let mut driver = FaultSimDriver::paper_testbed(schedule);
+        let _ = driver.poll();
+        let id = driver.submit(ChunkSubmit::new(RailId(0), 64 * KIB));
+        let events = drain(&mut driver);
+        let deliveries = events
+            .iter()
+            .filter(|e| matches!(e, TransportEvent::ChunkDelivered { chunk, .. } if *chunk == id))
+            .count();
+        assert_eq!(deliveries, 2, "duplicated chunk must deliver exactly twice: {events:?}");
+    }
+
+    #[test]
+    fn reorder_storm_releases_deliveries_reversed_at_window_close() {
+        let schedule = FaultSchedule::new(5).with(FaultSpec {
+            rail: RailId(0),
+            at: SimTime::ZERO,
+            kind: FaultKind::ChunkReorderStorm { duration: d(1_000_000) },
+        });
+        let mut driver = FaultSimDriver::paper_testbed(schedule);
+        let _ = driver.poll();
+        let ids: Vec<ChunkId> =
+            (0..4).map(|_| driver.submit(ChunkSubmit::new(RailId(0), 4 * KIB))).collect();
+        let events = drain(&mut driver);
+        let delivered: Vec<(ChunkId, SimTime)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TransportEvent::ChunkDelivered { chunk, at } => Some((*chunk, *at)),
+                _ => None,
+            })
+            .collect();
+        let order: Vec<ChunkId> = delivered.iter().map(|(c, _)| *c).collect();
+        let mut reversed = ids.clone();
+        reversed.reverse();
+        assert_eq!(order, reversed, "storm must release deliveries in reverse arrival order");
+        assert!(
+            delivered.iter().all(|&(_, at)| at == t(1_000_000)),
+            "held deliveries are re-stamped at the window close: {delivered:?}"
         );
     }
 

@@ -128,7 +128,10 @@ impl Transport for SimDriver {
     }
 
     fn schedule_wakeup(&mut self, at: SimTime) {
-        self.sim.schedule_wakeup(at, 0);
+        // Timers derived from an event's timestamp may land just before the
+        // post-batch clock (a poll can drain several instants at once); the
+        // contract is "wake no later than `at`", so clamp to now.
+        self.sim.schedule_wakeup(at.max(self.sim.now()), 0);
     }
 
     fn cancel_chunks(&mut self, chunks: &[ChunkId]) -> bool {

@@ -39,6 +39,11 @@ pub struct DuplexConfig {
     pub strategy: StrategyKind,
     /// Sampling campaign run per endpoint at construction.
     pub sampling: SamplingConfig,
+    /// Negotiate the wire integrity bit: packets carry a header self-check
+    /// and CRC32C payload trailer, and the receive path drops (and counts)
+    /// corrupt or duplicated chunks instead of consuming them. With this
+    /// off the wire format is bit-identical to the pre-integrity protocol.
+    pub integrity: bool,
 }
 
 impl Default for DuplexConfig {
@@ -59,6 +64,7 @@ impl Default for DuplexConfig {
                 warmup: 0,
                 ..Default::default()
             },
+            integrity: true,
         }
     }
 }
@@ -72,6 +78,10 @@ pub struct Endpoint {
     ready: std::collections::VecDeque<(u32, Bytes)>,
     /// Messages received and re-sequenced so far.
     received: u64,
+    /// Wire buffers dropped because integrity verification failed.
+    corrupt_received: u64,
+    /// Byte-identical duplicate chunks absorbed during reassembly.
+    duplicates_dropped: u64,
 }
 
 /// Builds a connected endpoint pair. Both directions are sampled *before*
@@ -120,9 +130,9 @@ impl Endpoint {
         incoming: Receiver<Delivery>,
         config: &DuplexConfig,
     ) -> Self {
-        let engine = Engine::new(driver, predictor, config.strategy.build())
-            .expect("engine config")
-            .with_framing();
+        let engine =
+            Engine::new(driver, predictor, config.strategy.build()).expect("engine config");
+        let engine = if config.integrity { engine.with_integrity() } else { engine.with_framing() };
         Endpoint {
             engine,
             incoming,
@@ -130,6 +140,8 @@ impl Endpoint {
             sequencers: HashMap::new(),
             ready: std::collections::VecDeque::new(),
             received: 0,
+            corrupt_received: 0,
+            duplicates_dropped: 0,
         }
     }
 
@@ -173,6 +185,16 @@ impl Endpoint {
         self.received
     }
 
+    /// Wire buffers this endpoint dropped as corrupt (integrity mode).
+    pub fn corrupt_received(&self) -> u64 {
+        self.corrupt_received
+    }
+
+    /// Byte-identical duplicate chunks absorbed during reassembly.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
     /// The sending engine (stats, feedback, strategy name).
     pub fn engine(&self) -> &Engine<ShmemDriver> {
         &self.engine
@@ -180,17 +202,36 @@ impl Endpoint {
 
     fn ingest(&mut self, wire: Bytes) {
         let mut buf = wire;
-        let packet = Packet::decode(&mut buf).expect("peer sends valid framing");
+        // A corrupt buffer is the expected failure mode of a lossy wire:
+        // count it and drop it — never consume damaged bytes, never tear
+        // down the endpoint. A *protocol* violation (bad framing from a
+        // well-behaved peer) still panics: that is a bug, not line noise.
+        let packet = match Packet::decode(&mut buf) {
+            Ok(p) => p,
+            Err(e) if e.is_corruption() => {
+                self.corrupt_received += 1;
+                return;
+            }
+            Err(e) => panic!("peer framing violation: {e}"),
+        };
         match packet.header.kind {
             PacketKind::Eager => {
                 let h = packet.header;
                 let key = (h.flow, h.msg_id);
                 let asm =
                     self.assemblers.entry(key).or_insert_with(|| Reassembler::new(h.total_len));
-                let complete =
-                    asm.feed(h.offset, &packet.payload).expect("chunks tile the message");
+                let complete = match asm.feed(h.offset, &packet.payload) {
+                    Ok(c) => c,
+                    Err(e) if e.is_corruption() => {
+                        self.corrupt_received += 1;
+                        return;
+                    }
+                    Err(e) => panic!("chunks must tile the message: {e}"),
+                };
                 if complete {
-                    let msg = self.assemblers.remove(&key).expect("present").into_message();
+                    let asm = self.assemblers.remove(&key).expect("present");
+                    self.duplicates_dropped += asm.duplicates_dropped();
+                    let msg = asm.into_message();
                     self.release(h.flow, h.msg_id, msg);
                 }
             }
@@ -306,6 +347,76 @@ mod tests {
         b.flush();
         assert_eq!(a.received_count(), 4);
         assert_eq!(b.received_count(), 4);
+    }
+
+    #[test]
+    fn legacy_mode_round_trips_without_integrity_framing() {
+        let cfg = DuplexConfig { integrity: false, ..DuplexConfig::default() };
+        let (mut a, mut b) = pair(cfg);
+        a.send(2, payload(12_000, 9));
+        let (tag, data) = b.recv(T).expect("arrives");
+        assert_eq!(tag, 2);
+        assert_eq!(data, payload(12_000, 9));
+        assert_eq!(b.corrupt_received(), 0);
+    }
+
+    #[test]
+    fn corrupt_wire_bytes_are_counted_dropped_and_do_not_wedge_the_endpoint() {
+        use nm_proto::{PacketHeader, HEADER_LEN};
+        let (mut a, mut b) = pair(DuplexConfig::default());
+        let pkt = Packet::new(
+            PacketHeader {
+                kind: PacketKind::Eager,
+                flow: 9,
+                msg_id: 0,
+                offset: 0,
+                total_len: 4,
+                chunk_index: 0,
+                payload_len: 0,
+            },
+            Bytes::from_static(b"abcd"),
+        )
+        .with_integrity(true);
+        let mut wire = pkt.encode().to_vec();
+        // Damage one payload byte: the CRC32C trailer must catch it.
+        wire[HEADER_LEN + 1] ^= 0xFF;
+        b.ingest(Bytes::from(wire));
+        assert_eq!(b.corrupt_received(), 1);
+        assert_eq!(b.received_count(), 0, "damaged bytes must not surface");
+        // The endpoint keeps working after dropping the corrupt buffer.
+        a.send(1, payload(5_000, 2));
+        let (_, data) = b.recv(T).expect("clean traffic still flows");
+        assert_eq!(data, payload(5_000, 2));
+    }
+
+    #[test]
+    fn duplicate_chunks_are_absorbed_byte_exactly() {
+        use nm_proto::PacketHeader;
+        let (_a, mut b) = pair(DuplexConfig::default());
+        let chunk = |offset: u64, index: u32, data: &'static [u8]| {
+            Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Eager,
+                    flow: 3,
+                    msg_id: 0,
+                    offset,
+                    total_len: 8,
+                    chunk_index: index,
+                    payload_len: 0,
+                },
+                Bytes::from_static(data),
+            )
+            .with_integrity(true)
+            .encode()
+        };
+        b.ingest(chunk(0, 0, b"abcd"));
+        b.ingest(chunk(0, 0, b"abcd")); // duplicated in flight
+        b.ingest(chunk(4, 1, b"efgh"));
+        assert_eq!(b.duplicates_dropped(), 1);
+        assert_eq!(b.received_count(), 1);
+        let (tag, data) = b.ready.pop_front().expect("message released");
+        assert_eq!(tag, 3);
+        assert_eq!(&data[..], b"abcdefgh");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   [`TransportEvent::RailIdle`] / [`TransportEvent::CoreIdle`];
 //! * chunk deliveries are folded back into message completions.
 
+use crate::admission::{AdmissionConfig, Backpressure};
 use crate::error::EngineError;
 use crate::health::{HealthConfig, HealthTracker};
 use crate::predictor::Predictor;
@@ -94,6 +95,21 @@ pub struct EngineStats {
     pub rail_failures: Vec<u64>,
     /// Per-rail retries, charged to the rail that lost the chunk.
     pub rail_retries: Vec<u64>,
+    /// Chunks whose receive-side integrity verification failed (counted in
+    /// addition to `chunks_failed` — a corrupt chunk is retried like a lost
+    /// one).
+    pub corrupt_chunks: u64,
+    /// Duplicate deliveries of already-completed chunks that were
+    /// recognized and dropped.
+    pub duplicate_chunks_dropped: u64,
+    /// Queued messages shed past their deadline (admission control).
+    pub msgs_shed: u64,
+    /// Posts rejected by admission control at a cap.
+    pub backpressure_rejections: u64,
+    /// Strategy-degradation state flips (enter + exit both count).
+    pub degrade_transitions: u64,
+    /// Decisions taken by the degraded fallback strategy.
+    pub degraded_decisions: u64,
 }
 
 struct QueuedMsg {
@@ -103,6 +119,8 @@ struct QueuedMsg {
     size: u64,
     payload: Option<Bytes>,
     posted_at: SimTime,
+    /// Absolute shed deadline (admission control); `None` never expires.
+    deadline: Option<SimTime>,
 }
 
 struct InflightMsg {
@@ -145,6 +163,25 @@ struct RetryEntry {
     from_rail: RailId,
 }
 
+/// All admission-control state, boxed behind an `Option` so an engine
+/// without overload protection pays nothing and decides identically.
+struct Admission {
+    cfg: AdmissionConfig,
+    /// Messages currently pending (queued + in flight, minus completed).
+    pending_msgs: u64,
+    /// Payload bytes currently pending.
+    pending_bytes: u64,
+    /// Messages shed past their deadline; `wait` reports them as
+    /// [`EngineError::Shed`] exactly once.
+    shed: HashSet<MsgId>,
+    /// Hysteresis-guarded degradation latch: while set, decisions come from
+    /// `fallback` instead of the configured strategy.
+    degraded: bool,
+    /// The cheap strategy used while degraded (static bandwidth ratios —
+    /// constant-time decisions, no dichotomy).
+    fallback: crate::strategy::ratio::BandwidthRatioSplit,
+}
+
 /// All fault-tolerance state, boxed behind an `Option` so the fault-free
 /// engine pays nothing (and stays bit-identical to the pre-failover code).
 struct FaultTolerance {
@@ -181,6 +218,13 @@ pub struct Engine<T: Transport> {
     /// flow/seq/offset/total) so a remote peer can reassemble and
     /// re-sequence them — see [`crate::duplex`].
     framing: bool,
+    /// When set (implies `framing`), framed packets carry the negotiated
+    /// integrity bit: header self-check plus a CRC32C payload trailer.
+    integrity: bool,
+    /// Ring of recently delivered chunk ids: a transport re-delivering one
+    /// (duplication fault) is counted and dropped instead of erroring.
+    recent_delivered: VecDeque<ChunkId>,
+    recent_delivered_set: HashSet<ChunkId>,
     next_msg: u64,
     next_pack: u64,
     stats: EngineStats,
@@ -195,10 +239,16 @@ pub struct Engine<T: Transport> {
     /// Fault tolerance (health tracking, retries, probes); `None` keeps
     /// every fault path fully disabled.
     health: Option<Box<FaultTolerance>>,
+    /// Admission control (caps, deadlines, degradation); `None` keeps every
+    /// overload path fully disabled.
+    admission: Option<Box<Admission>>,
 }
 
 /// Maximum out-of-order completions buffered per flow.
 const FLOW_REORDER_WINDOW: usize = 4096;
+
+/// Delivered-chunk ids remembered for duplicate recognition.
+const RECENT_DELIVERED_WINDOW: usize = 4096;
 
 impl<T: Transport> Engine<T> {
     /// Builds an engine. The predictor's rails must match the transport's.
@@ -229,6 +279,9 @@ impl<T: Transport> Engine<T> {
             chunk_prediction: HashMap::new(),
             feedback: crate::feedback::Feedback::new(rails),
             framing: false,
+            integrity: false,
+            recent_delivered: VecDeque::new(),
+            recent_delivered_set: HashSet::new(),
             next_msg: 0,
             next_pack: 0,
             stats: EngineStats {
@@ -241,6 +294,7 @@ impl<T: Transport> Engine<T> {
             scratch_sizes: Vec::new(),
             scratch_waits: Vec::with_capacity(rails),
             health: None,
+            admission: None,
         })
     }
 
@@ -272,6 +326,45 @@ impl<T: Transport> Engine<T> {
     pub fn with_framing(mut self) -> Self {
         self.framing = true;
         self
+    }
+
+    /// Enables end-to-end integrity (implies framing): every wire packet
+    /// carries the negotiated [`nm_proto::FLAG_INTEGRITY`] bit, a header
+    /// self-check and a CRC32C payload trailer, so a receiver detects
+    /// in-flight corruption instead of consuming damaged bytes. With this
+    /// off, the wire format is bit-identical to the pre-integrity engine.
+    pub fn with_integrity(mut self) -> Self {
+        self.framing = true;
+        self.integrity = true;
+        self
+    }
+
+    /// Enables bounded-memory admission control: pending-message and
+    /// pending-byte caps (posts beyond them are rejected with
+    /// [`EngineError::Backpressure`]), optional per-message deadlines with
+    /// oldest-first shedding, and hysteresis-guarded degradation to the
+    /// static-ratio strategy under overload.
+    pub fn with_admission_control(mut self, cfg: AdmissionConfig) -> Result<Self, EngineError> {
+        cfg.validate().map_err(EngineError::Config)?;
+        self.admission = Some(Box::new(Admission {
+            cfg,
+            pending_msgs: 0,
+            pending_bytes: 0,
+            shed: HashSet::new(),
+            degraded: false,
+            fallback: crate::strategy::ratio::BandwidthRatioSplit::new(),
+        }));
+        Ok(self)
+    }
+
+    /// Whether the engine is currently degraded to the fallback strategy.
+    pub fn is_degraded(&self) -> bool {
+        self.admission.as_ref().is_some_and(|a| a.degraded)
+    }
+
+    /// `(pending messages, pending bytes)` under admission control.
+    pub fn admission_pending(&self) -> Option<(u64, u64)> {
+        self.admission.as_ref().map(|a| (a.pending_msgs, a.pending_bytes))
     }
 
     /// Current transport time.
@@ -332,7 +425,8 @@ impl<T: Transport> Engine<T> {
     /// is what lets the aggregation strategy actually see a queue: posting
     /// one-by-one interrogates the strategy after every message.
     pub fn post_send_batch(&mut self, sizes: &[u64]) -> Result<Vec<MsgId>, EngineError> {
-        let ids = sizes.iter().map(|&s| self.enqueue(s, None, 0)).collect::<Result<Vec<_>, _>>()?;
+        let ids =
+            sizes.iter().map(|&s| self.enqueue(s, None, 0, None)).collect::<Result<Vec<_>, _>>()?;
         self.kick()?;
         Ok(ids)
     }
@@ -346,15 +440,47 @@ impl<T: Transport> Engine<T> {
             .into_iter()
             .map(|p| {
                 let size = p.len() as u64;
-                self.enqueue(size, Some(p), 0)
+                self.enqueue(size, Some(p), 0, None)
             })
             .collect::<Result<Vec<_>, _>>()?;
         self.kick()?;
         Ok(ids)
     }
 
+    /// Non-blocking post under admission control: returns
+    /// [`EngineError::Backpressure`] instead of growing pending state past
+    /// the configured caps. Without admission control this is
+    /// [`Self::post_send`]. Never blocks and never sheds on the caller's
+    /// behalf — rejected messages simply were not accepted.
+    pub fn try_post_send(&mut self, size: u64) -> Result<MsgId, EngineError> {
+        self.post(size, None, 0)
+    }
+
+    /// Tagged variant of [`Self::try_post_send`].
+    pub fn try_post_send_tagged(&mut self, size: u64, tag: u32) -> Result<MsgId, EngineError> {
+        self.post(size, None, tag)
+    }
+
+    /// Posts a size-only message that is shed (never sent) if it is still
+    /// queued `deadline` after posting — [`Engine::wait`] then reports
+    /// [`EngineError::Shed`]. Requires admission control.
+    pub fn post_send_with_deadline(
+        &mut self,
+        size: u64,
+        deadline: SimDuration,
+    ) -> Result<MsgId, EngineError> {
+        if self.admission.is_none() {
+            return Err(EngineError::Config(
+                "deadlines require admission control (with_admission_control)".into(),
+            ));
+        }
+        let id = self.enqueue(size, None, 0, Some(deadline))?;
+        self.kick()?;
+        Ok(id)
+    }
+
     fn post(&mut self, size: u64, payload: Option<Bytes>, tag: u32) -> Result<MsgId, EngineError> {
-        let id = self.enqueue(size, payload, tag)?;
+        let id = self.enqueue(size, payload, tag, None)?;
         self.kick()?;
         Ok(id)
     }
@@ -364,24 +490,50 @@ impl<T: Transport> Engine<T> {
         size: u64,
         payload: Option<Bytes>,
         tag: u32,
+        deadline: Option<SimDuration>,
     ) -> Result<MsgId, EngineError> {
         if size == 0 {
             return Err(EngineError::Config("zero-byte messages are not modeled".into()));
         }
+        let posted_at = self.transport.now();
+        let deadline = if let Some(adm) = self.admission.as_mut() {
+            if adm.pending_msgs >= adm.cfg.max_pending_msgs {
+                self.stats.backpressure_rejections += 1;
+                return Err(EngineError::Backpressure(Backpressure::MsgCap {
+                    pending: adm.pending_msgs,
+                    cap: adm.cfg.max_pending_msgs,
+                }));
+            }
+            if adm.pending_bytes.saturating_add(size) > adm.cfg.max_pending_bytes {
+                self.stats.backpressure_rejections += 1;
+                return Err(EngineError::Backpressure(Backpressure::ByteCap {
+                    pending: adm.pending_bytes,
+                    requested: size,
+                    cap: adm.cfg.max_pending_bytes,
+                }));
+            }
+            adm.pending_msgs += 1;
+            adm.pending_bytes += size;
+            deadline.or(adm.cfg.default_deadline).map(|d| posted_at + d)
+        } else {
+            None
+        };
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
         let seq = self.flow_next_seq.entry(tag).or_insert(0);
         let flow_seq = *seq;
         *seq += 1;
-        self.queue.push_back(QueuedMsg {
-            id,
-            tag,
-            flow_seq,
-            size,
-            payload,
-            posted_at: self.transport.now(),
-        });
+        self.queue.push_back(QueuedMsg { id, tag, flow_seq, size, payload, posted_at, deadline });
         Ok(id)
+    }
+
+    /// Returns one pending message's admission budget (completion, shed or
+    /// cancellation — each message releases exactly once).
+    fn release_pending(&mut self, size: u64) {
+        if let Some(adm) = self.admission.as_mut() {
+            adm.pending_msgs = adm.pending_msgs.saturating_sub(1);
+            adm.pending_bytes = adm.pending_bytes.saturating_sub(size);
+        }
     }
 
     /// Interrogates the strategy while it keeps consuming the queue.
@@ -416,6 +568,9 @@ impl<T: Transport> Engine<T> {
                 (0..self.transport.rail_count())
                     .map(|r| Predictor::wait_us(now, self.transport.rail_busy_until(RailId(r)))),
             );
+            // Evaluated even when every rail is excluded below: a backlog
+            // piling up behind an outage must still latch degradation.
+            self.update_degradation();
             if let Some(ft) = &self.health {
                 if ft.tracker.any_excluded() {
                     if ft.tracker.selectable_count() == 0 {
@@ -435,6 +590,7 @@ impl<T: Transport> Engine<T> {
                     }
                 }
             }
+            let degraded = self.admission.as_ref().is_some_and(|a| a.degraded);
             let action = {
                 let ctx = Ctx {
                     now,
@@ -445,8 +601,21 @@ impl<T: Transport> Engine<T> {
                     queued_sizes: sizes,
                     predictor_epoch: self.predictor_epoch,
                 };
-                self.strategy.decide(&ctx)
+                if degraded {
+                    // Overloaded: spend no time on dichotomy precision;
+                    // the static ratio split is O(rails) per message.
+                    self.admission
+                        .as_mut()
+                        .expect("degraded implies admission")
+                        .fallback
+                        .decide(&ctx)
+                } else {
+                    self.strategy.decide(&ctx)
+                }
             };
+            if degraded {
+                self.stats.degraded_decisions += 1;
+            }
             match action {
                 Action::Defer => {
                     self.stats.defers += 1;
@@ -476,6 +645,64 @@ impl<T: Transport> Engine<T> {
             consecutive_promotes = 0;
         }
         Ok(())
+    }
+
+    /// Hysteresis-guarded strategy degradation. Entered when the backlog
+    /// *or* the feedback correction factor crosses its threshold (the model
+    /// is either drowning or wrong — precision is wasted either way);
+    /// recovered only when *both* are back under their lower bounds.
+    fn update_degradation(&mut self) {
+        let Some(adm) = self.admission.as_ref() else { return };
+        let backlog = self.queue.len();
+        let mut deviation = 1.0f64;
+        for fb in self.feedback.rails() {
+            if fb.count > 0 && fb.ewma_ratio > 0.0 {
+                deviation = deviation.max(fb.ewma_ratio.max(1.0 / fb.ewma_ratio));
+            }
+        }
+        let flipped = if !adm.degraded {
+            backlog >= adm.cfg.degrade_enter_backlog || deviation >= adm.cfg.degrade_correction
+        } else {
+            backlog <= adm.cfg.degrade_exit_backlog && deviation <= adm.cfg.recover_correction
+        };
+        if flipped {
+            let adm = self.admission.as_mut().expect("checked above");
+            adm.degraded = !adm.degraded;
+            self.stats.degrade_transitions += 1;
+        }
+    }
+
+    /// Sheds queued messages past their deadline, oldest first. Shed
+    /// messages release their flow slot (successors must not stall) and are
+    /// reported by [`Engine::wait`] as [`EngineError::Shed`].
+    fn shed_expired(&mut self, now: SimTime) -> Result<(), EngineError> {
+        loop {
+            // Oldest past-deadline message first: ids are assigned in
+            // posted order, so the smallest expired id is the oldest.
+            let victim = self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.deadline.is_some_and(|d| d <= now))
+                .min_by_key(|(_, m)| m.id)
+                .map(|(i, _)| i);
+            let Some(pos) = victim else { return Ok(()) };
+            let msg = self.queue.remove(pos).expect("position valid");
+            self.release_pending(msg.size);
+            self.admission.as_mut().expect("deadlines imply admission").shed.insert(msg.id);
+            self.stats.msgs_shed += 1;
+            let sequencer = self
+                .flow_release
+                .entry(msg.tag)
+                .or_insert_with(|| nm_proto::Sequencer::new(FLOW_REORDER_WINDOW));
+            let released = sequencer
+                .skip(msg.flow_seq)
+                .map_err(|e| EngineError::Transport(format!("flow skip: {e}")))?;
+            for c in released {
+                self.held.remove(&c.id);
+                self.completions.insert(c.id, c);
+            }
+        }
     }
 
     fn apply_split(&mut self, chunks: ChunkList) -> Result<(), EngineError> {
@@ -539,7 +766,8 @@ impl<T: Transport> Engine<T> {
                             payload_len: 0, // stamped by Packet::new
                         },
                         slice,
-                    );
+                    )
+                    .with_integrity(self.integrity);
                     Some(packet.encode())
                 }
                 (None, _) => None,
@@ -631,7 +859,13 @@ impl<T: Transport> Engine<T> {
             // With framing on, the receiver needs the pack header to
             // dispatch to unpack_aggregate; otherwise the bare pack
             // payload suffices for integrity checking.
-            agg.flush(pack_id).map(|p| if self.framing { p.encode() } else { p.payload })
+            agg.flush(pack_id).map(|p| {
+                if self.framing {
+                    p.with_integrity(self.integrity).encode()
+                } else {
+                    p.payload
+                }
+            })
         } else {
             None
         };
@@ -685,28 +919,33 @@ impl<T: Transport> Engine<T> {
                 TransportEvent::ChunkDelivered { chunk, at } => {
                     let prediction = self.chunk_prediction.remove(&chunk);
                     match self.chunk_owner.remove(&chunk) {
-                        Some(ChunkOwner::Msg(id)) => {
-                            if let Some((rail, submitted, predicted)) = prediction {
-                                self.feedback.record(rail, submitted, predicted, at);
-                            }
-                            self.note_chunk_recovery(chunk, at);
-                            if self.note_chunk_done(id, at) {
-                                done.push(id);
-                            }
-                        }
-                        Some(ChunkOwner::Pack(ids)) => {
-                            if let Some((rail, submitted, predicted)) = prediction {
-                                self.feedback.record(rail, submitted, predicted, at);
-                            }
-                            self.note_chunk_recovery(chunk, at);
-                            for id in ids {
-                                if self.note_chunk_done(id, at) {
-                                    done.push(id);
+                        Some(owner) => {
+                            self.note_delivered(chunk);
+                            match owner {
+                                ChunkOwner::Msg(id) => {
+                                    if let Some((rail, submitted, predicted)) = prediction {
+                                        self.feedback.record(rail, submitted, predicted, at);
+                                    }
+                                    self.note_chunk_recovery(chunk, at);
+                                    if self.note_chunk_done(id, at) {
+                                        done.push(id);
+                                    }
+                                }
+                                ChunkOwner::Pack(ids) => {
+                                    if let Some((rail, submitted, predicted)) = prediction {
+                                        self.feedback.record(rail, submitted, predicted, at);
+                                    }
+                                    self.note_chunk_recovery(chunk, at);
+                                    for id in ids {
+                                        if self.note_chunk_done(id, at) {
+                                            done.push(id);
+                                        }
+                                    }
+                                }
+                                ChunkOwner::Probe(rail) => {
+                                    rekick |= self.on_probe_delivered(rail, prediction, at);
                                 }
                             }
-                        }
-                        Some(ChunkOwner::Probe(rail)) => {
-                            rekick |= self.on_probe_delivered(rail, prediction, at);
                         }
                         None => {
                             // A timed-out chunk the transport could not
@@ -714,9 +953,15 @@ impl<T: Transport> Engine<T> {
                             let late =
                                 self.health.as_mut().is_some_and(|ft| ft.abandoned.remove(&chunk));
                             if !late {
-                                return Err(EngineError::Transport(format!(
-                                    "delivery for unknown chunk {chunk:?}"
-                                )));
+                                // A duplication fault re-delivers completed
+                                // chunks: recognize, count, drop.
+                                if self.recent_delivered_set.contains(&chunk) {
+                                    self.stats.duplicate_chunks_dropped += 1;
+                                } else {
+                                    return Err(EngineError::Transport(format!(
+                                        "delivery for unknown chunk {chunk:?}"
+                                    )));
+                                }
                             }
                         }
                     }
@@ -726,6 +971,14 @@ impl<T: Transport> Engine<T> {
                     rekick = true;
                 }
                 TransportEvent::ChunkFailed { chunk, at } => {
+                    self.handle_chunk_failure(chunk, at, false)?;
+                    rekick = true;
+                }
+                TransportEvent::ChunkCorrupt { chunk, at } => {
+                    // Detected in-flight damage: the bytes are unusable, so
+                    // the chunk re-enters the failover path — retry with
+                    // backoff plus a health demerit for the rail.
+                    self.stats.corrupt_chunks += 1;
                     self.handle_chunk_failure(chunk, at, false)?;
                     rekick = true;
                 }
@@ -739,10 +992,26 @@ impl<T: Transport> Engine<T> {
             self.expire_overdue_chunks(now)?;
             self.flush_due(now)?;
         }
+        if self.admission.is_some() {
+            let now = self.transport.now();
+            self.shed_expired(now)?;
+        }
         if rekick {
             self.kick()?;
         }
         Ok(done)
+    }
+
+    /// Remembers a delivered chunk id for duplicate recognition (bounded
+    /// ring — old entries age out).
+    fn note_delivered(&mut self, chunk: ChunkId) {
+        if self.recent_delivered_set.insert(chunk) {
+            self.recent_delivered.push_back(chunk);
+            if self.recent_delivered.len() > RECENT_DELIVERED_WINDOW {
+                let old = self.recent_delivered.pop_front().expect("non-empty");
+                self.recent_delivered_set.remove(&old);
+            }
+        }
     }
 
     /// Timeout watchdog: declares lost any in-flight chunk that exceeded
@@ -1149,6 +1418,7 @@ impl<T: Transport> Engine<T> {
             return false;
         }
         let m = self.inflight.remove(&id).expect("present");
+        self.release_pending(m.size);
         self.stats.msgs_completed += 1;
         self.stats.bytes_completed += m.size;
         let completion = MsgCompletion {
@@ -1184,6 +1454,12 @@ impl<T: Transport> Engine<T> {
             if let Some(c) = self.completions.remove(&id) {
                 return Ok(c);
             }
+            if let Some(adm) = self.admission.as_mut() {
+                if adm.shed.remove(&id) {
+                    // Reported exactly once; a second wait is UnknownMessage.
+                    return Err(EngineError::Shed(id.0));
+                }
+            }
             let known = self.inflight.contains_key(&id)
                 || self.held.contains(&id)
                 || self.queue.iter().any(|m| m.id == id);
@@ -1209,14 +1485,21 @@ impl<T: Transport> Engine<T> {
     }
 
     /// Runs until every posted message completes; returns all completions
-    /// in completion order (ties broken by id).
+    /// in completion order (ties broken by id). Messages shed past their
+    /// deadline while draining are skipped, not errors.
     #[must_use = "dropping the completions loses delivery results; at minimum check for errors"]
     pub fn drain(&mut self) -> Result<Vec<MsgCompletion>, EngineError> {
         let mut ids: Vec<MsgId> = self.queue.iter().map(|m| m.id).collect();
         ids.extend(self.inflight.keys().copied());
         ids.extend(self.held.iter().copied());
         ids.sort_unstable();
-        ids.into_iter().map(|id| self.wait(id)).collect()
+        ids.into_iter()
+            .filter_map(|id| match self.wait(id) {
+                Ok(c) => Some(Ok(c)),
+                Err(EngineError::Shed(_)) => None,
+                Err(e) => Some(Err(e)),
+            })
+            .collect()
     }
 
     fn transport_quiescent(&self) -> bool {
@@ -1239,6 +1522,7 @@ impl<T: Transport> Engine<T> {
             return self.cancel_inflight(id);
         };
         let msg = self.queue.remove(pos).expect("position found");
+        self.release_pending(msg.size);
         // The flow must not stall waiting for the cancelled sequence.
         let sequencer = self
             .flow_release
@@ -1287,6 +1571,7 @@ impl<T: Transport> Engine<T> {
             }
         }
         let msg = self.inflight.remove(&id).expect("checked above");
+        self.release_pending(msg.size);
         let sequencer = self
             .flow_release
             .entry(msg.tag)

@@ -1,5 +1,6 @@
 //! Engine error type.
 
+use crate::admission::Backpressure;
 use std::fmt;
 
 /// Errors surfaced by the engine and its drivers.
@@ -14,6 +15,12 @@ pub enum EngineError {
     UnknownMessage(u64),
     /// Configuration problem at build time.
     Config(String),
+    /// Admission control rejected the post — pending state is at its cap.
+    /// Not a failure of anything in flight: retry after draining.
+    Backpressure(Backpressure),
+    /// The message was shed by deadline-aware load shedding before any of
+    /// its bytes moved; it will never complete.
+    Shed(u64),
 }
 
 impl fmt::Display for EngineError {
@@ -23,6 +30,8 @@ impl fmt::Display for EngineError {
             EngineError::Transport(m) => write!(f, "transport error: {m}"),
             EngineError::UnknownMessage(id) => write!(f, "unknown message handle {id}"),
             EngineError::Config(m) => write!(f, "configuration error: {m}"),
+            EngineError::Backpressure(b) => write!(f, "backpressure: {b}"),
+            EngineError::Shed(id) => write!(f, "message {id} shed past its deadline"),
         }
     }
 }

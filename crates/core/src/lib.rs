@@ -48,6 +48,7 @@
 //! println!("4 MiB delivered in {}", done.duration);
 //! ```
 
+pub mod admission;
 pub mod driver;
 pub mod duplex;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod split;
 pub mod strategy;
 pub mod transport;
 
+pub use admission::{AdmissionConfig, Backpressure};
 pub use engine::{Engine, MsgCompletion, MsgId};
 pub use error::EngineError;
 pub use feedback::{Feedback, RailFeedback};

@@ -53,7 +53,25 @@ impl Strategy for BandwidthRatioSplit {
     }
 
     fn decide(&mut self, ctx: &Ctx<'_>) -> Action {
-        let ratios = self.ratios(ctx);
+        let mut ratios = self.ratios(ctx);
+        // Rails reporting an infinite wait are masked out (quarantined by
+        // the health layer); renormalize over the survivors so the split
+        // still covers the whole message.
+        let mut masked = 0.0;
+        for (r, w) in ctx.rail_waits_us.iter().enumerate() {
+            if w.is_infinite() {
+                masked += ratios[r];
+                ratios[r] = 0.0;
+            }
+        }
+        if masked > 0.0 {
+            let live: f64 = ratios.iter().sum();
+            if live > 0.0 {
+                for r in &mut ratios {
+                    *r /= live;
+                }
+            }
+        }
         let chunks: ChunkList = split_by_ratios(ctx.head_size(), &ratios)
             .into_iter()
             .filter(|c| c.len > 0)
@@ -80,6 +98,22 @@ mod tests {
                 let r1 = chunks.iter().find(|c| c.rail == RailId(1)).unwrap().bytes as f64;
                 let ratio = r0 / r1;
                 assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_rails_are_masked_and_renormalized() {
+        // An infinite wait is the health layer's quarantine signal: the
+        // degraded fallback must not plan bytes onto such a rail.
+        let mut s = BandwidthRatioSplit::new();
+        let action = decide_with(&mut s, vec![0.0, f64::INFINITY], vec![0], &[1 << 20]);
+        match action {
+            Action::Split(chunks) => {
+                assert_eq!(chunks.len(), 1, "masked rail still planned: {chunks:?}");
+                assert_eq!(chunks[0].rail, RailId(0));
+                assert_eq!(chunks[0].bytes, 1 << 20);
             }
             other => panic!("{other:?}"),
         }

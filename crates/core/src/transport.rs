@@ -89,6 +89,17 @@ pub enum TransportEvent {
         /// When the loss was detected.
         at: SimTime,
     },
+    /// Receive-side integrity verification failed for a chunk: the bytes
+    /// arrived but were damaged in flight and the damage was *detected*
+    /// (NIC CRC or wire-format checksum). The chunk's data is unusable;
+    /// the engine retries it like a failure and issues a health demerit to
+    /// the offending rail.
+    ChunkCorrupt {
+        /// The chunk.
+        chunk: ChunkId,
+        /// When the corruption was detected.
+        at: SimTime,
+    },
     /// A timer requested with [`Transport::schedule_wakeup`] fired — the
     /// engine's cue to flush retry backoffs and due health probes.
     Wakeup {

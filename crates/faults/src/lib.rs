@@ -6,7 +6,8 @@
 //! engine's health tracking and failover re-planning (in `nm-core`) can be
 //! exercised — and benchmarked — without any nondeterminism.
 //!
-//! Four fault models cover the failure classes a multirail node sees:
+//! Eight fault models cover the failure classes a multirail node sees —
+//! four availability/performance classes and four corruption classes:
 //!
 //! | model | effect |
 //! |---|---|
@@ -14,6 +15,10 @@
 //! | [`FaultKind::TransientLoss`] | each chunk independently lost with `prob` |
 //! | [`FaultKind::LatencySpike`] | fixed extra one-way latency |
 //! | [`FaultKind::BandwidthDegrade`] | modeled durations stretched by `1/factor` |
+//! | [`FaultKind::PayloadCorrupt`] | chunk payload bytes flipped in flight with `prob` |
+//! | [`FaultKind::HeaderCorrupt`] | chunk header bytes flipped in flight with `prob` |
+//! | [`FaultKind::DuplicateChunk`] | chunk delivered twice with `prob` |
+//! | [`FaultKind::ChunkReorderStorm`] | deliveries held, released in reverse order |
 //!
 //! A [`FaultSchedule`] validates its windows and compiles to time-sorted
 //! [`Transition`]s; a [`FaultState`] applies them as virtual time advances.

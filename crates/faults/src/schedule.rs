@@ -48,6 +48,41 @@ pub enum FaultKind {
         /// How long the degradation lasts.
         duration: SimDuration,
     },
+    /// Each chunk submitted while the window is open independently has its
+    /// payload bytes corrupted in flight with probability `prob` (a flaky
+    /// link or DMA path flipping bits past the NIC checksum).
+    PayloadCorrupt {
+        /// Corruption probability in `[0, 1]`.
+        prob: f64,
+        /// How long the corrupting window lasts.
+        duration: SimDuration,
+    },
+    /// Each chunk submitted while the window is open independently has its
+    /// *header* bytes corrupted with probability `prob` — the nastier class,
+    /// since a mangled header misroutes the chunk rather than just
+    /// damaging data.
+    HeaderCorrupt {
+        /// Corruption probability in `[0, 1]`.
+        prob: f64,
+        /// How long the corrupting window lasts.
+        duration: SimDuration,
+    },
+    /// Each chunk delivered while the window is open is independently
+    /// delivered *twice* with probability `prob` (a retransmit-happy link
+    /// layer).
+    DuplicateChunk {
+        /// Duplication probability in `[0, 1]`.
+        prob: f64,
+        /// How long the duplicating window lasts.
+        duration: SimDuration,
+    },
+    /// Deliveries on the rail are held while the window is open and
+    /// released in *reverse* arrival order when it closes — the worst-case
+    /// adversary for reassembly and per-flow sequencing.
+    ChunkReorderStorm {
+        /// How long deliveries are held.
+        duration: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -57,7 +92,11 @@ impl FaultKind {
             FaultKind::RailDown { duration }
             | FaultKind::TransientLoss { duration, .. }
             | FaultKind::LatencySpike { duration, .. }
-            | FaultKind::BandwidthDegrade { duration, .. } => *duration,
+            | FaultKind::BandwidthDegrade { duration, .. }
+            | FaultKind::PayloadCorrupt { duration, .. }
+            | FaultKind::HeaderCorrupt { duration, .. }
+            | FaultKind::DuplicateChunk { duration, .. }
+            | FaultKind::ChunkReorderStorm { duration } => *duration,
         }
     }
 
@@ -68,6 +107,10 @@ impl FaultKind {
             FaultKind::TransientLoss { .. } => "transient-loss",
             FaultKind::LatencySpike { .. } => "latency-spike",
             FaultKind::BandwidthDegrade { .. } => "bandwidth-degrade",
+            FaultKind::PayloadCorrupt { .. } => "payload-corrupt",
+            FaultKind::HeaderCorrupt { .. } => "header-corrupt",
+            FaultKind::DuplicateChunk { .. } => "duplicate-chunk",
+            FaultKind::ChunkReorderStorm { .. } => "reorder-storm",
         }
     }
 }
@@ -118,6 +161,30 @@ pub enum Change {
     },
     /// Duration shaping ends.
     ShapeEnd,
+    /// Probabilistic in-flight corruption starts (`header` selects which
+    /// bytes the fault mangles: header vs payload).
+    CorruptBegin {
+        /// Corruption probability in `[0, 1]`.
+        prob: f64,
+        /// True = header bytes, false = payload bytes.
+        header: bool,
+    },
+    /// Probabilistic corruption ends.
+    CorruptEnd {
+        /// Which corruption slot closes (header vs payload).
+        header: bool,
+    },
+    /// Probabilistic chunk duplication starts.
+    DupBegin {
+        /// Duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Probabilistic chunk duplication ends.
+    DupEnd,
+    /// Deliveries start being held for reversed release.
+    ReorderBegin,
+    /// Held deliveries are released in reverse arrival order.
+    ReorderEnd,
 }
 
 /// A deterministic, seedable fault schedule.
@@ -203,7 +270,14 @@ impl FaultSchedule {
                         return Err("latency-spike extra latency must be positive".into());
                     }
                 }
-                FaultKind::RailDown { .. } => {}
+                FaultKind::PayloadCorrupt { prob, .. }
+                | FaultKind::HeaderCorrupt { prob, .. }
+                | FaultKind::DuplicateChunk { prob, .. } => {
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(format!("{} prob {prob} outside [0, 1]", f.kind.label()));
+                    }
+                }
+                FaultKind::RailDown { .. } | FaultKind::ChunkReorderStorm { .. } => {}
             }
         }
         for (i, a) in self.faults.iter().enumerate() {
@@ -230,6 +304,10 @@ impl FaultSchedule {
                 | (TransientLoss { .. }, TransientLoss { .. })
                 | (LatencySpike { .. }, LatencySpike { .. } | BandwidthDegrade { .. })
                 | (BandwidthDegrade { .. }, LatencySpike { .. } | BandwidthDegrade { .. })
+                | (PayloadCorrupt { .. }, PayloadCorrupt { .. })
+                | (HeaderCorrupt { .. }, HeaderCorrupt { .. })
+                | (DuplicateChunk { .. }, DuplicateChunk { .. })
+                | (ChunkReorderStorm { .. }, ChunkReorderStorm { .. })
         )
     }
 
@@ -259,6 +337,18 @@ impl FaultSchedule {
                     },
                     Change::ShapeEnd,
                 ),
+                FaultKind::PayloadCorrupt { prob, .. } => (
+                    Change::CorruptBegin { prob, header: false },
+                    Change::CorruptEnd { header: false },
+                ),
+                FaultKind::HeaderCorrupt { prob, .. } => (
+                    Change::CorruptBegin { prob, header: true },
+                    Change::CorruptEnd { header: true },
+                ),
+                FaultKind::DuplicateChunk { prob, .. } => {
+                    (Change::DupBegin { prob }, Change::DupEnd)
+                }
+                FaultKind::ChunkReorderStorm { .. } => (Change::ReorderBegin, Change::ReorderEnd),
             };
             out.push(Transition { at: f.at, rail: f.rail, change: begin });
             out.push(Transition { at: end_at, rail: f.rail, change: end });
@@ -266,7 +356,12 @@ impl FaultSchedule {
         out.sort_by_key(|t| {
             let is_begin = matches!(
                 t.change,
-                Change::DownBegin | Change::LossBegin { .. } | Change::ShapeBegin { .. }
+                Change::DownBegin
+                    | Change::LossBegin { .. }
+                    | Change::ShapeBegin { .. }
+                    | Change::CorruptBegin { .. }
+                    | Change::DupBegin { .. }
+                    | Change::ReorderBegin
             );
             (t.at, t.rail.index(), is_begin)
         });
@@ -354,6 +449,74 @@ mod tests {
         assert!(bad(FaultKind::BandwidthDegrade { factor: 0.0, duration: d(10) }).is_err());
         assert!(bad(FaultKind::BandwidthDegrade { factor: 1.5, duration: d(10) }).is_err());
         assert!(bad(FaultKind::LatencySpike { extra: SimDuration::ZERO, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::PayloadCorrupt { prob: -0.1, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::HeaderCorrupt { prob: 2.0, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::DuplicateChunk { prob: 1.01, duration: d(10) }).is_err());
+        assert!(bad(FaultKind::ChunkReorderStorm { duration: SimDuration::ZERO }).is_err());
+    }
+
+    #[test]
+    fn corruption_class_faults_compile_to_typed_transitions() {
+        let s = FaultSchedule::new(5)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(10),
+                kind: FaultKind::PayloadCorrupt { prob: 0.5, duration: d(20) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(10),
+                kind: FaultKind::HeaderCorrupt { prob: 0.25, duration: d(20) },
+            })
+            .with(FaultSpec {
+                rail: RailId(1),
+                at: t(15),
+                kind: FaultKind::DuplicateChunk { prob: 1.0, duration: d(5) },
+            })
+            .with(FaultSpec {
+                rail: RailId(1),
+                at: t(30),
+                kind: FaultKind::ChunkReorderStorm { duration: d(40) },
+            });
+        s.validate().unwrap();
+        let ts = s.transitions();
+        assert_eq!(ts.len(), 8);
+        assert!(ts.iter().any(|tr| tr.change == Change::CorruptBegin { prob: 0.5, header: false }));
+        assert!(ts.iter().any(|tr| tr.change == Change::CorruptBegin { prob: 0.25, header: true }));
+        assert!(ts.iter().any(|tr| tr.change == Change::DupBegin { prob: 1.0 }));
+        let reorder_end = ts.iter().find(|tr| tr.change == Change::ReorderEnd).unwrap();
+        assert_eq!(reorder_end.at, t(70));
+    }
+
+    #[test]
+    fn header_and_payload_corruption_are_distinct_classes() {
+        // Overlapping payload + header windows on one rail are fine (they
+        // occupy different slots) ...
+        let cross = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::PayloadCorrupt { prob: 0.5, duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(50),
+                kind: FaultKind::HeaderCorrupt { prob: 0.5, duration: d(100) },
+            });
+        assert!(cross.validate().is_ok());
+        // ... but two payload windows overlapping are rejected.
+        let same = FaultSchedule::new(0)
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(0),
+                kind: FaultKind::PayloadCorrupt { prob: 0.5, duration: d(100) },
+            })
+            .with(FaultSpec {
+                rail: RailId(0),
+                at: t(50),
+                kind: FaultKind::PayloadCorrupt { prob: 0.1, duration: d(100) },
+            });
+        assert!(same.validate().is_err());
     }
 
     #[test]

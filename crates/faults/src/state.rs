@@ -18,6 +18,10 @@ pub struct FaultState {
     down: Vec<bool>,
     loss: Vec<Option<f64>>,
     shape: Vec<(f64, SimDuration)>,
+    corrupt_payload: Vec<Option<f64>>,
+    corrupt_header: Vec<Option<f64>>,
+    dup: Vec<Option<f64>>,
+    reorder: Vec<bool>,
     rng: StdRng,
 }
 
@@ -28,6 +32,10 @@ impl FaultState {
             down: vec![false; rails],
             loss: vec![None; rails],
             shape: vec![(1.0, SimDuration::ZERO); rails],
+            corrupt_payload: vec![None; rails],
+            corrupt_header: vec![None; rails],
+            dup: vec![None; rails],
+            reorder: vec![false; rails],
             rng: StdRng::seed_from_u64(seed ^ 0x6e6d_666c_7400),
         }
     }
@@ -44,6 +52,14 @@ impl FaultState {
                 self.shape[r] = (time_scale, extra_latency)
             }
             Change::ShapeEnd => self.shape[r] = (1.0, SimDuration::ZERO),
+            Change::CorruptBegin { prob, header: true } => self.corrupt_header[r] = Some(prob),
+            Change::CorruptBegin { prob, header: false } => self.corrupt_payload[r] = Some(prob),
+            Change::CorruptEnd { header: true } => self.corrupt_header[r] = None,
+            Change::CorruptEnd { header: false } => self.corrupt_payload[r] = None,
+            Change::DupBegin { prob } => self.dup[r] = Some(prob),
+            Change::DupEnd => self.dup[r] = None,
+            Change::ReorderBegin => self.reorder[r] = true,
+            Change::ReorderEnd => self.reorder[r] = false,
         }
     }
 
@@ -68,11 +84,46 @@ impl FaultState {
         self.shape[rail.index()]
     }
 
+    /// Draws the payload-corruption lottery for one submission. Like
+    /// [`Self::should_drop`], consumes randomness only while a window is
+    /// open.
+    pub fn should_corrupt_payload(&mut self, rail: RailId) -> bool {
+        match self.corrupt_payload[rail.index()] {
+            None => false,
+            Some(prob) => self.rng.random_range(0.0..1.0) < prob,
+        }
+    }
+
+    /// Draws the header-corruption lottery for one submission.
+    pub fn should_corrupt_header(&mut self, rail: RailId) -> bool {
+        match self.corrupt_header[rail.index()] {
+            None => false,
+            Some(prob) => self.rng.random_range(0.0..1.0) < prob,
+        }
+    }
+
+    /// Draws the duplication lottery for one delivery.
+    pub fn should_duplicate(&mut self, rail: RailId) -> bool {
+        match self.dup[rail.index()] {
+            None => false,
+            Some(prob) => self.rng.random_range(0.0..1.0) < prob,
+        }
+    }
+
+    /// True while a reorder storm holds the rail's deliveries.
+    pub fn reorder_active(&self, rail: RailId) -> bool {
+        self.reorder[rail.index()]
+    }
+
     /// True when any window is open on any rail.
     pub fn any_active(&self) -> bool {
         self.down.iter().any(|&d| d)
             || self.loss.iter().any(|l| l.is_some())
             || self.shape.iter().any(|&s| s != (1.0, SimDuration::ZERO))
+            || self.corrupt_payload.iter().any(|c| c.is_some())
+            || self.corrupt_header.iter().any(|c| c.is_some())
+            || self.dup.iter().any(|d| d.is_some())
+            || self.reorder.iter().any(|&r| r)
     }
 }
 
@@ -123,6 +174,48 @@ mod tests {
         assert!((0..32).all(|_| !s.should_drop(RailId(0))));
         s.apply(&tr(0, Change::LossBegin { prob: 1.0 }));
         assert!((0..32).all(|_| s.should_drop(RailId(0))));
+    }
+
+    #[test]
+    fn corruption_windows_open_and_close_independently() {
+        let mut s = FaultState::new(2, 11);
+        s.apply(&tr(0, Change::CorruptBegin { prob: 1.0, header: false }));
+        s.apply(&tr(0, Change::DupBegin { prob: 1.0 }));
+        s.apply(&tr(1, Change::ReorderBegin));
+        assert!(s.any_active());
+        assert!(s.should_corrupt_payload(RailId(0)));
+        assert!(!s.should_corrupt_header(RailId(0)), "header slot stays closed");
+        assert!(s.should_duplicate(RailId(0)));
+        assert!(!s.should_duplicate(RailId(1)));
+        assert!(s.reorder_active(RailId(1)));
+        assert!(!s.reorder_active(RailId(0)));
+        s.apply(&tr(0, Change::CorruptEnd { header: false }));
+        s.apply(&tr(0, Change::DupEnd));
+        s.apply(&tr(1, Change::ReorderEnd));
+        assert!(!s.any_active());
+        assert!(!s.should_corrupt_payload(RailId(0)));
+
+        // Header slot is separate from payload.
+        s.apply(&tr(0, Change::CorruptBegin { prob: 1.0, header: true }));
+        assert!(s.should_corrupt_header(RailId(0)));
+        assert!(!s.should_corrupt_payload(RailId(0)));
+        s.apply(&tr(0, Change::CorruptEnd { header: true }));
+        assert!(!s.any_active());
+    }
+
+    #[test]
+    fn closed_corruption_windows_never_draw() {
+        // 100 closed-window consultations must not perturb the RNG stream.
+        let mut a = FaultState::new(1, 9);
+        for _ in 0..100 {
+            assert!(!a.should_corrupt_payload(RailId(0)));
+            assert!(!a.should_corrupt_header(RailId(0)));
+            assert!(!a.should_duplicate(RailId(0)));
+        }
+        let mut b = FaultState::new(1, 9);
+        a.apply(&tr(0, Change::LossBegin { prob: 0.5 }));
+        b.apply(&tr(0, Change::LossBegin { prob: 0.5 }));
+        assert_eq!(a.should_drop(RailId(0)), b.should_drop(RailId(0)));
     }
 
     #[test]

@@ -58,9 +58,17 @@ pub fn split_evenly(total: u64, n: usize) -> Vec<ChunkDesc> {
 
 /// Rebuilds one message from chunks arriving in any order.
 ///
-/// Duplicate chunks (exact same range) are tolerated and ignored — a rail
-/// retry may deliver twice — but *overlapping, non-identical* ranges are a
-/// protocol violation and rejected.
+/// Duplicate chunks (exact same range, byte-identical content) are
+/// tolerated, *counted* in [`Self::duplicates_dropped`], and ignored — a
+/// rail retry may deliver twice. A duplicate whose bytes *differ* from the
+/// first copy is silent corruption and rejected with
+/// [`ProtoError::DuplicateMismatch`]; *overlapping, non-identical* ranges
+/// are a protocol violation and rejected.
+///
+/// The reassembler also carries an *epoch*: failover re-planning bumps it,
+/// after which chunks stamped with an older epoch (stragglers from the
+/// superseded plan) are rejected with [`ProtoError::StaleEpoch`] instead of
+/// being spliced into the new plan's buffer.
 ///
 /// ```
 /// use bytes::Bytes;
@@ -79,6 +87,10 @@ pub struct Reassembler {
     /// Received (offset, len) ranges, kept sorted by offset.
     ranges: Vec<(u64, u64)>,
     received: u64,
+    /// Exact byte-identical duplicates that were dropped.
+    duplicates_dropped: u64,
+    /// Current reassembly epoch (bumped on failover re-planning).
+    epoch: u64,
 }
 
 impl Reassembler {
@@ -90,7 +102,48 @@ impl Reassembler {
             buffer: vec![0; total_len as usize],
             ranges: Vec::new(),
             received: 0,
+            duplicates_dropped: 0,
+            epoch: 0,
         }
+    }
+
+    /// Exact duplicates dropped so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Current reassembly epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch (failover re-planned this message). Chunks fed
+    /// via [`Self::feed_epoch`] with an older stamp are rejected from now
+    /// on.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Feeds one chunk stamped with the epoch it was planned under. Chunks
+    /// from a stale epoch are rejected ([`ProtoError::StaleEpoch`]); a
+    /// future epoch the reassembler has never announced is a protocol
+    /// violation.
+    pub fn feed_epoch(
+        &mut self,
+        epoch: u64,
+        offset: u64,
+        data: &Bytes,
+    ) -> Result<bool, ProtoError> {
+        if epoch < self.epoch {
+            return Err(ProtoError::StaleEpoch { got: epoch, current: self.epoch });
+        }
+        if epoch > self.epoch {
+            return Err(ProtoError::BadChunk(format!(
+                "chunk from future epoch {epoch} (current is {})",
+                self.epoch
+            )));
+        }
+        self.feed(offset, data)
     }
 
     /// Feeds one chunk. Returns `true` when the message became complete.
@@ -112,7 +165,14 @@ impl Reassembler {
         let pos = self.ranges.partition_point(|&(o, _)| o < offset);
         if let Some(&(o, l)) = self.ranges.get(pos) {
             if o == offset && l == len {
-                return Ok(self.is_complete()); // exact duplicate: ignore
+                // Exact duplicate range: only byte-identical content may be
+                // dropped — differing bytes mean one copy is corrupt, and
+                // silently keeping either would mask it.
+                if self.buffer[offset as usize..end as usize] != data[..] {
+                    return Err(ProtoError::DuplicateMismatch { offset });
+                }
+                self.duplicates_dropped += 1;
+                return Ok(self.is_complete());
             }
             if o < end {
                 return Err(ProtoError::BadChunk(format!(
@@ -220,10 +280,71 @@ mod tests {
         assert!(!r.feed(0, &a).unwrap());
         assert!(!r.feed(0, &a).unwrap(), "exact duplicate is ignored");
         assert_eq!(r.received(), 40);
+        assert_eq!(r.duplicates_dropped(), 1);
         let bad = Bytes::from(vec![2u8; 30]);
         assert!(matches!(r.feed(20, &bad), Err(ProtoError::BadChunk(_))));
         let tail = Bytes::from(vec![3u8; 60]);
         assert!(r.feed(40, &tail).unwrap());
+    }
+
+    /// Regression (satellite): duplicated arrivals must be counted, must not
+    /// perturb the byte-exact reassembly, and a duplicate with *different*
+    /// bytes must be rejected as corruption rather than silently dropped.
+    #[test]
+    fn duplicate_arrivals_are_counted_and_byte_exact() {
+        let msg: Vec<u8> = (0..500u64).map(|i| (i * 37 % 251) as u8).collect();
+        let chunks = split_by_ratios(500, &[0.4, 0.35, 0.25]);
+        let mut r = Reassembler::new(500);
+        // Feed every chunk twice, interleaved out of order.
+        for c in chunks.iter().rev() {
+            let slice =
+                Bytes::copy_from_slice(&msg[c.offset as usize..(c.offset + c.len) as usize]);
+            r.feed(c.offset, &slice).unwrap();
+            r.feed(c.offset, &slice).unwrap();
+        }
+        assert!(r.is_complete());
+        assert_eq!(r.duplicates_dropped(), 3, "one duplicate per chunk");
+        assert_eq!(r.received(), 500, "duplicates must not inflate received bytes");
+        assert_eq!(&r.into_message()[..], &msg[..], "reassembly must stay byte-exact");
+    }
+
+    #[test]
+    fn mismatched_duplicate_is_corruption() {
+        let mut r = Reassembler::new(100);
+        let a = Bytes::from(vec![1u8; 40]);
+        assert!(!r.feed(0, &a).unwrap());
+        let mut tampered = vec![1u8; 40];
+        tampered[17] ^= 0x08;
+        let err = r.feed(0, &Bytes::from(tampered)).unwrap_err();
+        assert_eq!(err, ProtoError::DuplicateMismatch { offset: 0 });
+        assert!(err.is_corruption());
+        assert_eq!(r.duplicates_dropped(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_chunks_are_rejected() {
+        let mut r = Reassembler::new(100);
+        let head = Bytes::from(vec![1u8; 40]);
+        assert!(!r.feed_epoch(0, 0, &head).unwrap());
+        assert_eq!(r.epoch(), 0);
+        // Failover re-plans the remainder: epoch advances.
+        r.bump_epoch();
+        assert_eq!(r.epoch(), 1);
+        // A straggler from the old plan must not splice in.
+        let stale = Bytes::from(vec![9u8; 60]);
+        assert_eq!(
+            r.feed_epoch(0, 40, &stale).unwrap_err(),
+            ProtoError::StaleEpoch { got: 0, current: 1 }
+        );
+        // The replacement from the new plan completes the message.
+        let fresh = Bytes::from(vec![3u8; 60]);
+        assert!(r.feed_epoch(1, 40, &fresh).unwrap());
+        // A chunk claiming an epoch never announced is a protocol violation.
+        let mut r2 = Reassembler::new(10);
+        assert!(matches!(
+            r2.feed_epoch(5, 0, &Bytes::from(vec![0u8; 10])),
+            Err(ProtoError::BadChunk(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,51 @@ pub enum ProtoError {
     BadChunk(String),
     /// A sequencing violation (duplicate or out-of-window sequence number).
     BadSequence(String),
+    /// The header self-check did not match (integrity mode): the header was
+    /// corrupted in flight.
+    HeaderChecksum {
+        /// Check recomputed from the received header bytes.
+        expected: u16,
+        /// Check the wire carried.
+        got: u16,
+    },
+    /// The payload CRC32C trailer did not match (integrity mode): payload
+    /// bytes were corrupted in flight.
+    PayloadChecksum {
+        /// CRC recomputed from the received payload.
+        expected: u32,
+        /// CRC the wire carried.
+        got: u32,
+    },
+    /// A chunk carried a reassembly/sequencing epoch older than the current
+    /// one — a leftover from a superseded failover plan.
+    StaleEpoch {
+        /// Epoch the chunk carried.
+        got: u64,
+        /// Epoch currently in force.
+        current: u64,
+    },
+    /// A duplicated chunk range arrived with *different* bytes than the
+    /// first copy — silent corruption that a plain duplicate-drop would
+    /// have masked.
+    DuplicateMismatch {
+        /// Offset of the conflicting range.
+        offset: u64,
+    },
+}
+
+impl ProtoError {
+    /// True for errors that indicate data corruption (as opposed to
+    /// truncation or protocol-state violations) — the class a receiver
+    /// counts and routes into failover.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::HeaderChecksum { .. }
+                | ProtoError::PayloadChecksum { .. }
+                | ProtoError::DuplicateMismatch { .. }
+        )
+    }
 }
 
 impl fmt::Display for ProtoError {
@@ -29,6 +74,18 @@ impl fmt::Display for ProtoError {
             ProtoError::BadHeader(msg) => write!(f, "bad header: {msg}"),
             ProtoError::BadChunk(msg) => write!(f, "bad chunk: {msg}"),
             ProtoError::BadSequence(msg) => write!(f, "bad sequence: {msg}"),
+            ProtoError::HeaderChecksum { expected, got } => {
+                write!(f, "header self-check mismatch: computed {expected:#06x}, wire {got:#06x}")
+            }
+            ProtoError::PayloadChecksum { expected, got } => {
+                write!(f, "payload CRC32C mismatch: computed {expected:#010x}, wire {got:#010x}")
+            }
+            ProtoError::StaleEpoch { got, current } => {
+                write!(f, "stale epoch {got} (current is {current})")
+            }
+            ProtoError::DuplicateMismatch { offset } => {
+                write!(f, "duplicate chunk at offset {offset} carries different bytes")
+            }
         }
     }
 }
@@ -45,5 +102,18 @@ mod tests {
         assert!(ProtoError::BadHeader("kind 9".into()).to_string().contains("kind 9"));
         assert!(ProtoError::BadChunk("overlap".into()).to_string().contains("overlap"));
         assert!(ProtoError::BadSequence("dup 4".into()).to_string().contains("dup 4"));
+        assert!(ProtoError::HeaderChecksum { expected: 1, got: 2 }.to_string().contains("0x0001"));
+        assert!(ProtoError::PayloadChecksum { expected: 3, got: 4 }.to_string().contains("CRC32C"));
+        assert!(ProtoError::StaleEpoch { got: 1, current: 2 }.to_string().contains("stale"));
+        assert!(ProtoError::DuplicateMismatch { offset: 8 }.to_string().contains("offset 8"));
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(ProtoError::HeaderChecksum { expected: 0, got: 1 }.is_corruption());
+        assert!(ProtoError::PayloadChecksum { expected: 0, got: 1 }.is_corruption());
+        assert!(ProtoError::DuplicateMismatch { offset: 0 }.is_corruption());
+        assert!(!ProtoError::Truncated { needed: 1, got: 0 }.is_corruption());
+        assert!(!ProtoError::StaleEpoch { got: 0, current: 1 }.is_corruption());
     }
 }

@@ -37,6 +37,10 @@ pub struct Sequencer<T> {
     held: BTreeMap<u64, Option<T>>,
     /// Cap on buffered out-of-order messages (flow-control safety valve).
     window: usize,
+    /// Current flow epoch (bumped on failover re-planning); arrivals
+    /// stamped with an older epoch are rejected by
+    /// [`Self::accept_epoch`].
+    epoch: u64,
 }
 
 impl<T> Sequencer<T> {
@@ -44,7 +48,7 @@ impl<T> Sequencer<T> {
     /// `window` out-of-order messages.
     pub fn new(window: usize) -> Self {
         assert!(window >= 1, "window must hold at least one message");
-        Sequencer { next: 0, held: BTreeMap::new(), window }
+        Sequencer { next: 0, held: BTreeMap::new(), window, epoch: 0 }
     }
 
     /// Next sequence number the flow will release.
@@ -55,6 +59,33 @@ impl<T> Sequencer<T> {
     /// Number of buffered out-of-order messages.
     pub fn held(&self) -> usize {
         self.held.len()
+    }
+
+    /// Current flow epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the flow epoch (failover re-planned in-flight messages).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Like [`Self::accept`], but the arrival carries the epoch it was sent
+    /// under: stragglers from a superseded plan are rejected with
+    /// [`ProtoError::StaleEpoch`], and an epoch the flow has never
+    /// announced is a sequencing violation.
+    pub fn accept_epoch(&mut self, epoch: u64, seq: u64, msg: T) -> Result<Vec<T>, ProtoError> {
+        if epoch < self.epoch {
+            return Err(ProtoError::StaleEpoch { got: epoch, current: self.epoch });
+        }
+        if epoch > self.epoch {
+            return Err(ProtoError::BadSequence(format!(
+                "seq {seq} from future epoch {epoch} (current is {})",
+                self.epoch
+            )));
+        }
+        self.accept(seq, msg)
     }
 
     /// Accepts message `seq` and returns everything now releasable, in
@@ -167,6 +198,23 @@ mod tests {
         assert_eq!(s.skip(0).unwrap(), vec!["b"]);
         // Skipping something already past is a duplicate error.
         assert!(matches!(s.skip(0), Err(ProtoError::BadSequence(_))));
+    }
+
+    #[test]
+    fn stale_epoch_arrivals_are_rejected() {
+        let mut s = Sequencer::new(8);
+        assert_eq!(s.accept_epoch(0, 0, "a").unwrap(), vec!["a"]);
+        s.bump_epoch();
+        assert_eq!(s.epoch(), 1);
+        // A straggler sent under the old plan must not enter the flow.
+        assert_eq!(
+            s.accept_epoch(0, 1, "stale").unwrap_err(),
+            ProtoError::StaleEpoch { got: 0, current: 1 }
+        );
+        // The re-sent copy under the new epoch is accepted normally.
+        assert_eq!(s.accept_epoch(1, 1, "b").unwrap(), vec!["b"]);
+        // Future epochs the flow never announced are violations.
+        assert!(matches!(s.accept_epoch(3, 2, "c"), Err(ProtoError::BadSequence(_))));
     }
 
     proptest! {

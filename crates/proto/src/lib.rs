@@ -7,7 +7,11 @@
 //! independent of any particular driver:
 //!
 //! * [`header::PacketHeader`] / [`packet::Packet`] — the binary wire format
-//!   (fixed 40-byte header + payload), with strict decode validation.
+//!   (fixed 40-byte header + payload), with strict decode validation and an
+//!   opt-in integrity mode (header self-check + CRC32C payload trailer,
+//!   negotiated by a header flag so the legacy format stays bit-identical).
+//! * [`crc`] — the CRC32C (Castagnoli) implementation behind integrity
+//!   mode, dependency-free and deterministic.
 //! * [`aggregate`] — packing several small messages into one packet (the
 //!   winning play of the paper's Fig 3) and unpacking them.
 //! * [`chunk`] — splitting a message into per-rail chunks from a ratio
@@ -18,6 +22,7 @@
 
 pub mod aggregate;
 pub mod chunk;
+pub mod crc;
 pub mod error;
 pub mod flow;
 pub mod header;
@@ -25,7 +30,8 @@ pub mod packet;
 
 pub use aggregate::{unpack_aggregate, AggPack, Aggregator};
 pub use chunk::{split_by_ratios, split_evenly, ChunkDesc, Reassembler};
+pub use crc::{crc32c, crc32c_append};
 pub use error::ProtoError;
 pub use flow::{FlowId, Sequencer};
-pub use header::{PacketHeader, PacketKind, HEADER_LEN};
-pub use packet::Packet;
+pub use header::{PacketHeader, PacketKind, FLAG_INTEGRITY, HEADER_LEN};
+pub use packet::{Packet, TRAILER_LEN};

@@ -1,8 +1,12 @@
 //! Header + payload: the unit a driver puts on a wire.
 
+use crate::crc::crc32c;
 use crate::error::ProtoError;
 use crate::header::{PacketHeader, PacketKind, HEADER_LEN};
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Length of the payload CRC32C trailer in integrity mode.
+pub const TRAILER_LEN: usize = 4;
 
 /// A complete packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,6 +15,10 @@ pub struct Packet {
     pub header: PacketHeader,
     /// Payload bytes (zero-copy slice).
     pub payload: Bytes,
+    /// Integrity mode: encode stamps the header self-check and appends a
+    /// 4-byte CRC32C payload trailer; decode verified both. Off by default
+    /// so the legacy wire format stays bit-identical.
+    pub integrity: bool,
 }
 
 impl Packet {
@@ -18,7 +26,14 @@ impl Packet {
     pub fn new(mut header: PacketHeader, payload: Bytes) -> Self {
         assert!(payload.len() <= u32::MAX as usize, "payload too large for header");
         header.payload_len = payload.len() as u32;
-        Packet { header, payload }
+        Packet { header, payload, integrity: false }
+    }
+
+    /// Switches the packet to integrity framing (checksummed header +
+    /// payload trailer on encode).
+    pub fn with_integrity(mut self, integrity: bool) -> Self {
+        self.integrity = integrity;
+        self
     }
 
     /// A control packet (RTS/CTS) for a message.
@@ -35,32 +50,50 @@ impl Packet {
                 payload_len: 0,
             },
             payload: Bytes::new(),
+            integrity: false,
         }
     }
 
     /// Serialized length.
     pub fn wire_len(&self) -> usize {
-        HEADER_LEN + self.payload.len()
+        HEADER_LEN + self.payload.len() + if self.integrity { TRAILER_LEN } else { 0 }
     }
 
     /// Encodes to a contiguous buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.wire_len());
-        self.header.encode(&mut buf);
-        buf.extend_from_slice(&self.payload);
+        if self.integrity {
+            self.header.encode_integrity(&mut buf);
+            buf.extend_from_slice(&self.payload);
+            buf.extend_from_slice(&crc32c(&self.payload).to_be_bytes());
+        } else {
+            self.header.encode(&mut buf);
+            buf.extend_from_slice(&self.payload);
+        }
         buf.freeze()
     }
 
     /// Decodes one packet from the front of `buf`, consuming exactly
-    /// `wire_len` bytes (zero-copy for the payload).
+    /// `wire_len` bytes (zero-copy for the payload). If the header carries
+    /// the integrity flag, the header self-check and the payload CRC32C
+    /// trailer are both verified; corruption surfaces as
+    /// [`ProtoError::HeaderChecksum`] / [`ProtoError::PayloadChecksum`].
     pub fn decode(buf: &mut Bytes) -> Result<Packet, ProtoError> {
-        let header = PacketHeader::decode(buf)?;
+        let (header, integrity) = PacketHeader::decode_with_flags(buf)?;
         let plen = header.payload_len as usize;
-        if buf.len() < plen {
-            return Err(ProtoError::Truncated { needed: plen, got: buf.len() });
+        let needed = plen + if integrity { TRAILER_LEN } else { 0 };
+        if buf.len() < needed {
+            return Err(ProtoError::Truncated { needed, got: buf.len() });
         }
         let payload = buf.split_to(plen);
-        Ok(Packet { header, payload })
+        if integrity {
+            let wire_crc = buf.get_u32();
+            let computed = crc32c(&payload);
+            if computed != wire_crc {
+                return Err(ProtoError::PayloadChecksum { expected: computed, got: wire_crc });
+            }
+        }
+        Ok(Packet { header, payload, integrity })
     }
 }
 
@@ -100,9 +133,58 @@ mod tests {
     }
 
     #[test]
+    fn integrity_round_trip() {
+        let p = data_packet(b"checksummed payload").with_integrity(true);
+        assert_eq!(p.wire_len(), HEADER_LEN + 19 + TRAILER_LEN);
+        let mut wire = p.encode();
+        assert_eq!(wire.len(), p.wire_len());
+        let q = Packet::decode(&mut wire).unwrap();
+        assert_eq!(q, p);
+        assert!(q.integrity);
+        assert!(wire.is_empty(), "decode must consume header + payload + trailer");
+    }
+
+    #[test]
+    fn integrity_detects_payload_corruption() {
+        let p = data_packet(b"flip me somewhere").with_integrity(true);
+        let wire = p.encode();
+        // Corrupt each payload byte (and the trailer itself) in turn.
+        for i in HEADER_LEN..wire.len() {
+            let mut bytes = wire.to_vec();
+            bytes[i] ^= 0x40;
+            let mut buf = Bytes::from(bytes);
+            assert!(
+                matches!(Packet::decode(&mut buf), Err(ProtoError::PayloadChecksum { .. })),
+                "payload flip at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_mode_ignores_payload_corruption() {
+        // Without the flag there is no trailer: corruption passes silently.
+        // This is the pre-integrity behaviour the version bit negotiates away.
+        let p = data_packet(b"unprotected");
+        let wire = p.encode();
+        let mut bytes = wire.to_vec();
+        bytes[HEADER_LEN] ^= 0xFF;
+        let mut buf = Bytes::from(bytes);
+        let q = Packet::decode(&mut buf).unwrap();
+        assert_ne!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn integrity_truncated_trailer_is_truncation() {
+        let p = data_packet(b"short trailer").with_integrity(true);
+        let full = p.encode();
+        let mut cut = full.slice(0..full.len() - 2);
+        assert!(matches!(Packet::decode(&mut cut), Err(ProtoError::Truncated { .. })));
+    }
+
+    #[test]
     fn back_to_back_packets_decode_in_order() {
         let a = data_packet(b"first");
-        let b = data_packet(b"second!");
+        let b = data_packet(b"second!").with_integrity(true);
         let mut wire = BytesMut::new();
         wire.extend_from_slice(&a.encode());
         wire.extend_from_slice(&b.encode());
