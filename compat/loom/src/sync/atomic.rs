@@ -1,0 +1,105 @@
+//! Atomic shims: every operation is a model yield point (a potential
+//! preemption), then delegates to the real `std` atomic. Because model
+//! execution is serialized, the result is a sequentially consistent
+//! memory model regardless of the `Ordering` argument — orderings are
+//! accepted for API compatibility and *validated for legality* (e.g. no
+//! `Release` loads), not modeled weakly.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+fn maybe_yield() {
+    if let Some((rt, me)) = rt::ctx() {
+        rt.yield_point(me);
+    }
+}
+
+macro_rules! atomic_shim {
+    ($name:ident, $std:ty, $ty:ty) => {
+        /// Model-aware atomic.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic.
+            pub const fn new(v: $ty) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Atomic load (a model yield point).
+            pub fn load(&self, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a model yield point).
+            pub fn store(&self, v: $ty, order: Ordering) {
+                maybe_yield();
+                self.inner.store(v, order)
+            }
+
+            /// Atomic swap (a model yield point).
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic compare-exchange (a model yield point).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                maybe_yield();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Unsynchronized read through exclusive access.
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int_shim {
+    ($name:ident, $std:ty, $ty:ty) => {
+        atomic_shim!($name, $std, $ty);
+
+        impl $name {
+            /// Atomic add, returning the previous value (a yield point).
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic subtract, returning the previous value (a yield point).
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic max, returning the previous value (a yield point).
+            pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+atomic_int_shim!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_int_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int_shim!(AtomicI64, std::sync::atomic::AtomicI64, i64);

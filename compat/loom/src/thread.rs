@@ -1,0 +1,136 @@
+//! Thread shims: model threads inside [`crate::model`], real `std`
+//! threads outside it (dual-mode, so loom-built code still runs normally
+//! in ordinary tests and doctests).
+
+use crate::rt;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model { rt: Arc<rt::Rt>, tid: usize, slot: Arc<StdMutex<Option<std::thread::Result<T>>>> },
+}
+
+/// Join handle for [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` holds
+    /// the panic payload, mirroring `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Real(h) => h.join(),
+            Inner::Model { rt, tid, slot } => {
+                let me = rt::ctx().expect("model JoinHandle joined outside the model").1;
+                rt.join(me, tid);
+                match match slot.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                } {
+                    Some(r) => r,
+                    // The thread unwound without storing a value (it
+                    // panicked / was cancelled). Surface an Err rather
+                    // than panicking here — join often runs inside Drop
+                    // during teardown, where a second panic would abort.
+                    None => Err(Box::new(rt::Cancelled)),
+                }
+            }
+        }
+    }
+}
+
+fn spawn_impl<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::ctx() {
+        None => JoinHandle { inner: Inner::Real(std::thread::spawn(f)) },
+        Some((rt, me)) => {
+            let slot: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let tid = rt.spawn(
+                me,
+                Box::new(move || {
+                    // The rt wrapper catches panics around this closure and
+                    // records them; store the value for join(). A panic
+                    // unwinds past this store and is reported by the
+                    // wrapper, so the slot stays None — join() then cannot
+                    // run because the model is being cancelled.
+                    let value = f();
+                    match slot2.lock() {
+                        Ok(mut g) => *g = Some(Ok(value)),
+                        Err(p) => *p.into_inner() = Some(Ok(value)),
+                    }
+                }),
+            );
+            JoinHandle { inner: Inner::Model { rt, tid, slot } }
+        }
+    }
+}
+
+/// Spawns a thread (a model thread when called inside `loom::model`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_impl(f)
+}
+
+/// Cooperatively yields: a forced (non-branching) scheduler switch in the
+/// model, `std::thread::yield_now` outside it.
+pub fn yield_now() {
+    match rt::ctx() {
+        None => std::thread::yield_now(),
+        Some((rt, me)) => rt.forced_yield(me),
+    }
+}
+
+/// Sleeping in the model is just a yield — model time is logical.
+pub fn sleep(dur: Duration) {
+    match rt::ctx() {
+        None => std::thread::sleep(dur),
+        Some((rt, me)) => rt.forced_yield(me),
+    }
+}
+
+/// Mirror of `std::thread::Builder` (the name is kept for diagnostics
+/// only in the model).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A new builder.
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    /// Names the thread.
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle { inner: Inner::Real(h) })
+            }
+            Some(_) => Ok(spawn_impl(f)),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Logical time for the model: `Instant::now()` advances a per-execution
+//! counter by one "nanosecond" per observation, so deadline arithmetic
+//! stays monotonic but wall-clock timeouts effectively never fire inside
+//! a model (timeouts are modeled by the scheduler's deadlock-breaking
+//! timed-wait rule instead). Outside the model it is a real
+//! `std::time::Instant`.
+
+use crate::rt;
+use std::time::Duration;
+
+/// Dual real/model instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instant {
+    /// A real point in time (outside the model).
+    Real(std::time::Instant),
+    /// A logical tick (inside the model).
+    Model(u64),
+}
+
+impl Instant {
+    /// The current instant.
+    pub fn now() -> Self {
+        match rt::ctx() {
+            None => Instant::Real(std::time::Instant::now()),
+            Some((rt, _)) => Instant::Model(rt.now()),
+        }
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            Instant::Real(t) => t.elapsed(),
+            Instant::Model(t) => match rt::ctx() {
+                Some((rt, _)) => Duration::from_nanos(rt.clock().saturating_sub(*t)),
+                None => Duration::ZERO,
+            },
+        }
+    }
+
+    /// Duration since an earlier instant (zero if `earlier` is later).
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+            (Instant::Model(a), Instant::Model(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => panic!("loom shim: mixed real/model Instant arithmetic"),
+        }
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        match self {
+            Instant::Real(t) => Instant::Real(t + rhs),
+            Instant::Model(t) => {
+                Instant::Model(t.saturating_add(u64::try_from(rhs.as_nanos()).unwrap_or(u64::MAX)))
+            }
+        }
+    }
+}
+
+impl PartialOrd for Instant {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instant {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Instant::Real(a), Instant::Real(b)) => a.cmp(b),
+            (Instant::Model(a), Instant::Model(b)) => a.cmp(b),
+            _ => panic!("loom shim: mixed real/model Instant comparison"),
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //!
 //! Criterion micro-benchmarks live in `benches/` (`cargo bench -p nm-bench`).
 
+// No unsafe anywhere in this crate; keep it that way.
+#![forbid(unsafe_code)]
+
 use nm_core::driver::faulty::FaultSimDriver;
 use nm_core::driver::sim::SimDriver;
 use nm_core::engine::Engine;

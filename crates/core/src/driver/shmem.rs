@@ -18,11 +18,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use nm_model::SimTime;
 use nm_runtime::{Tasklet, WorkerPool};
 use nm_sim::{CoreId, RailId};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use nm_sync::atomic::{AtomicU64, Ordering};
+use nm_sync::time::Instant;
+use nm_sync::{thread, Arc, Mutex};
+use std::time::Duration;
 
 /// Per-rail configuration.
 #[derive(Debug, Clone)]

@@ -48,6 +48,9 @@
 //! println!("4 MiB delivered in {}", done.duration);
 //! ```
 
+// No unsafe anywhere in this crate; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod driver;
 pub mod duplex;

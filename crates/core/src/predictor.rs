@@ -8,7 +8,7 @@
 
 use nm_model::{PerfProfile, SimTime, MAX_RAILS};
 use nm_sim::RailId;
-use std::sync::Arc;
+use nm_sync::Arc;
 
 /// The engine's knowledge of one rail.
 #[derive(Debug, Clone)]

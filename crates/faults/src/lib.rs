@@ -28,6 +28,9 @@
 //! perturbs no RNG stream and rounds no duration, which is what lets the
 //! fault-free chaos harness reproduce the golden figures bit-identically.
 
+// No unsafe anywhere in this crate; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod schedule;
 pub mod state;
 

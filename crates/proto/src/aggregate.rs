@@ -266,6 +266,15 @@ mod tests {
         // And both entry headers alias ONE shared header block.
         let h0 = pack.segments[0].as_ptr();
         let h1 = pack.segments[2].as_ptr();
+        // SAFETY: `offset_from` requires both pointers inside one
+        // allocation — that is the property under test: segments 0 and 2
+        // are slices of the single shared header `Bytes` built by
+        // `flush_segments`, `ENTRY_OVERHEAD` bytes apart. If a regression
+        // put them in separate blocks this would be UB rather than a
+        // clean assert, so the layout is re-checked structurally first
+        // (`segments.len() == 4` with data segments aliasing the pushed
+        // buffers), and the Miri CI lane runs this test to catch exactly
+        // that misuse.
         assert_eq!(unsafe { h1.offset_from(h0) }, ENTRY_OVERHEAD as isize);
     }
 

@@ -20,6 +20,10 @@
 //! * [`flow`] — per-(peer, tag) sequencing so multiplexed flows deliver in
 //!   send order even when rails race each other.
 
+// The few unsafe blocks in this crate (see the per-block SAFETY
+// comments) must spell out every unsafe operation explicitly.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod aggregate;
 pub mod chunk;
 pub mod crc;

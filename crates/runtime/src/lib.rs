@@ -24,6 +24,17 @@
 //! wall-clock speedup; the runtime is validated for *semantics* (ordering,
 //! idle accounting, completion) here and for *timing* in the discrete-event
 //! simulator, which models cores explicitly.
+//!
+//! ## Concurrency verification
+//!
+//! All shared state in this crate goes through the [`nm_sync`] facade.
+//! Compiled with `RUSTFLAGS="--cfg loom"`, the facade swaps in the
+//! vendored loom model checker and `tests/loom.rs` explores the
+//! interleavings of the stealing pool and request list exhaustively (up
+//! to the preemption bound) — see DESIGN.md §9 for the invariants and
+//! `ci.sh` for the lane. The crate contains no `unsafe` at all.
+
+#![forbid(unsafe_code)]
 
 pub mod progress;
 pub mod reqlist;

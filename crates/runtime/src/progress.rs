@@ -9,9 +9,9 @@
 //! between pumps (the blocking-call analogue when every CPU has application
 //! work).
 
-use parking_lot::Mutex;
-use std::thread;
-use std::time::{Duration, Instant};
+use nm_sync::time::Instant;
+use nm_sync::{thread, Mutex};
+use std::time::Duration;
 
 /// An event source the engine can make progress on.
 pub trait Pollable: Send {
@@ -114,8 +114,8 @@ impl ProgressionEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
+    use nm_sync::atomic::{AtomicUsize, Ordering};
+    use nm_sync::Arc;
 
     #[test]
     fn pump_retires_completed_sources() {
@@ -171,9 +171,9 @@ mod tests {
         e.register_fn(move || f.load(Ordering::SeqCst) == 1);
         let waiter = {
             let e = e.clone();
-            std::thread::spawn(move || e.wait_all(WaitMode::Blocking, Duration::from_secs(5)))
+            thread::spawn(move || e.wait_all(WaitMode::Blocking, Duration::from_secs(5)))
         };
-        std::thread::sleep(Duration::from_millis(10));
+        thread::sleep(Duration::from_millis(10));
         flag.store(1, Ordering::SeqCst);
         assert!(waiter.join().unwrap());
     }

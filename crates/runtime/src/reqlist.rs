@@ -9,7 +9,12 @@
 //! [`RequestList`] is that structure: a multi-producer multi-consumer FIFO
 //! with blocking take and a close signal for shutdown.
 
-use parking_lot::{Condvar, Mutex};
+//! Synchronization goes through the `nm-sync` facade; the loom models in
+//! `tests/loom.rs` check the register/take/close protocol for lost
+//! wakeups (a `register` whose notify lands between a taker's empty-check
+//! and its park must still be consumed).
+
+use nm_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -44,6 +49,9 @@ impl<T> RequestList<T> {
         }
         s.queue.push_back(req);
         drop(s);
+        // Notify after unlocking: the woken taker re-acquires the lock
+        // immediately, and its wait loop re-checks the queue under the
+        // lock, so a wakeup landing before the taker parks is not lost.
         self.signal.notify_one();
         true
     }
@@ -102,8 +110,7 @@ impl<T> Default for RequestList<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
-    use std::thread;
+    use nm_sync::{thread, Arc};
 
     #[test]
     fn fifo_order_single_thread() {

@@ -7,7 +7,7 @@
 //! quantity in the real-thread runtime: the delay between registering a
 //! request and the moment a worker starts executing it.
 
-use parking_lot::Mutex;
+use nm_sync::Mutex;
 use std::time::Duration;
 
 /// Running statistics of offload (submit → execution-start) latencies.

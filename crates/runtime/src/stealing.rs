@@ -8,13 +8,19 @@
 //! placement: use `WorkerPool` when the *strategy* chose the core (PIO
 //! offload targets a specific idle core), `StealPool` for load-balanced
 //! background work (progression, packing).
+//!
+//! All shared state goes through the `nm-sync` facade, so the pool's
+//! submit/steal/shutdown protocol is model-checked under loom (see
+//! `tests/loom.rs`): every submitted tasklet executes exactly once, a
+//! shutdown racing a steal cannot lose an in-flight request, and
+//! `in_flight` reads zero at quiescence.
 
 use crate::tasklet::Tasklet;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use nm_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use nm_sync::time::Instant;
+use nm_sync::{thread, Arc};
+use std::time::Duration;
 
 struct Shared {
     injector: Injector<Tasklet>,
@@ -61,12 +67,19 @@ impl StealPool {
 
     /// Submits a tasklet to the global injector (any worker picks it up).
     pub fn submit(&self, t: Tasklet) {
+        // Ordering: the increment must be visible before the tasklet can be
+        // popped, so a `wait_quiescent` that observes `in_flight == 0` knows
+        // the injector holds nothing it submitted. AcqRel: the Release half
+        // orders the increment before the push; the Acquire half orders it
+        // after any prior completion's decrement.
         self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
         self.shared.injector.push(t);
     }
 
     /// Number of tasklets executed so far.
     pub fn executed(&self) -> u64 {
+        // Acquire pairs with the workers' AcqRel increments so the caller
+        // observes all side effects of the counted executions.
         self.shared.executed.load(Ordering::Acquire)
     }
 
@@ -76,9 +89,17 @@ impl StealPool {
         self.shared.stolen.load(Ordering::Acquire)
     }
 
+    /// Submitted tasklets not yet finished executing. Zero means quiescent:
+    /// nothing queued anywhere and nothing mid-execution.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
     /// Blocks until all submitted work finished or `timeout` expired.
     pub fn wait_quiescent(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
+        // Acquire pairs with the workers' post-execution AcqRel decrement:
+        // seeing 0 here means every submitted tasklet's effects are visible.
         while self.shared.in_flight.load(Ordering::Acquire) > 0 {
             if Instant::now() >= deadline {
                 return false;
@@ -91,6 +112,11 @@ impl StealPool {
 
 impl Drop for StealPool {
     fn drop(&mut self) {
+        // Release orders all prior submits before the flag; a worker exits
+        // only when a scan started after observing the flag finds nothing
+        // (see `steal_loop`), so a tasklet submitted before drop is never
+        // abandoned (the loom model `shutdown_race_loses_no_tasklet`
+        // checks exactly this window).
         self.shared.shutdown.store(true, Ordering::Release);
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -98,39 +124,57 @@ impl Drop for StealPool {
     }
 }
 
+/// One full scan: local deque first, then the injector (refilling the
+/// local deque), then steal from siblings.
+fn find_task(index: usize, local: &Deque<Tasklet>, shared: &Shared) -> Option<Tasklet> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| shared.injector.steal_batch_and_pop(local))
+            .find(|s| !s.is_retry())
+            .and_then(|s| s.success())
+            .or_else(|| {
+                let got = shared.stealers.iter().enumerate().filter(|&(i, _)| i != index).find_map(
+                    |(_, s)| {
+                        std::iter::repeat_with(|| s.steal())
+                            .find(|s| !s.is_retry())
+                            .and_then(|s| s.success())
+                    },
+                );
+                if got.is_some() {
+                    shared.stolen.fetch_add(1, Ordering::AcqRel);
+                }
+                got
+            })
+    })
+}
+
 fn steal_loop(index: usize, local: Deque<Tasklet>, shared: Arc<Shared>) {
     let mut backoff = 0u32;
     loop {
-        // Local first, then the injector (refilling the local deque), then
-        // steal from siblings.
-        let task = local.pop().or_else(|| {
-            std::iter::repeat_with(|| shared.injector.steal_batch_and_pop(&local))
-                .find(|s| !s.is_retry())
-                .and_then(|s| s.success())
-                .or_else(|| {
-                    let got =
-                        shared.stealers.iter().enumerate().filter(|&(i, _)| i != index).find_map(
-                            |(_, s)| {
-                                std::iter::repeat_with(|| s.steal())
-                                    .find(|s| !s.is_retry())
-                                    .and_then(|s| s.success())
-                            },
-                        );
-                    if got.is_some() {
-                        shared.stolen.fetch_add(1, Ordering::AcqRel);
-                    }
-                    got
-                })
-        });
-        match task {
+        // The shutdown flag is sampled BEFORE the scan, and the worker only
+        // exits when a scan that started after observing the flag came up
+        // empty. Submits take `&self` and shutdown is raised by `Drop`
+        // (`&mut self`), so every push happens-before the flag's Release
+        // store; observing it with Acquire therefore makes all remaining
+        // work visible to this scan, and nothing can be lost. Checking the
+        // flag after a failed scan instead would drop a tasklet pushed
+        // between the scan and the check (the loom model
+        // `shutdown_race_loses_no_tasklet` catches exactly that ordering).
+        let quitting = shared.shutdown.load(Ordering::Acquire);
+        match find_task(index, &local, &shared) {
             Some(t) => {
                 backoff = 0;
                 t.run();
+                // `executed` increments before `in_flight` decrements so an
+                // observer that sees `in_flight == 0` also sees the full
+                // executed count (wait_quiescent-then-assert-executed in the
+                // tests relies on this order). Both AcqRel: each release
+                // publishes the tasklet's effects, each acquire orders the
+                // counters after them.
                 shared.executed.fetch_add(1, Ordering::AcqRel);
                 shared.in_flight.fetch_sub(1, Ordering::AcqRel);
             }
             None => {
-                if shared.shutdown.load(Ordering::Acquire) {
+                if quitting {
                     return;
                 }
                 backoff = (backoff + 1).min(10);
@@ -147,7 +191,8 @@ fn steal_loop(index: usize, local: Deque<Tasklet>, shared: Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use nm_sync::atomic::AtomicUsize;
+    use nm_sync::Mutex;
 
     #[test]
     fn all_work_executes_exactly_once() {
@@ -162,6 +207,7 @@ mod tests {
         assert!(pool.wait_quiescent(Duration::from_secs(10)));
         assert_eq!(counter.load(Ordering::SeqCst), 500);
         assert_eq!(pool.executed(), 500);
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[test]
@@ -182,13 +228,14 @@ mod tests {
     #[test]
     fn quiescence_times_out_while_work_blocks() {
         let pool = StealPool::new(2);
-        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let gate = Arc::new(Mutex::new(()));
         let guard = gate.lock();
         let g = gate.clone();
         pool.submit(Tasklet::high("block", move || {
             let _x = g.lock();
         }));
         assert!(!pool.wait_quiescent(Duration::from_millis(30)));
+        assert!(pool.in_flight() > 0, "blocked work is still in flight");
         drop(guard);
         assert!(pool.wait_quiescent(Duration::from_secs(10)));
     }

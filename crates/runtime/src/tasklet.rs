@@ -8,7 +8,7 @@
 //! serves tasklets strictly before ordinary work and in FIFO order within
 //! the same priority.
 
-use parking_lot::Mutex;
+use nm_sync::Mutex;
 use std::collections::VecDeque;
 
 /// Priority class of a tasklet.
@@ -114,8 +114,8 @@ impl TaskletQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
+    use nm_sync::atomic::{AtomicUsize, Ordering};
+    use nm_sync::Arc;
 
     #[test]
     fn high_priority_drains_before_normal() {

@@ -8,9 +8,8 @@
 //! application thread ever polls.
 
 use crate::progress::ProgressionEngine;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
+use nm_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use nm_sync::{thread, Arc};
 use std::time::Duration;
 
 /// A background thread pumping a progression engine on a fixed period.
@@ -58,8 +57,8 @@ impl Drop for PeriodicPump {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-    use std::time::Instant;
+    use nm_sync::atomic::AtomicUsize;
+    use nm_sync::time::Instant;
 
     #[test]
     fn background_pumping_completes_events_without_caller_polling() {

@@ -13,10 +13,10 @@ use crate::stats::OffloadStats;
 use crate::tasklet::Tasklet;
 use crate::topology::Topology;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use nm_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use nm_sync::time::Instant;
+use nm_sync::{thread, Arc};
+use std::time::Duration;
 
 enum Msg {
     Run { tasklet: Tasklet, submitted: Instant, signaled: bool },
@@ -25,15 +25,15 @@ enum Msg {
 
 struct WorkerShared {
     idle: AtomicBool,
-    queued: std::sync::atomic::AtomicUsize,
+    queued: AtomicUsize,
 }
 
 /// A pool of per-core worker threads executing tasklets.
 ///
 /// ```
 /// use nm_runtime::{Tasklet, WorkerPool};
-/// use std::sync::atomic::{AtomicU32, Ordering};
-/// use std::sync::Arc;
+/// use nm_sync::atomic::{AtomicU32, Ordering};
+/// use nm_sync::Arc;
 /// use std::time::Duration;
 ///
 /// let pool = WorkerPool::dual_dual_core(); // the paper's 4-core node
@@ -65,10 +65,8 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
             let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
-            let sh = Arc::new(WorkerShared {
-                idle: AtomicBool::new(true),
-                queued: std::sync::atomic::AtomicUsize::new(0),
-            });
+            let sh =
+                Arc::new(WorkerShared { idle: AtomicBool::new(true), queued: AtomicUsize::new(0) });
             let sh2 = sh.clone();
             let stats2 = stats.clone();
             let handle = thread::Builder::new()
@@ -120,6 +118,10 @@ impl WorkerPool {
     pub fn submit_to(&self, worker: usize, tasklet: Tasklet) {
         let sh = &self.shared[worker];
         let signaled = !sh.idle.load(Ordering::Acquire) || sh.queued.load(Ordering::Acquire) > 0;
+        // `queued` rises before the channel send so `idle_workers` can never
+        // report a worker idle-with-empty-queue while a message it cannot
+        // yet have received is in the channel (pairs with the worker's
+        // post-run AcqRel decrement).
         sh.queued.fetch_add(1, Ordering::AcqRel);
         self.senders[worker]
             .send(Msg::Run { tasklet, submitted: Instant::now(), signaled })
@@ -180,6 +182,10 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<WorkerShared>, stats: Arc<OffloadS
                 shared.idle.store(false, Ordering::Release);
                 stats.record(submitted.elapsed(), signaled);
                 tasklet.run();
+                // Decrement `queued` before raising `idle`: quiescence is
+                // "idle && queued == 0", and this order makes the pair
+                // monotonic — an observer can see busy-with-work but never
+                // idle-with-phantom-work after the run completed.
                 shared.queued.fetch_sub(1, Ordering::AcqRel);
                 shared.idle.store(true, Ordering::Release);
             }
@@ -191,8 +197,7 @@ fn worker_loop(rx: Receiver<Msg>, shared: Arc<WorkerShared>, stats: Arc<OffloadS
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
-    use std::sync::atomic::AtomicUsize;
+    use nm_sync::Mutex;
 
     #[test]
     fn all_submitted_work_executes() {

@@ -23,6 +23,9 @@
 //!   judged against the rail's existing profile, used by the engine's
 //!   health tracker before letting a quarantined rail back in.
 
+// No unsafe anywhere in this crate; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod pingpong;
 pub mod probe;

@@ -24,6 +24,9 @@
 //! [`nm_model::LinkModel`] exactly (tested in `sim::tests`), so sampled
 //! profiles, predictions and simulated outcomes are mutually consistent.
 
+// No unsafe anywhere in this crate; keep it that way.
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod gantt;
 pub mod ids;

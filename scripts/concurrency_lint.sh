@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Concurrency audit gates (invoked by ci.sh):
+#
+#   1. every `unsafe` block/fn/impl must carry a `// SAFETY:` comment in
+#      the contiguous comment block directly above it (or on the line);
+#   2. no bare `Ordering::Relaxed` in production crates — every atomic in
+#      crates/*/src must state a stronger ordering (the facade's documented
+#      protocols all need Acquire/Release pairing) or carry an explicit
+#      `RELAXED-OK:` justification on the same or preceding line;
+#   3. crates that must go through the `nm-sync` facade (runtime, core)
+#      must not import `std::sync` or `parking_lot` directly — doing so
+#      would silently bypass the loom model checks.
+#
+# Uses ripgrep when available, POSIX grep otherwise. Exits nonzero with a
+# file:line listing on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# search <ERE pattern> <path>... -> file:line:text matches in *.rs files
+search() {
+    local pat="$1"
+    shift
+    if command -v rg >/dev/null 2>&1; then
+        rg -n --glob '*.rs' "$pat" "$@" || true
+    else
+        grep -rEn --include='*.rs' "$pat" "$@" || true
+    fi
+}
+
+fail=0
+
+# ---- gate 1: unsafe without SAFETY ------------------------------------
+# Matches real unsafe introducers only; `unsafe_op_in_unsafe_fn` and
+# `forbid(unsafe_code)` attributes do not match these patterns, and
+# comment lines mentioning unsafe are filtered out.
+while IFS=: read -r file line _; do
+    [ -n "${file:-}" ] || continue
+    # OK if SAFETY: is on the unsafe line itself, or anywhere in the run
+    # of `//` comment lines immediately above it.
+    if sed -n "${line}p" "$file" | grep -q "SAFETY:"; then
+        continue
+    fi
+    # The awk reads its whole input (no early exit): under pipefail an
+    # early exit would SIGPIPE the upstream sed and turn a pass into a
+    # schedule-dependent 141 failure.
+    if ! head -n $((line - 1)) "$file" | sed '1!G;h;$!d' \
+        | awk 'BEGIN { active = 1 }
+               active && !/^[[:space:]]*\/\// { active = 0 }
+               active && /SAFETY:/ { found = 1 }
+               END { exit !found }'; then
+        echo "unsafe without // SAFETY: comment: $file:$line" >&2
+        fail=1
+    fi
+done < <(search 'unsafe \{|unsafe fn |unsafe impl ' crates compat | grep -vE ':[[:space:]]*//' || true)
+
+# ---- gate 2: bare Ordering::Relaxed in production code ----------------
+while IFS=: read -r file line _; do
+    [ -n "${file:-}" ] || continue
+    start=$((line > 1 ? line - 1 : 1))
+    if ! sed -n "${start},${line}p" "$file" | grep -q "RELAXED-OK:"; then
+        echo "bare Ordering::Relaxed (justify with RELAXED-OK: or strengthen): $file:$line" >&2
+        fail=1
+    fi
+done < <(search 'Ordering::Relaxed' crates/*/src)
+
+# ---- gate 3: facade bypass in runtime/core ----------------------------
+bypass=$(search 'std::sync::|parking_lot::' crates/runtime/src crates/core/src)
+if [ -n "$bypass" ]; then
+    echo "$bypass" >&2
+    echo "direct std::sync/parking_lot use above: route through nm-sync instead" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "concurrency lint FAILED" >&2
+    exit 1
+fi
+echo "concurrency lint OK"

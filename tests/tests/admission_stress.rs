@@ -1,0 +1,231 @@
+//! Multi-thread stress over the admission-controlled posting surface:
+//! several threads hammer `try_post_send` / `cancel` / deadline posts (the
+//! shed path) against one engine behind a mutex, then the main thread
+//! drains and checks conservation — every accepted message reaches exactly
+//! one terminal state (completed, cancelled, or shed) and the rejection
+//! counter matches what the posters observed.
+//!
+//! The engine itself is externally synchronized (`&mut self` methods), so
+//! the interesting concurrency is in everything the facade runtime does
+//! underneath plus the counter handoffs between poster threads. This test
+//! is part of the TSan lane (`NM_TSAN=1 ./ci.sh`), where the same
+//! schedule-dependent traffic runs under ThreadSanitizer.
+
+use nm_core::driver::sim::SimDriver;
+use nm_core::engine::{Engine, MsgId};
+use nm_core::strategy::StrategyKind;
+use nm_core::{AdmissionConfig, Backpressure, EngineError};
+use nm_model::SimDuration;
+use nm_sim::ClusterSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+const THREADS: u64 = 4;
+const ITERS: u64 = 150;
+const MSG_CAP: u64 = 8;
+
+fn stress_engine() -> Engine<SimDriver> {
+    let spec = ClusterSpec::paper_testbed();
+    let predictor = nm_tests::sample_predictor(&spec);
+    Engine::new(SimDriver::new(spec), predictor, StrategyKind::HeteroSplit.build())
+        .expect("engine")
+        .with_admission_control(AdmissionConfig {
+            max_pending_msgs: MSG_CAP,
+            max_pending_bytes: 64 * 1024 * 1024,
+            ..AdmissionConfig::default()
+        })
+        .expect("admission config")
+}
+
+/// SplitMix-style step for per-thread deterministic-but-varied decisions.
+fn next(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 11
+}
+
+#[test]
+fn concurrent_post_cancel_shed_conserves_every_message() {
+    let engine = Arc::new(Mutex::new(stress_engine()));
+    // Every id the posters got an `Ok` for — cancel targets and the
+    // population the conservation check accounts for.
+    let ledger: Arc<Mutex<Vec<MsgId>>> = Arc::new(Mutex::new(Vec::new()));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let cancel_attempts = Arc::new(AtomicU64::new(0));
+
+    let posters: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let ledger = Arc::clone(&ledger);
+            let accepted = Arc::clone(&accepted);
+            let rejected = Arc::clone(&rejected);
+            let cancel_attempts = Arc::clone(&cancel_attempts);
+            thread::spawn(move || {
+                let mut seed = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
+                for _ in 0..ITERS {
+                    let roll = next(&mut seed) % 10;
+                    let size = 1 + next(&mut seed) % 65536;
+                    let mut eng = engine.lock().unwrap();
+                    match roll {
+                        // Mostly plain posts: fill the queue until the cap
+                        // pushes back, counting both outcomes.
+                        0..=4 => match eng.try_post_send(size) {
+                            Ok(id) => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                                ledger.lock().unwrap().push(id);
+                            }
+                            Err(EngineError::Backpressure(
+                                Backpressure::MsgCap { .. } | Backpressure::ByteCap { .. },
+                            )) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected post error: {e:?}"),
+                        },
+                        // Deadline posts that expire almost immediately:
+                        // any that sit behind the backlog are shed.
+                        5..=6 => {
+                            match eng.post_send_with_deadline(size, SimDuration::from_micros(1)) {
+                                Ok(id) => {
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                    ledger.lock().unwrap().push(id);
+                                }
+                                Err(EngineError::Backpressure(_)) => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => panic!("unexpected deadline post error: {e:?}"),
+                            }
+                        }
+                        // Cancel a random previously-accepted message.
+                        // `Ok(false)` (too late, completes normally) is as
+                        // valid an outcome as `Ok(true)`.
+                        7..=8 => {
+                            let target = {
+                                let ids = ledger.lock().unwrap();
+                                if ids.is_empty() {
+                                    None
+                                } else {
+                                    Some(ids[next(&mut seed) as usize % ids.len()])
+                                }
+                            };
+                            if let Some(id) = target {
+                                cancel_attempts.fetch_add(1, Ordering::Relaxed);
+                                eng.cancel(id).expect("cancel must not error");
+                            }
+                        }
+                        // Occasionally make progress so completions and
+                        // deadline sheds interleave with the posting.
+                        _ => {
+                            eng.poll().expect("poll");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for p in posters {
+        p.join().expect("poster panicked");
+    }
+
+    let mut eng = engine.lock().unwrap();
+    let drained = eng.drain().expect("drain");
+    let stats = eng.stats();
+    let accepted = accepted.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+
+    // Under a cap of 8 with ~4x150 ops the queue must have pushed back.
+    assert!(accepted > 0, "stress never got a message in");
+    assert!(rejected > 0, "cap {MSG_CAP} never produced backpressure");
+    assert!(cancel_attempts.load(Ordering::Relaxed) > 0, "stress never attempted a cancel");
+    assert_eq!(stats.backpressure_rejections, rejected, "engine and posters disagree on rejects");
+
+    // Conservation: every accepted message reached exactly one terminal
+    // state. (Completions observed by mid-stress polls are counted in
+    // msgs_completed even though drain no longer returns them.)
+    assert_eq!(
+        stats.msgs_completed + stats.cancelled + stats.msgs_shed,
+        accepted,
+        "accepted messages leaked or double-terminated: completed={} cancelled={} shed={} \
+         drained_now={}",
+        stats.msgs_completed,
+        stats.cancelled,
+        stats.msgs_shed,
+        drained.len(),
+    );
+    // Only deadline posts can shed (no default deadline configured).
+    let ids = ledger.lock().unwrap();
+    assert_eq!(ids.len() as u64, accepted);
+
+    // Quiescent: nothing left pending, a second drain is empty, and the
+    // freed budget admits a full cap's worth of new posts.
+    assert!(eng.drain().expect("second drain").is_empty());
+    for _ in 0..MSG_CAP {
+        eng.try_post_send(1024).expect("drained engine must admit up to the cap again");
+    }
+    let _ = eng.drain().expect("final drain");
+}
+
+/// Same surface, adversarial interleaving in miniature: two threads take
+/// strict turns (via the mutex) where one fills to the cap and the other
+/// cancels everything it can see, repeatedly. Checks the admission budget
+/// never drifts: after each full drain the engine admits exactly the cap.
+#[test]
+fn cancel_storm_never_corrupts_the_admission_budget() {
+    let engine = Arc::new(Mutex::new(stress_engine()));
+    let ledger: Arc<Mutex<Vec<MsgId>>> = Arc::new(Mutex::new(Vec::new()));
+    let filler = {
+        let engine = Arc::clone(&engine);
+        let ledger = Arc::clone(&ledger);
+        thread::spawn(move || {
+            let mut accepted = 0u64;
+            for _ in 0..200 {
+                let mut eng = engine.lock().unwrap();
+                match eng.try_post_send(4096) {
+                    Ok(id) => {
+                        accepted += 1;
+                        ledger.lock().unwrap().push(id);
+                    }
+                    Err(EngineError::Backpressure(_)) => {
+                        eng.poll().expect("poll");
+                    }
+                    Err(e) => panic!("unexpected: {e:?}"),
+                }
+            }
+            accepted
+        })
+    };
+    let canceller = {
+        let engine = Arc::clone(&engine);
+        let ledger = Arc::clone(&ledger);
+        thread::spawn(move || {
+            for _ in 0..200 {
+                let target = ledger.lock().unwrap().last().copied();
+                if let Some(id) = target {
+                    engine.lock().unwrap().cancel(id).expect("cancel");
+                }
+                thread::yield_now();
+            }
+        })
+    };
+    let accepted = filler.join().expect("filler panicked");
+    canceller.join().expect("canceller panicked");
+
+    let mut eng = engine.lock().unwrap();
+    let _ = eng.drain().expect("drain");
+    let stats = eng.stats();
+    assert_eq!(
+        stats.msgs_completed + stats.cancelled + stats.msgs_shed,
+        accepted,
+        "cancel storm broke message conservation"
+    );
+    // The budget must be fully released: exactly cap-many admissions, then
+    // backpressure.
+    for _ in 0..MSG_CAP {
+        eng.try_post_send(1024).expect("budget not fully released");
+    }
+    assert!(
+        matches!(eng.try_post_send(1024), Err(EngineError::Backpressure(_))),
+        "cap not enforced after storm"
+    );
+    let _ = eng.drain().expect("final drain");
+}
