@@ -1,0 +1,427 @@
+//! A comment- and string-literal-safe Rust lexer.
+//!
+//! The grep gates this analyzer replaces could not tell `Ordering::Relaxed`
+//! in code from the same words in a doc comment. This lexer produces a
+//! token stream with source positions, with comments preserved as *trivia*
+//! on the side (they carry the analyzer's marker directives), and string /
+//! char / raw-string / lifetime forms handled so that no literal content
+//! ever reaches rule matching.
+//!
+//! It is intentionally not a full Rust lexer: numeric-literal suffixes,
+//! nested block comments, raw strings with arbitrary `#` fences and raw
+//! identifiers are covered because they change token boundaries; finer
+//! grammar (e.g. float exponent validation) is irrelevant to rule matching
+//! and kept simple.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// Numeric literal (integer or float, any radix, suffix included).
+    Num,
+    /// String literal of any flavor (content opaque).
+    Str,
+    /// Char or byte literal (content opaque).
+    Char,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text; for [`TokKind::Str`]/[`TokKind::Char`] this is a
+    /// placeholder, never the literal content.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+}
+
+/// One comment (line or block) with the line it starts on. Block comments
+/// also record the line they end on so markers can be located per line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (== `line` for line comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comment trivia.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { chars: src.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line, end_line: line });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0u32;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment { text, line, end_line: cur.line });
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // Raw string / raw ident / byte-string prefixes.
+            match (text.as_str(), cur.peek(0)) {
+                ("r" | "br" | "cr", Some('"')) | ("r" | "br" | "cr", Some('#')) => {
+                    if text == "r"
+                        && cur.peek(0) == Some('#')
+                        && cur.peek(1).is_some_and(is_ident_start)
+                    {
+                        // Raw identifier r#name.
+                        cur.bump(); // '#'
+                        while let Some(ch) = cur.peek(0) {
+                            if is_ident_continue(ch) {
+                                text.push(ch);
+                                cur.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.toks.push(Tok { kind: TokKind::Ident, text, line, col });
+                        continue;
+                    }
+                    lex_raw_string(&mut cur);
+                    out.toks.push(Tok { kind: TokKind::Str, text: "\"raw\"".into(), line, col });
+                    continue;
+                }
+                ("b" | "c", Some('"')) => {
+                    lex_string_body(&mut cur);
+                    out.toks.push(Tok { kind: TokKind::Str, text: "\"str\"".into(), line, col });
+                    continue;
+                }
+                ("b", Some('\'')) => {
+                    lex_char_body(&mut cur);
+                    out.toks.push(Tok { kind: TokKind::Char, text: "'b'".into(), line, col });
+                    continue;
+                }
+                _ => out.toks.push(Tok { kind: TokKind::Ident, text, line, col }),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            text.push(c);
+            cur.bump();
+            if (c == '0') && matches!(cur.peek(0), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Fraction: only when followed by a digit (so `1.max(2)` and
+                // `0..n` keep their `.` as punctuation).
+                if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push('.');
+                    cur.bump();
+                    while let Some(ch) = cur.peek(0) {
+                        if ch.is_ascii_digit() || ch == '_' {
+                            text.push(ch);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Exponent.
+                if matches!(cur.peek(0), Some('e' | 'E'))
+                    && (cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        || (matches!(cur.peek(1), Some('+' | '-'))
+                            && cur.peek(2).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    text.push('e');
+                    cur.bump();
+                    if let Some(sign @ ('+' | '-')) = cur.peek(0) {
+                        text.push(sign);
+                        cur.bump();
+                    }
+                    while let Some(ch) = cur.peek(0) {
+                        if ch.is_ascii_digit() || ch == '_' {
+                            text.push(ch);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Type suffix (u8, f64, usize...).
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_alphanumeric() {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.toks.push(Tok { kind: TokKind::Num, text, line, col });
+            continue;
+        }
+        if c == '"' {
+            lex_string_body(&mut cur);
+            out.toks.push(Tok { kind: TokKind::Str, text: "\"str\"".into(), line, col });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal: `'x` followed by a non-quote is a
+            // lifetime; an escape or a quoted char is a literal.
+            let next = cur.peek(1);
+            let after = cur.peek(2);
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                let mut text = String::from("'");
+                cur.bump();
+                while let Some(ch) = cur.peek(0) {
+                    if is_ident_continue(ch) {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Lifetime, text, line, col });
+            } else {
+                lex_char_body(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Char, text: "'c'".into(), line, col });
+            }
+            continue;
+        }
+        // Any other single character is punctuation.
+        cur.bump();
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line, col });
+    }
+    out
+}
+
+/// Consumes a normal string body starting at the opening quote.
+fn lex_string_body(cur: &mut Cursor) {
+    debug_assert_eq!(cur.peek(0), Some('"'));
+    cur.bump();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char/byte literal body starting at the opening quote.
+fn lex_char_body(cur: &mut Cursor) {
+    debug_assert_eq!(cur.peek(0), Some('\''));
+    cur.bump();
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string starting at the `#` fence or opening quote
+/// (the `r`/`br`/`cr` prefix has already been consumed).
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut fence = 0usize;
+    while cur.peek(0) == Some('#') {
+        fence += 1;
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        cur.bump();
+    }
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < fence && cur.peek(0) == Some('#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == fence {
+                    break;
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_are_trivia_not_tokens() {
+        let l = lex("let x = 1; // Ordering::Relaxed in a comment\n/* unwrap() */ let y = 2;");
+        assert!(!l.toks.iter().any(|t| t.text == "Relaxed" || t.text == "unwrap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("Relaxed"));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let l = lex(r#"let s = "x.unwrap() \" quoted"; call();"#);
+        assert!(!l.toks.iter().any(|t| t.text == "unwrap"));
+        assert!(l.toks.iter().any(|t| t.text == "call"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_opaque() {
+        let l = lex(r##"let s = r#"say "unwrap()" loudly"#; after();"##);
+        assert!(!l.toks.iter().any(|t| t.text == "unwrap"));
+        assert!(l.toks.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn numbers_keep_method_calls_separate() {
+        assert!(texts("1.max(2)").contains(&"max".to_string()));
+        assert!(texts("0..n").contains(&"n".to_string()));
+        let l = lex("let x = 2.5e-3f64 + 0xFF;");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Num && t.text == "2.5e-3f64"));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0xFF"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ token");
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "token");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  b");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+}

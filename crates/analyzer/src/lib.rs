@@ -1,0 +1,75 @@
+//! nm-analyzer: workspace-specific static analysis.
+//!
+//! A dependency-free lexer + item parser enforcing the invariants the
+//! generic toolchain cannot express:
+//!
+//! * panic-freedom in hot-path functions (`// nm-analyzer: hot_path`),
+//! * unit hygiene at public API boundaries (`*_us`/`*_bytes`/`*_bw`),
+//! * transitive allocation-freedom under `// nm-analyzer: no_alloc`,
+//! * the `Ordering::Relaxed` and sync-facade gates formerly implemented as
+//!   greps in `scripts/concurrency_lint.sh` — now comment/string-safe.
+//!
+//! Escapes are explicit and audited: `// nm-analyzer: allow(<rule>) -- why`.
+
+pub mod config;
+pub mod lexer;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+/// Collects `.rs` files under every `crates/*/src` directory of `root`.
+///
+/// Returns `(repo-relative path, crate dir name)` pairs, sorted for
+/// deterministic reports.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut |p| out.push((p, crate_name.clone())))?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, f: &mut impl FnMut(PathBuf)) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk_rs(&p, f)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            f(p);
+        }
+    }
+    Ok(())
+}
+
+/// Parses and analyzes a set of `(path, crate name)` sources against `cfg`.
+///
+/// `root` is stripped from paths for reporting; `cfg.hot_paths` matches the
+/// stripped (repo-relative) form.
+pub fn run(
+    root: &Path,
+    sources: &[(PathBuf, String)],
+    cfg: &config::Config,
+) -> std::io::Result<rules::Analysis> {
+    let mut files = Vec::with_capacity(sources.len());
+    for (path, crate_name) in sources {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let force_hot = cfg.hot_paths.iter().any(|h| h == &rel || rel.ends_with(h.as_str()));
+        files.push(parse::parse_file(&rel, crate_name, &src, force_hot));
+    }
+    Ok(rules::analyze(&files, cfg))
+}

@@ -1,0 +1,95 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! nm-analyzer [--root DIR] [--config FILE] [--json FILE] [--verbose]
+//! ```
+//!
+//! Exit status: 0 when every finding is covered by a written allow escape,
+//! 1 otherwise, 2 on usage/config errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: nm-analyzer [--root DIR] [--config FILE] [--json FILE] [--verbose]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("analyzer.toml"));
+    let cfg_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nm-analyzer: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match nm_analyzer::config::Config::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("nm-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let sources = match nm_analyzer::workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nm-analyzer: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match nm_analyzer::run(&root, &sources, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("nm-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", nm_analyzer::report::render_text(&analysis, verbose));
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, nm_analyzer::report::render_json(&analysis)) {
+            eprintln!("nm-analyzer: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if analysis.unallowed().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("nm-analyzer: {msg}");
+    eprintln!("usage: nm-analyzer [--root DIR] [--config FILE] [--json FILE] [--verbose]");
+    ExitCode::from(2)
+}

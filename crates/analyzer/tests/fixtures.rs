@@ -1,0 +1,120 @@
+//! Fixture suite: each file under `tests/fixtures/` carries a known set of
+//! violations; this test pins the exact per-rule diagnostic counts and the
+//! allow tallies, so any rule regression (missed finding, false positive,
+//! broken escape hatch) shows up as a count mismatch.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use nm_analyzer::config::Config;
+use nm_analyzer::parse::parse_file;
+use nm_analyzer::rules::{analyze, Analysis};
+
+fn fixture_config() -> Config {
+    Config {
+        hot_paths: Vec::new(),
+        unit_boundary_files: Vec::new(),
+        facade_crates: vec!["fixture_facade".to_string()],
+        must_use_files: vec!["crates/fixture/src/must_use_fixture.rs".to_string()],
+    }
+}
+
+/// Parses every fixture under a synthetic `crates/fixture/src/` layout.
+fn analyze_fixtures() -> Analysis {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut files = Vec::new();
+    for (name, crate_name) in [
+        ("panic_fixture.rs", "fixture"),
+        ("unit_fixture.rs", "fixture"),
+        ("no_alloc_fixture.rs", "fixture"),
+        ("ordering_fixture.rs", "fixture_facade"),
+        ("must_use_fixture.rs", "fixture"),
+    ] {
+        let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
+        let rel = format!("crates/fixture/src/{name}");
+        files.push(parse_file(&rel, crate_name, &src, false));
+    }
+    analyze(&files, &fixture_config())
+}
+
+fn count_map(v: Vec<(String, usize)>) -> HashMap<String, usize> {
+    v.into_iter().collect()
+}
+
+#[test]
+fn per_rule_unallowed_counts_are_exact() {
+    let analysis = analyze_fixtures();
+    let counts = count_map(analysis.counts());
+    let expected: &[(&str, usize)] = &[
+        ("unwrap", 1),
+        ("expect", 1),
+        ("panic", 1),
+        ("todo", 1),
+        ("unreachable", 1),
+        ("index", 2),
+        ("clone", 1),
+        ("allow-missing-reason", 1),
+        ("unit-bare", 4),
+        ("no-alloc", 5),
+        ("relaxed-ordering", 1),
+        ("facade-bypass", 3),
+        ("must-use", 1),
+    ];
+    for &(rule, n) in expected {
+        assert_eq!(
+            counts.get(rule).copied().unwrap_or(0),
+            n,
+            "rule `{rule}`: expected {n} unallowed finding(s), got {:?}\nall: {:#?}",
+            counts.get(rule),
+            analysis.unallowed()
+        );
+    }
+    let total: usize = expected.iter().map(|&(_, n)| n).sum();
+    assert_eq!(
+        analysis.unallowed().len(),
+        total,
+        "unexpected extra findings: {:#?}",
+        analysis.unallowed()
+    );
+}
+
+#[test]
+fn allow_escapes_suppress_and_are_tallied() {
+    let analysis = analyze_fixtures();
+    let allowed = count_map(analysis.allow_counts());
+    assert_eq!(allowed.get("unwrap").copied(), Some(2), "allowed unwraps: {allowed:?}");
+    assert_eq!(allowed.get("unit-bare").copied(), Some(2), "allowed unit-bare: {allowed:?}");
+    assert_eq!(allowed.len(), 2, "no other rule should have allowed findings: {allowed:?}");
+
+    // Three escape comments are on record; exactly one lacks a reason.
+    assert_eq!(analysis.allows.len(), 3, "allows on record: {:#?}", analysis.allows);
+    assert_eq!(analysis.allows.iter().filter(|a| a.reason.is_empty()).count(), 1);
+}
+
+#[test]
+fn diagnostics_carry_positions() {
+    let analysis = analyze_fixtures();
+    let unwrap = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "unwrap" && f.allowed_reason.is_none())
+        .expect("unwrap finding present");
+    assert_eq!(unwrap.file, "crates/fixture/src/panic_fixture.rs");
+    assert_eq!(unwrap.line, 7, "unwrap_site body line");
+    assert!(unwrap.col > 0);
+}
+
+#[test]
+fn transitive_no_alloc_names_the_chain() {
+    let analysis = analyze_fixtures();
+    let transitive = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "no-alloc" && f.message.contains("reached from"))
+        .expect("transitive finding present");
+    assert!(
+        transitive.message.contains("calls_helper") && transitive.message.contains("helper"),
+        "chain missing from message: {}",
+        transitive.message
+    );
+}

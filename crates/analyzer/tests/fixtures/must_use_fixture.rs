@@ -1,0 +1,22 @@
+//! Must-use fixture: pub value-returning fns in a configured decision file.
+
+/// Missing attribute: 1x must-use.
+pub fn computes(x: u64) -> u64 {
+    x * 2
+}
+
+/// Carries the attribute: clean.
+#[must_use]
+pub fn attributed(x: u64) -> u64 {
+    x * 3
+}
+
+/// No return value: clean.
+pub fn procedural(_x: u64) {}
+
+/// Private: clean.
+fn internal(x: u64) -> u64 {
+    x
+}
+
+pub use self::internal as _keep;

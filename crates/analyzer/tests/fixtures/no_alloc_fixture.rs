@@ -1,0 +1,43 @@
+//! No-alloc fixture: direct and transitive allocation under `no_alloc`.
+
+/// Direct allocations inside a marked fn: 3x no-alloc
+/// (`vec!`, `Vec::new`, `.to_string()`).
+// nm-analyzer: no_alloc
+pub fn direct_allocs() -> usize {
+    let v = vec![1, 2, 3];
+    let w: Vec<u32> = Vec::new();
+    let s = 7.to_string();
+    v.len() + w.len() + s.len()
+}
+
+/// Transitive: marked fn -> helper -> `format!`: 1x no-alloc, reported at
+/// the helper's allocation site.
+// nm-analyzer: no_alloc
+pub fn calls_helper() -> usize {
+    helper(3)
+}
+
+fn helper(n: u32) -> usize {
+    format!("{n}").len()
+}
+
+/// Turbofish collect into a heap container: 1x no-alloc.
+// nm-analyzer: no_alloc
+pub fn collects() -> usize {
+    (0..4).collect::<Vec<u32>>().len()
+}
+
+/// Clean chain: arithmetic only, no findings.
+// nm-analyzer: no_alloc
+pub fn clean_chain(x: u64) -> u64 {
+    clean_helper(x) + 1
+}
+
+fn clean_helper(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}
+
+/// Unmarked fns may allocate freely.
+pub fn unmarked() -> Vec<u8> {
+    vec![0; 16]
+}

@@ -1,0 +1,34 @@
+//! Concurrency-gates fixture: bare `Ordering::Relaxed` and facade bypass.
+//! Scanned with a crate name listed in `facade_crates`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Bare Relaxed: 1x relaxed-ordering.
+pub fn bare_relaxed() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Justified Relaxed is clean.
+pub fn justified_relaxed() -> u64 {
+    // RELAXED-OK: statistics counter, read only for reporting.
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mentioning Ordering::Relaxed in a comment or "Ordering::Relaxed" in a
+/// string is clean — the scan is token-based.
+pub fn prose_only() -> &'static str {
+    "Ordering::Relaxed"
+}
+
+/// Direct std::sync import in a facade crate: 1x facade-bypass (the `use`
+/// above also counts: 1x facade-bypass at the top of the file).
+pub fn bypass() -> std::sync::MutexGuard<'static, ()> {
+    unimplemented!()
+}
+
+/// parking_lot path: 1x facade-bypass.
+pub fn bypass_parking(m: &parking_lot::Mutex<u32>) -> u32 {
+    *m.lock()
+}

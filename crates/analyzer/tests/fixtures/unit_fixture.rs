@@ -1,0 +1,39 @@
+//! Unit-hygiene fixture: bare `f64`/`u64` under unit-suffixed names.
+
+/// Bare return under a `_us` name: 1x unit-bare.
+pub fn one_way_us(size: u64) -> f64 {
+    size as f64
+}
+
+/// Bare unit-suffixed params: 2x unit-bare (`budget_us`, `cap_bytes`).
+pub fn admit(budget_us: f64, cap_bytes: u64) -> bool {
+    budget_us > 0.0 && cap_bytes > 0
+}
+
+/// Bare `_bw` return: 1x unit-bare.
+pub fn peak_bw(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(0.0, f64::max)
+}
+
+/// Typed-wrapper equivalents are clean (the type name is not `f64`/`u64`).
+pub struct Micros(pub f64);
+pub fn typed_one_way_us(_size: u64) -> Micros {
+    Micros(0.0)
+}
+
+/// Unsuffixed names are clean even with bare types.
+pub fn ratio(parts: f64, whole: f64) -> f64 {
+    parts / whole
+}
+
+/// Non-pub fns are exempt: the rule guards public API boundaries.
+fn private_cost_us(size: u64) -> f64 {
+    size as f64 * 0.5
+}
+
+// nm-analyzer: allow(unit-bare) -- fixture: documented boundary exception
+pub fn allowed_raw_us(raw_us: f64) -> f64 {
+    raw_us
+}
+
+pub use self::private_cost_us as _alias;

@@ -8,7 +8,7 @@
 
 use nm_bench::{sample_predictor, Table};
 use nm_core::estimate::estimate_eager_split;
-use nm_model::units::{format_size, pow2_sizes, KIB};
+use nm_model::units::{format_size, pow2_sizes, Micros, KIB};
 use nm_sim::ClusterSpec;
 
 fn main() {
@@ -20,9 +20,9 @@ fn main() {
     for t_o in [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0, 50.0] {
         let break_even = pow2_sizes(4, 64 * KIB)
             .into_iter()
-            .find(|&s| estimate_eager_split(&predictor, s, t_o).splitting_wins());
-        let g16 = estimate_eager_split(&predictor, 16 * KIB, t_o).gain;
-        let g64 = estimate_eager_split(&predictor, 64 * KIB, t_o).gain;
+            .find(|&s| estimate_eager_split(&predictor, s, Micros::new(t_o)).splitting_wins());
+        let g16 = estimate_eager_split(&predictor, 16 * KIB, Micros::new(t_o)).gain;
+        let g64 = estimate_eager_split(&predictor, 64 * KIB, Micros::new(t_o)).gain;
         table.row(vec![
             format!("{t_o:.0}"),
             break_even.map_or("never <= 64K".into(), format_size),

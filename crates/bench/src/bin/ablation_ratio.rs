@@ -35,8 +35,8 @@ fn main() {
             .map(|&(_, b)| b as f64 / size as f64)
             .unwrap_or(0.0);
         let static_share = 1226.8 / (1226.8 + 877.6);
-        let t_hetero = one_way_us(StrategyKind::HeteroSplit, size);
-        let t_static = one_way_us(StrategyKind::RatioSplit, size);
+        let t_hetero = one_way_us(StrategyKind::HeteroSplit, size).get();
+        let t_static = one_way_us(StrategyKind::RatioSplit, size).get();
         table.row(vec![
             format_size(size),
             format!("{:.1}%", myri_share * 100.0),

@@ -28,9 +28,9 @@ fn main() {
         "(c) vs (a)",
     ]);
     for size in pow2_sizes(MIB, 16 * MIB) {
-        let single = one_way_us(StrategyKind::SingleRail(None), size);
-        let iso = one_way_us(StrategyKind::IsoSplit, size);
-        let hetero = one_way_us(StrategyKind::HeteroSplit, size);
+        let single = one_way_us(StrategyKind::SingleRail(None), size).get();
+        let iso = one_way_us(StrategyKind::IsoSplit, size).get();
+        let hetero = one_way_us(StrategyKind::HeteroSplit, size).get();
         let chunks = chunks_used(StrategyKind::HeteroSplit, size);
         let myri = chunks
             .iter()

@@ -21,9 +21,9 @@ fn main() {
     for total in pow2_sizes(4, 16 * KIB) {
         let seg = (total / 2).max(1);
         let segments = [seg, seg];
-        let myri = batch_completion_us(Box::new(AggregateOn(RailId(0))), &segments);
-        let quad = batch_completion_us(Box::new(AggregateOn(RailId(1))), &segments);
-        let balanced = batch_completion_us(StrategyKind::GreedyBalance.build(), &segments);
+        let myri = batch_completion_us(Box::new(AggregateOn(RailId(0))), &segments).get();
+        let quad = batch_completion_us(Box::new(AggregateOn(RailId(1))), &segments).get();
+        let balanced = batch_completion_us(StrategyKind::GreedyBalance.build(), &segments).get();
         let best_agg = myri.min(quad);
         let ratio = balanced / best_agg;
         worst_ratio = worst_ratio.min(ratio);

@@ -7,7 +7,7 @@
 
 use nm_bench::{sample_predictor, Table};
 use nm_core::estimate::estimate_eager_split;
-use nm_model::units::{format_size, pow2_sizes, KIB};
+use nm_model::units::{format_size, pow2_sizes, Micros, KIB};
 use nm_sim::ClusterSpec;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     let mut crossover: Option<u64> = None;
     let mut best_gain = f64::MIN;
     for size in pow2_sizes(4, 64 * KIB) {
-        let est = estimate_eager_split(&predictor, size, 3.0);
+        let est = estimate_eager_split(&predictor, size, Micros::new(3.0));
         if est.splitting_wins() && crossover.is_none() {
             crossover = Some(size);
         }

@@ -29,7 +29,7 @@ use nm_core::transport::Transport;
 use nm_core::HealthConfig;
 use nm_faults::FaultSchedule;
 use nm_model::units::{format_size, pow2_sizes, KIB, MIB};
-use nm_model::TransferMode;
+use nm_model::{Micros, TransferMode};
 use nm_sampler::{sample_rail, SampleTransport, SamplingConfig, SimTransport};
 use nm_sim::{ClusterSpec, RailId};
 
@@ -69,26 +69,26 @@ pub fn paper_engine_kind(kind: StrategyKind) -> Engine<SimDriver> {
     paper_engine(kind.build())
 }
 
-/// One-way duration (µs) of a single `size`-byte message under `kind` on a
+/// One-way duration of a single `size`-byte message under `kind` on a
 /// fresh paper-testbed engine.
-pub fn one_way_us(kind: StrategyKind, size: u64) -> f64 {
+pub fn one_way_us(kind: StrategyKind, size: u64) -> Micros {
     let mut engine = paper_engine_kind(kind);
     let id = engine.post_send(size).expect("post");
     let done = engine.wait(id).expect("wait");
-    done.duration.as_micros_f64()
+    Micros::new(done.duration.as_micros_f64())
 }
 
 /// Bandwidth in MiB/s (the paper's Fig 8 unit) for a one-way transfer.
 pub fn bandwidth_mibps(kind: StrategyKind, size: u64) -> f64 {
-    let us = one_way_us(kind, size);
+    let us = one_way_us(kind, size).get();
     size as f64 / (1024.0 * 1024.0) / (us / 1e6)
 }
 
-/// One-way duration (µs) of a single message on an existing engine over
+/// One-way duration of a single message on an existing engine over
 /// any transport (the generic sibling of [`one_way_us`]).
-pub fn one_way_us_in<T: Transport>(engine: &mut Engine<T>, size: u64) -> f64 {
+pub fn one_way_us_in<T: Transport>(engine: &mut Engine<T>, size: u64) -> Micros {
     let id = engine.post_send(size).expect("post");
-    engine.wait(id).expect("wait").duration.as_micros_f64()
+    Micros::new(engine.wait(id).expect("wait").duration.as_micros_f64())
 }
 
 /// A paper-testbed engine over the chaos driver, replaying `schedule` with
@@ -127,7 +127,7 @@ pub fn fig8_report<T: Transport>(mut make: impl FnMut(StrategyKind) -> Engine<T>
     for size in pow2_sizes(32 * KIB, 8 * MIB) {
         let mut cells = vec![format_size(size)];
         for (i, (_, kind)) in series.iter().enumerate() {
-            let us = one_way_us_in(&mut make(*kind), size);
+            let us = one_way_us_in(&mut make(*kind), size).get();
             let bw = size as f64 / (1024.0 * 1024.0) / (us / 1e6);
             maxima[i] = maxima[i].max(bw);
             cells.push(format!("{bw:.0}"));
@@ -148,14 +148,14 @@ pub fn fig8_report<T: Transport>(mut make: impl FnMut(StrategyKind) -> Engine<T>
     out
 }
 
-/// Time (µs) for a batch of messages enqueued together to all complete
+/// Time for a batch of messages enqueued together to all complete
 /// (the Fig 3 scenario uses two segments). Batch posting matters: the
 /// strategy sees the whole queue, so aggregation can pack it.
-pub fn batch_completion_us(strategy: Box<dyn Strategy>, sizes: &[u64]) -> f64 {
+pub fn batch_completion_us(strategy: Box<dyn Strategy>, sizes: &[u64]) -> Micros {
     let mut engine = paper_engine(strategy);
     engine.post_send_batch(sizes).expect("post batch");
     let done = engine.drain().expect("drain");
-    done.iter().map(|c| c.delivered_at.as_micros_f64()).fold(0.0, f64::max)
+    Micros::new(done.iter().map(|c| c.delivered_at.as_micros_f64()).fold(0.0, f64::max))
 }
 
 /// A strategy that aggregates the whole queue onto one fixed rail —

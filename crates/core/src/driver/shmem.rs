@@ -40,6 +40,8 @@ pub struct ShmemRail {
 
 impl ShmemRail {
     /// A rail with `name`, `latency_us` and `mbps` (decimal MB/s).
+    // nm-analyzer: allow(unit-bare) -- constructor convenience: the integer
+    // µs feeds Duration::from_micros directly
     pub fn new(name: &str, latency_us: u64, mbps: f64, rdv_threshold: u64) -> Self {
         assert!(mbps > 0.0);
         ShmemRail {

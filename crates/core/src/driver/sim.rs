@@ -174,7 +174,7 @@ mod tests {
             }
         }
         let at = delivered.expect("chunk must deliver");
-        let want = builtin::myri_10g().one_way_us(4 * KIB);
+        let want = builtin::myri_10g().one_way_us(4 * KIB).get();
         assert!((at.as_micros_f64() - want).abs() < 0.01);
     }
 

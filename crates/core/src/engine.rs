@@ -18,7 +18,7 @@ use crate::selection::select_rails;
 use crate::strategy::{Action, ChunkList, Ctx, Strategy};
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
 use bytes::Bytes;
-use nm_model::{InlineVec, SimDuration, SimTime, MAX_RAILS};
+use nm_model::{InlineVec, Micros, SimDuration, SimTime, MAX_RAILS};
 use nm_proto::aggregate::{AggEntry, Aggregator, ENTRY_OVERHEAD};
 use nm_sim::RailId;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -1167,8 +1167,8 @@ impl<T: Transport> Engine<T> {
             .tolerance;
         let passed = prediction.is_some_and(|(_, submitted, predicted)| {
             nm_sampler::probe_ok(
-                predicted.saturating_since(submitted).as_micros_f64(),
-                at.saturating_since(submitted).as_micros_f64(),
+                Micros::new(predicted.saturating_since(submitted).as_micros_f64()),
+                Micros::new(at.saturating_since(submitted).as_micros_f64()),
                 tolerance,
             )
         });

@@ -9,6 +9,7 @@
 
 use crate::predictor::{CostModel, Predictor};
 use crate::split::equal_completion_split;
+use nm_model::Micros;
 use nm_sim::RailId;
 
 /// Result of the equation-(1) estimate for one message size.
@@ -29,6 +30,7 @@ pub struct EagerSplitEstimate {
 
 impl EagerSplitEstimate {
     /// True when the estimator says splitting pays off.
+    #[must_use]
     pub fn splitting_wins(&self) -> bool {
         self.gain > 0.0
     }
@@ -40,7 +42,7 @@ impl EagerSplitEstimate {
 /// ```
 /// use nm_core::estimate::estimate_eager_split;
 /// use nm_core::predictor::{Predictor, RailView};
-/// use nm_model::PerfProfile;
+/// use nm_model::{Micros, PerfProfile};
 /// use nm_sim::RailId;
 ///
 /// let rail = |i: usize, name: &str, lat: f64, bw: f64| {
@@ -55,16 +57,18 @@ impl EagerSplitEstimate {
 /// let p = Predictor::new(vec![rail(0, "a", 3.0, 900.0), rail(1, "b", 2.0, 800.0)]);
 ///
 /// // Tiny message: the 3 µs offload cost dominates — splitting loses.
-/// assert!(!estimate_eager_split(&p, 256, 3.0).splitting_wins());
+/// assert!(!estimate_eager_split(&p, 256, Micros::new(3.0)).splitting_wins());
 /// // 64 KiB: parallel copies amortize it — splitting wins (paper Fig 9).
-/// assert!(estimate_eager_split(&p, 64 * 1024, 3.0).splitting_wins());
+/// assert!(estimate_eager_split(&p, 64 * 1024, Micros::new(3.0)).splitting_wins());
 /// ```
+#[must_use]
 pub fn estimate_eager_split(
     predictor: &Predictor,
     size: u64,
-    offload_us: f64,
+    offload_us: Micros,
 ) -> EagerSplitEstimate {
     assert!(size > 0, "empty messages are not modeled");
+    let offload_us = offload_us.get();
     assert!(offload_us >= 0.0);
     let cost = predictor.eager_cost();
     let rails: Vec<(RailId, f64)> = (0..predictor.rail_count()).map(|i| (RailId(i), 0.0)).collect();
@@ -92,12 +96,12 @@ mod tests {
     fn tiny_messages_lose_large_messages_win() {
         // Synthetic rails 3 + s/1000 and 1 + s/500, T_O = 3 µs.
         let p = two_rail_predictor();
-        let tiny = estimate_eager_split(&p, 64, 3.0);
+        let tiny = estimate_eager_split(&p, 64, Micros::new(3.0));
         assert!(!tiny.splitting_wins(), "64B split must lose: {tiny:?}");
-        let large = estimate_eager_split(&p, 64 * 1024, 3.0);
+        let large = estimate_eager_split(&p, 64 * 1024, Micros::new(3.0));
         assert!(large.splitting_wins(), "64KB split must win: {large:?}");
         // Gain grows with size in this regime.
-        let medium = estimate_eager_split(&p, 8 * 1024, 3.0);
+        let medium = estimate_eager_split(&p, 8 * 1024, Micros::new(3.0));
         assert!(large.gain > medium.gain);
     }
 
@@ -107,7 +111,7 @@ mod tests {
         // equal completion at x = (2S - 2000)/3, T = 3 + x/1000; plus T_O.
         let p = two_rail_predictor();
         let size = 64 * 1024u64;
-        let e = estimate_eager_split(&p, size, 3.0);
+        let e = estimate_eager_split(&p, size, Micros::new(3.0));
         let x = (2.0 * size as f64 - 2000.0) / 3.0;
         let want = 3.0 + (3.0 + x / 1000.0);
         assert!((e.split_us - want).abs() < 0.05, "{} vs {want}", e.split_us);
@@ -122,7 +126,7 @@ mod tests {
         let crossover = |to: f64| {
             (2..20)
                 .map(|p2| 1u64 << p2)
-                .find(|&s| estimate_eager_split(&p, s, to).splitting_wins())
+                .find(|&s| estimate_eager_split(&p, s, Micros::new(to)).splitting_wins())
                 .unwrap_or(u64::MAX)
         };
         assert!(crossover(0.0) < crossover(3.0));

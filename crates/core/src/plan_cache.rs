@@ -113,6 +113,8 @@ impl PlanCache {
         match self.slots.get(&key) {
             Some(c) if c.salt == salt && c.size == size && c.waits.as_slice() == waits => {
                 self.stats.hits += 1;
+                // nm-analyzer: allow(clone) -- Split holds an InlineVec; the
+                // clone is a stack copy, no heap traffic
                 Some(c.plan.clone())
             }
             _ => {

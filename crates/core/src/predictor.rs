@@ -65,7 +65,9 @@ impl Predictor {
     }
 
     /// One rail's view.
+    #[must_use]
     pub fn rail(&self, rail: RailId) -> &RailView {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         &self.rails[rail.index()]
     }
 
@@ -87,24 +89,38 @@ impl Predictor {
     /// Predicted completion (µs from now) of `bytes` on `rail` when the NIC
     /// frees up `wait_us` from now — Fig 2's quantity: "the time remaining
     /// before it becomes idle is added to its predicted transfer time".
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core shared with the
+    // CostModel trait; callers wrap at the API boundary
+    #[must_use]
     pub fn completion_us(&self, rail: RailId, bytes: u64, wait_us: f64) -> f64 {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         wait_us.max(0.0) + self.rails[rail.index()].natural.predict_us(bytes)
     }
 
     /// The rail with the lowest predicted completion for sending `bytes`
     /// whole, given per-rail waits ("the fastest available network").
+    #[must_use]
     pub fn fastest_rail(&self, bytes: u64, waits_us: &[f64]) -> RailId {
         assert_eq!(waits_us.len(), self.rails.len());
-        self.rails
-            .iter()
-            .map(|r| (r.rail, self.completion_us(r.rail, bytes, waits_us[r.rail.index()])))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty")
-            .0
+        // Total scan: NaN completions lose every `<` comparison, so a
+        // degenerate profile falls back to rail 0 rather than panicking.
+        let mut best_rail = RailId(0);
+        let mut best_us = f64::INFINITY;
+        for (r, &wait) in self.rails.iter().zip(waits_us) {
+            let t = self.completion_us(r.rail, bytes, wait);
+            if t < best_us {
+                best_us = t;
+                best_rail = r.rail;
+            }
+        }
+        best_rail
     }
 
     /// Converts a transport's absolute busy-until into "µs of wait from
     /// now" for prediction.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core shared with the
+    // CostModel trait; callers wrap at the API boundary
+    #[must_use]
     pub fn wait_us(now: SimTime, busy_until: SimTime) -> f64 {
         busy_until.saturating_since(now).as_micros_f64()
     }
@@ -121,9 +137,11 @@ impl CostModel for NaturalCost<'_> {
         self.p.rails.len()
     }
     fn time_us(&self, rail: RailId, bytes: u64) -> f64 {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         self.p.rails[rail.index()].natural.predict_us(bytes)
     }
     fn bytes_within(&self, rail: RailId, budget_us: f64) -> u64 {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         self.p.rails[rail.index()].natural.bytes_within_us(budget_us)
     }
 }
@@ -139,9 +157,11 @@ impl CostModel for EagerCost<'_> {
         self.p.rails.len()
     }
     fn time_us(&self, rail: RailId, bytes: u64) -> f64 {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         self.p.rails[rail.index()].eager.predict_us(bytes)
     }
     fn bytes_within(&self, rail: RailId, budget_us: f64) -> u64 {
+        // nm-analyzer: allow(index) -- rail ids are validated contiguous in new()
         self.p.rails[rail.index()].eager.bytes_within_us(budget_us)
     }
 }

@@ -23,6 +23,8 @@ use nm_sim::RailId;
 /// * `size` — message bytes.
 /// * `max_chunks` — upper bound on participating rails (idle-core cap);
 ///   must be ≥ 1.
+// nm-analyzer: no_alloc
+#[must_use]
 pub fn select_rails<C: CostModel>(
     cost: &C,
     rails: &[(RailId, f64)],
@@ -34,8 +36,12 @@ pub fn select_rails<C: CostModel>(
 
     let mut split = equal_completion_split(cost, rails, size);
     while split.assignments.len() > max_chunks {
-        // Drop the smallest contributor and re-balance among the rest.
-        let (drop_rail, _) = *split.assignments.iter().min_by_key(|&&(_, b)| b).expect("non-empty");
+        // Drop the smallest contributor and re-balance among the rest. The
+        // loop guard proves `assignments.len() > max_chunks >= 1`, so a
+        // minimum exists; the `else` arm is unreachable but total.
+        let Some(&(drop_rail, _)) = split.assignments.iter().min_by_key(|&&(_, b)| b) else {
+            break;
+        };
         let survivors: InlineVec<(RailId, f64), MAX_RAILS> = rails
             .iter()
             .copied()

@@ -25,6 +25,8 @@ impl Aggregation {
     }
 
     /// Custom pack budget.
+    // nm-analyzer: allow(unit-bare) -- packing threshold compared against
+    // queue byte counts, which the Ctx interface keeps as u64
     pub fn with_max_pack(max_pack_bytes: u64) -> Self {
         assert!(max_pack_bytes > ENTRY_OVERHEAD as u64);
         Aggregation { max_pack_bytes, big_message_fallback: HeteroSplit::new() }

@@ -43,6 +43,8 @@ impl MulticoreEager {
     }
 
     /// Custom offload/preemption costs (for the sensitivity ablation).
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the cost
+    // model; estimate_eager_split consumes these raw
     pub fn with_costs(offload_us: f64, preempt_us: f64) -> Self {
         assert!(offload_us >= 0.0 && preempt_us >= offload_us);
         MulticoreEager {

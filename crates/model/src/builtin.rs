@@ -166,8 +166,8 @@ mod tests {
     fn text_numbers_2mb_chunks() {
         // Paper §IV-A: under iso-split of 4 MB, a 2 MB chunk takes ~1730 us
         // on Myri-10G and ~2400 us on Quadrics. Accept 10% model error.
-        let m = myri_10g().one_way_us(2 * MIB);
-        let q = qsnet2().one_way_us(2 * MIB);
+        let m = myri_10g().one_way_us(2 * MIB).get();
+        let q = qsnet2().one_way_us(2 * MIB).get();
         assert!((m - 1730.0).abs() / 1730.0 < 0.10, "myri 2MB: {m:.0}us");
         assert!((q - 2400.0).abs() / 2400.0 < 0.10, "quadrics 2MB: {q:.0}us");
     }

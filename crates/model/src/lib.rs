@@ -44,3 +44,4 @@ pub use pio::PioModel;
 pub use profile::PerfProfile;
 pub use regime::{Regime, RegimeTable};
 pub use time::{SimDuration, SimTime};
+pub use units::{Bytes, Micros};

@@ -10,6 +10,7 @@ use crate::error::ModelError;
 use crate::pio::PioModel;
 use crate::regime::RegimeTable;
 use crate::time::SimDuration;
+use crate::units::Micros;
 
 /// The communication paradigm a driver exposes (paper §II-B lists this among
 /// the properties a strategy must know about).
@@ -80,8 +81,8 @@ impl LinkModel {
             ));
         }
         let t = self.rdv_threshold;
-        let eager_below = self.one_way_us_in_mode(t - 1, TransferMode::Eager);
-        let rdv_at = self.one_way_us_in_mode(t, TransferMode::Rendezvous);
+        let eager_below = self.one_way_us_in_mode(t - 1, TransferMode::Eager).get();
+        let rdv_at = self.one_way_us_in_mode(t, TransferMode::Rendezvous).get();
         if rdv_at < 0.8 * eager_below {
             return Err(ModelError::InvalidParameter(format!(
                 "one-way time dips more than 20% at the rendezvous threshold {t} \
@@ -100,54 +101,58 @@ impl LinkModel {
         }
     }
 
-    /// One-way end-to-end duration of `size` bytes in a *forced* mode, in
-    /// microseconds. For rendezvous this includes the RTS/CTS round and
-    /// setup.
-    pub fn one_way_us_in_mode(&self, size: u64, mode: TransferMode) -> f64 {
-        match mode {
+    /// One-way end-to-end duration of `size` bytes in a *forced* mode.
+    /// For rendezvous this includes the RTS/CTS round and setup.
+    #[must_use]
+    pub fn one_way_us_in_mode(&self, size: u64, mode: TransferMode) -> Micros {
+        Micros::new(match mode {
             TransferMode::Eager => self.eager.time_us(size),
             TransferMode::Rendezvous => {
                 2.0 * self.ctrl_latency_us + self.rdv_setup_us + self.rdv.time_us(size)
             }
-        }
+        })
     }
 
     /// One-way end-to-end duration of `size` bytes using the natural
-    /// protocol for that size, in microseconds.
-    pub fn one_way_us(&self, size: u64) -> f64 {
+    /// protocol for that size.
+    #[must_use]
+    pub fn one_way_us(&self, size: u64) -> Micros {
         self.one_way_us_in_mode(size, self.mode_for(size))
     }
 
     /// Same as [`Self::one_way_us`] as a [`SimDuration`].
     pub fn one_way(&self, size: u64) -> SimDuration {
-        SimDuration::from_micros_f64(self.one_way_us(size))
+        self.one_way_us(size).to_duration()
     }
 
     /// Duration the sending NIC is busy with this transfer (serialization +
-    /// drain), in microseconds. For eager messages the NIC is busy for the
-    /// wire time; for rendezvous it is busy only during the DMA data phase.
-    pub fn nic_busy_us(&self, size: u64) -> f64 {
-        match self.mode_for(size) {
+    /// drain). For eager messages the NIC is busy for the wire time; for
+    /// rendezvous it is busy only during the DMA data phase.
+    #[must_use]
+    pub fn nic_busy_us(&self, size: u64) -> Micros {
+        Micros::new(match self.mode_for(size) {
             TransferMode::Eager => self.eager.time_us(size),
             TransferMode::Rendezvous => self.rdv.time_us(size),
-        }
+        })
     }
 
-    /// Core occupancy on the *send* side, in microseconds (PIO copy for
-    /// eager, negligible descriptor work for rendezvous).
-    pub fn sender_cpu_us(&self, size: u64) -> f64 {
-        match self.mode_for(size) {
+    /// Core occupancy on the *send* side (PIO copy for eager, negligible
+    /// descriptor work for rendezvous).
+    #[must_use]
+    pub fn sender_cpu_us(&self, size: u64) -> Micros {
+        Micros::new(match self.mode_for(size) {
             TransferMode::Eager => self.pio.copy_time_us(size),
             TransferMode::Rendezvous => self.rdv_setup_us,
-        }
+        })
     }
 
-    /// Core occupancy on the *receive* side, in microseconds.
-    pub fn receiver_cpu_us(&self, size: u64) -> f64 {
-        match self.mode_for(size) {
+    /// Core occupancy on the *receive* side.
+    #[must_use]
+    pub fn receiver_cpu_us(&self, size: u64) -> Micros {
+        Micros::new(match self.mode_for(size) {
             TransferMode::Eager => self.pio.copy_time_us(size),
             TransferMode::Rendezvous => 0.0,
-        }
+        })
     }
 
     /// Asymptotic bandwidth of the link in MB/s.
@@ -155,9 +160,10 @@ impl LinkModel {
         self.rdv.asymptotic_bandwidth_mbps()
     }
 
-    /// Zero-byte one-way latency in microseconds.
-    pub fn base_latency_us(&self) -> f64 {
-        self.eager.base_latency_us()
+    /// Zero-byte one-way latency.
+    #[must_use]
+    pub fn base_latency_us(&self) -> Micros {
+        Micros::new(self.eager.base_latency_us())
     }
 
     /// Returns a degraded copy of this link (failure injection): bandwidth
@@ -193,7 +199,7 @@ mod tests {
             for p in 0..24 {
                 let size = 1u64 << p;
                 let mode = link.mode_for(size);
-                let t = link.one_way_us(size);
+                let t = link.one_way_us(size).get();
                 if last_mode == Some(mode) {
                     assert!(
                         t >= last,
@@ -215,12 +221,12 @@ mod tests {
         let m = builtin::myri_10g();
         let big = 4 * MIB;
         let small = 4 * KIB;
-        assert!(m.sender_cpu_us(small) > 1.0, "eager send must burn CPU");
+        assert!(m.sender_cpu_us(small).get() > 1.0, "eager send must burn CPU");
         assert!(
-            m.sender_cpu_us(big) < 5.0,
+            m.sender_cpu_us(big).get() < 5.0,
             "rendezvous send must not burn CPU proportional to size"
         );
-        assert_eq!(m.receiver_cpu_us(big), 0.0);
+        assert_eq!(m.receiver_cpu_us(big), Micros::ZERO);
     }
 
     #[test]
@@ -228,10 +234,8 @@ mod tests {
         // Paper Fig 8: Myri-10G 1170 MB/s, Quadrics 837 MB/s (MB = 2^20).
         let myri = builtin::myri_10g();
         let quad = builtin::qsnet2();
-        let myri_bw =
-            SimDuration::from_micros_f64(myri.one_way_us(8 * MIB)).bandwidth_mibps(8 * MIB);
-        let quad_bw =
-            SimDuration::from_micros_f64(quad.one_way_us(8 * MIB)).bandwidth_mibps(8 * MIB);
+        let myri_bw = myri.one_way_us(8 * MIB).to_duration().bandwidth_mibps(8 * MIB);
+        let quad_bw = quad.one_way_us(8 * MIB).to_duration().bandwidth_mibps(8 * MIB);
         assert!((myri_bw - 1170.0).abs() < 35.0, "myri asymptote: {myri_bw}");
         assert!((quad_bw - 837.0).abs() < 25.0, "quadrics asymptote: {quad_bw}");
     }
@@ -240,7 +244,7 @@ mod tests {
     fn degradation_scales_throughput_not_latency() {
         let m = builtin::myri_10g();
         let d = m.degraded(0.25).unwrap();
-        assert!((d.base_latency_us() - m.base_latency_us()).abs() < 1e-9);
+        assert!((d.base_latency_us() - m.base_latency_us()).get().abs() < 1e-9);
         let big = 4 * MIB;
         let ratio = d.one_way_us(big) / m.one_way_us(big);
         assert!(ratio > 3.0, "quartered bandwidth should ~4x large transfers, got {ratio}");

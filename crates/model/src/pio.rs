@@ -20,6 +20,8 @@ pub struct PioModel {
 
 impl PioModel {
     /// A model with the given setup overhead and copy bandwidth.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn new(overhead_us: f64, copy_bandwidth_mbps: f64) -> Self {
         assert!(
             overhead_us >= 0.0 && copy_bandwidth_mbps > 0.0,
@@ -29,6 +31,8 @@ impl PioModel {
     }
 
     /// Core occupancy for copying `size` bytes, in microseconds.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn copy_time_us(&self, size: u64) -> f64 {
         self.overhead_us + size as f64 / self.copy_bandwidth_mbps
     }
@@ -40,6 +44,8 @@ impl PioModel {
 
     /// Largest payload whose copy fits in `budget_us` microseconds
     /// (zero if even an empty packet does not fit).
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn bytes_within_us(&self, budget_us: f64) -> u64 {
         let usable = budget_us - self.overhead_us;
         if usable <= 0.0 {

@@ -147,6 +147,8 @@ impl PerfProfile {
     /// Linear interpolation between the bracketing samples; linear
     /// extrapolation (clamped to ≥ 0) outside the sampled range, so large
     /// messages extend at the last measured bandwidth.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn predict_us(&self, size: u64) -> f64 {
         let i = self.bracket(size);
         let (s0, t0) = self.samples[i];
@@ -175,6 +177,8 @@ impl PerfProfile {
     /// Largest size predicted to complete within `budget_us` microseconds.
     /// Returns 0 if not even the smallest extrapolation fits. The answer is
     /// exact up to prediction granularity because predictions are monotone.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn bytes_within_us(&self, budget_us: f64) -> u64 {
         if self.predict_us(1) > budget_us {
             return 0;

@@ -32,6 +32,8 @@ pub struct Regime {
 
 impl Regime {
     /// Transfer time for `size` bytes under this regime, in microseconds.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn time_us(&self, size: u64) -> f64 {
         self.latency_us + size as f64 / self.bandwidth_mbps
     }
@@ -102,6 +104,8 @@ impl RegimeTable {
     /// Each regime's latency is derived so the curve is continuous at every
     /// breakpoint; with non-decreasing bandwidths this yields a strictly
     /// increasing transfer-time curve. Breakpoints must start at size 0.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn continuous(base_latency_us: f64, breaks: &[(u64, f64)]) -> Result<Self, ModelError> {
         if breaks.is_empty() || breaks[0].0 != 0 {
             return Err(ModelError::InvalidRegimes(
@@ -131,6 +135,8 @@ impl RegimeTable {
     }
 
     /// Transfer time for `size` bytes, in microseconds.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn time_us(&self, size: u64) -> f64 {
         self.regime_for(size).time_us(size)
     }
@@ -146,6 +152,8 @@ impl RegimeTable {
     }
 
     /// Base latency (time for a 0-byte message).
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the link
+    // model, beneath the typed Micros boundary
     pub fn base_latency_us(&self) -> f64 {
         self.regimes[0].latency_us
     }

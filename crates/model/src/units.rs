@@ -1,9 +1,146 @@
-//! Size units and formatting helpers.
+//! Size units, typed quantity wrappers, and formatting helpers.
 //!
 //! The paper mixes conventions: bandwidth plots use decimal megabytes
 //! (1 MB = 10^6 bytes) while message sizes on the x-axis are binary
 //! (32K = 32768 bytes). This module pins both conventions down so every
 //! crate agrees.
+//!
+//! [`Micros`] and [`Bytes`] are the unit-hygiene boundary enforced by
+//! nm-analyzer's `unit-bare` rule: public APIs named `*_us`/`*_bytes`/`*_bw`
+//! traffic in these wrappers instead of bare `f64`/`u64`. Both are
+//! `#[repr(transparent)]`, so wrapping an existing value changes neither its
+//! bit pattern nor any arithmetic performed through the accessors — golden
+//! outputs stay bit-identical across the migration.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in microseconds, the cost-model currency of the engine.
+///
+/// A transparent wrapper over `f64`: same ABI, same bits, no rounding.
+/// Arithmetic through the provided operators is exactly the arithmetic the
+/// bare `f64` code performed.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[repr(transparent)]
+pub struct Micros(f64);
+
+impl Micros {
+    /// Zero microseconds.
+    pub const ZERO: Micros = Micros(0.0);
+
+    /// Wraps a raw microsecond count.
+    #[must_use]
+    pub const fn new(us: f64) -> Self {
+        Micros(us)
+    }
+
+    /// The raw microsecond count.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the nanosecond-resolution simulator time base.
+    #[must_use]
+    pub fn to_duration(self) -> SimDuration {
+        SimDuration::from_micros_f64(self.0)
+    }
+
+    /// Elementwise minimum.
+    #[must_use]
+    pub fn min(self, other: Micros) -> Micros {
+        Micros(self.0.min(other.0))
+    }
+
+    /// Elementwise maximum.
+    #[must_use]
+    pub fn max(self, other: Micros) -> Micros {
+        Micros(self.0.max(other.0))
+    }
+
+    /// True when the value is finite (guards against degenerate profiles).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: f64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: f64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+/// Ratio of two durations (dimensionless).
+impl Div<Micros> for Micros {
+    type Output = f64;
+    fn div(self, rhs: Micros) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// A byte count with its unit in the type.
+///
+/// A transparent wrapper over `u64`, used where a bare `u64` would be
+/// ambiguous against counts, indices or identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Wraps a raw byte count.
+    #[must_use]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// The raw byte count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
 
 /// One binary kilobyte (KiB).
 pub const KIB: u64 = 1024;
@@ -77,6 +214,23 @@ pub fn log2_floor(bytes: u64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn micros_is_transparent_and_arithmetically_identical() {
+        let a = Micros::new(3.25);
+        let b = Micros::new(1.5);
+        assert_eq!((a + b).get(), 3.25 + 1.5);
+        assert_eq!((a - b).get(), 3.25 - 1.5);
+        assert_eq!((a * 2.0).get(), 3.25 * 2.0);
+        assert_eq!((a / 2.0).get(), 3.25 / 2.0);
+        assert_eq!(a / b, 3.25 / 1.5);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(std::mem::size_of::<Micros>(), std::mem::size_of::<f64>());
+        assert_eq!(Micros::new(2.0).to_duration(), SimDuration::from_micros(2));
+        assert_eq!(Bytes::new(7).get(), 7);
+        assert_eq!(format!("{} {}", Micros::new(1.5), Bytes::new(4)), "1.5us 4B");
+    }
 
     #[test]
     fn format_matches_paper_labels() {

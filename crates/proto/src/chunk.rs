@@ -168,6 +168,8 @@ impl Reassembler {
                 // Exact duplicate range: only byte-identical content may be
                 // dropped — differing bytes mean one copy is corrupt, and
                 // silently keeping either would mask it.
+                // nm-analyzer: allow(index) -- end <= total_len checked above;
+                // buffer is allocated at total_len
                 if self.buffer[offset as usize..end as usize] != data[..] {
                     return Err(ProtoError::DuplicateMismatch { offset });
                 }
@@ -182,6 +184,7 @@ impl Reassembler {
             }
         }
         if pos > 0 {
+            // nm-analyzer: allow(index) -- guarded by pos > 0
             let (o, l) = self.ranges[pos - 1];
             if o + l > offset {
                 return Err(ProtoError::BadChunk(format!(
@@ -190,6 +193,7 @@ impl Reassembler {
                 )));
             }
         }
+        // nm-analyzer: allow(index) -- end <= total_len checked on entry
         self.buffer[offset as usize..end as usize].copy_from_slice(data);
         self.ranges.insert(pos, (offset, len));
         self.received += len;

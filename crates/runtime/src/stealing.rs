@@ -39,6 +39,10 @@ pub struct StealPool {
 
 impl StealPool {
     /// Spawns `workers` threads, each with a local deque.
+    // nm-analyzer: allow(clone) -- Arc refcount bump at pool construction,
+    // a cold one-time path
+    // nm-analyzer: allow(expect) -- thread spawn failure at startup is
+    // unrecoverable; the pool cannot exist without its workers
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
         let locals: Vec<Deque<Tasklet>> = (0..workers).map(|_| Deque::new_fifo()).collect();

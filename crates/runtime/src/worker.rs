@@ -125,6 +125,8 @@ impl WorkerPool {
         sh.queued.fetch_add(1, Ordering::AcqRel);
         self.senders[worker]
             .send(Msg::Run { tasklet, submitted: Instant::now(), signaled })
+            // The receiver lives until shutdown() drains the pool; submitting
+            // to a shut-down pool is a caller bug worth failing loudly on.
             .expect("worker alive");
     }
 

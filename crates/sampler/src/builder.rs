@@ -50,7 +50,7 @@ mod tests {
         let link = builtin::myri_10g();
         for size in [3_000u64, 12_345, 40_000, 3_000_000] {
             let got = profile.predict_us(size);
-            let want = link.one_way_us(size);
+            let want = link.one_way_us(size).get();
             let rel = (got - want).abs() / want;
             assert!(rel < 0.10, "size {size}: predicted {got:.2}, truth {want:.2}");
         }
@@ -58,7 +58,8 @@ mod tests {
         // the protocol jump across one octave; the error is larger there but
         // must stay bounded.
         let size = 100_000u64;
-        let rel = (profile.predict_us(size) - link.one_way_us(size)).abs() / link.one_way_us(size);
+        let rel = (profile.predict_us(size) - link.one_way_us(size).get()).abs()
+            / link.one_way_us(size).get();
         assert!(rel < 0.25, "protocol-switch error too large: {rel:.3}");
     }
 

@@ -134,7 +134,7 @@ mod tests {
         let link = builtin::myri_10g();
         assert_eq!(samples.len(), c.sizes().len());
         for &(size, us) in &samples {
-            let want = link.one_way_us(size);
+            let want = link.one_way_us(size).get();
             assert!((us - want).abs() < 0.01, "size {size}: {us} vs {want}");
         }
     }

@@ -9,7 +9,7 @@
 //! its prediction.
 
 use crate::transport::SampleTransport;
-use nm_model::units::KIB;
+use nm_model::units::{Micros, KIB};
 
 /// Parameters of a re-admission probe.
 #[derive(Debug, Clone)]
@@ -50,11 +50,10 @@ impl ProbeConfig {
 /// `tolerance ×` the predicted one? Non-finite or non-positive inputs
 /// fail the probe (a rail that can't produce a sane measurement is not
 /// healthy).
-pub fn probe_ok(predicted_us: f64, actual_us: f64, tolerance: f64) -> bool {
-    predicted_us > 0.0
-        && actual_us.is_finite()
-        && actual_us > 0.0
-        && actual_us <= predicted_us * tolerance
+#[must_use]
+pub fn probe_ok(predicted_us: Micros, actual_us: Micros, tolerance: f64) -> bool {
+    let (predicted, actual) = (predicted_us.get(), actual_us.get());
+    predicted > 0.0 && actual.is_finite() && actual > 0.0 && actual <= predicted * tolerance
 }
 
 /// Runs a full probe out-of-band over a [`SampleTransport`]: measures each
@@ -77,7 +76,7 @@ pub fn probe_rail<T: SampleTransport>(
             return false; // no baseline for this size: cannot vouch
         };
         let actual = transport.measure_us(rail, size, None);
-        probe_ok(predicted, actual, config.tolerance)
+        probe_ok(Micros::new(predicted), Micros::new(actual), config.tolerance)
     })
 }
 
@@ -104,20 +103,26 @@ mod tests {
 
     #[test]
     fn verdict_boundaries() {
-        assert!(probe_ok(100.0, 100.0, 3.0));
-        assert!(probe_ok(100.0, 300.0, 3.0), "exactly at tolerance passes");
-        assert!(!probe_ok(100.0, 301.0, 3.0));
-        assert!(!probe_ok(0.0, 50.0, 3.0), "degenerate prediction fails");
-        assert!(!probe_ok(100.0, f64::INFINITY, 3.0));
-        assert!(!probe_ok(100.0, -1.0, 3.0));
+        assert!(probe_ok(Micros::new(100.0), Micros::new(100.0), 3.0));
+        assert!(
+            probe_ok(Micros::new(100.0), Micros::new(300.0), 3.0),
+            "exactly at tolerance passes"
+        );
+        assert!(!probe_ok(Micros::new(100.0), Micros::new(301.0), 3.0));
+        assert!(!probe_ok(Micros::new(0.0), Micros::new(50.0), 3.0), "degenerate prediction fails");
+        assert!(!probe_ok(Micros::new(100.0), Micros::new(f64::INFINITY), 3.0));
+        assert!(!probe_ok(Micros::new(100.0), Micros::new(-1.0), 3.0));
     }
 
     #[test]
     fn healthy_rail_passes_probe_against_its_own_model() {
         let mut t = SimTransport::paper_testbed();
         let cfg = ProbeConfig::default();
-        let expected: Vec<(u64, f64)> =
-            cfg.sizes.iter().map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s))).collect();
+        let expected: Vec<(u64, f64)> = cfg
+            .sizes
+            .iter()
+            .map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s).get()))
+            .collect();
         assert!(probe_rail(&mut t, 0, &cfg, &expected));
     }
 
@@ -129,7 +134,7 @@ mod tests {
         let expected: Vec<(u64, f64)> = cfg
             .sizes
             .iter()
-            .map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s) / 10.0))
+            .map(|&s| (s, nm_model::builtin::myri_10g().one_way_us(s).get() / 10.0))
             .collect();
         assert!(!probe_rail(&mut t, 0, &cfg, &expected));
     }

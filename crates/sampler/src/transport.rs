@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(t.rail_count(), 2);
         assert_eq!(t.rail_name(0), "myri-10g");
         let got = t.measure_us(0, 4096, None);
-        let want = builtin::myri_10g().one_way_us(4096);
+        let want = builtin::myri_10g().one_way_us(4096).get();
         assert!((got - want).abs() < 0.01, "{got} vs {want}");
         assert_eq!(t.measurement_count(), 1);
     }
@@ -113,8 +113,9 @@ mod tests {
         let mut t = SimTransport::paper_testbed();
         let eager = t.measure_us(0, 1 << 20, Some(TransferMode::Eager));
         let rdv = t.measure_us(0, 1 << 20, Some(TransferMode::Rendezvous));
-        let want_eager = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Eager);
-        let want_rdv = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Rendezvous);
+        let want_eager = builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Eager).get();
+        let want_rdv =
+            builtin::myri_10g().one_way_us_in_mode(1 << 20, TransferMode::Rendezvous).get();
         assert!((eager - want_eager).abs() < 0.01);
         assert!((rdv - want_rdv).abs() < 0.01);
     }
@@ -122,7 +123,7 @@ mod tests {
     #[test]
     fn jitter_produces_noise_around_the_truth() {
         let mut t = SimTransport::paper_testbed().with_jitter(0.05, 42);
-        let truth = builtin::qsnet2().one_way_us(65536);
+        let truth = builtin::qsnet2().one_way_us(65536).get();
         let xs: Vec<f64> = (0..32).map(|_| t.measure_us(1, 65536, None)).collect();
         let distinct = xs.windows(2).any(|w| w[0] != w[1]);
         assert!(distinct, "jitter must vary across measurements");

@@ -193,7 +193,7 @@ enum Ev {
 /// let id = sim.submit(SendSpec::simple(NodeId(0), NodeId(1), RailId(0), 4096));
 /// let delivered = sim.run_until_delivered(id);
 /// // An uncontended transfer lands exactly at the link model's one-way time.
-/// let want = nm_model::builtin::myri_10g().one_way_us(4096);
+/// let want = nm_model::builtin::myri_10g().one_way_us(4096).get();
 /// assert!((delivered.as_micros_f64() - want).abs() < 0.01);
 /// ```
 pub struct Simulator {
@@ -815,7 +815,7 @@ mod tests {
                 let mut s = sim();
                 let id = s.submit(SendSpec::simple(N0, N1, rail, size));
                 let at = s.run_until_delivered(id);
-                let want = link.one_way_us(size);
+                let want = link.one_way_us(size).get();
                 let got = at.as_micros_f64();
                 assert!(
                     (got - want).abs() < 0.01,
@@ -834,7 +834,7 @@ mod tests {
                 let id = s.submit(SendSpec::simple(N0, N1, rail, size));
                 assert_eq!(s.transfer(id).mode, TransferMode::Rendezvous);
                 let at = s.run_until_delivered(id);
-                let want = link.one_way_us(size);
+                let want = link.one_way_us(size).get();
                 let got = at.as_micros_f64();
                 assert!(
                     (got - want).abs() < 0.01,
@@ -898,7 +898,8 @@ mod tests {
         s.run_until_idle();
         let a_done = s.transfer(a).delivered_at.unwrap().as_micros_f64();
         let b_done = s.transfer(b).delivered_at.unwrap().as_micros_f64();
-        let serial = builtin::myri_10g().one_way_us(size) + builtin::qsnet2().one_way_us(size);
+        let serial =
+            (builtin::myri_10g().one_way_us(size) + builtin::qsnet2().one_way_us(size)).get();
         let parallel_end = a_done.max(b_done);
         assert!(
             parallel_end < 0.75 * serial,
@@ -955,7 +956,7 @@ mod tests {
         let id = s.submit(SendSpec::simple(N0, N1, MYRI, MIB).with_mode(TransferMode::Eager));
         assert_eq!(s.transfer(id).mode, TransferMode::Eager);
         let at = s.run_until_delivered(id);
-        let want = builtin::myri_10g().one_way_us_in_mode(MIB, TransferMode::Eager);
+        let want = builtin::myri_10g().one_way_us_in_mode(MIB, TransferMode::Eager).get();
         assert!((at.as_micros_f64() - want).abs() < 0.01);
     }
 
@@ -987,7 +988,7 @@ mod tests {
         let b = run(8);
         assert_eq!(a1, a2, "same seed must reproduce");
         assert_ne!(a1, b, "different seeds should differ");
-        let clean = builtin::myri_10g().one_way_us(64 * KIB);
+        let clean = builtin::myri_10g().one_way_us(64 * KIB).get();
         assert!((a1 - clean).abs() / clean < 0.12, "jitter bounded by ~2x frac");
     }
 
@@ -1042,7 +1043,7 @@ mod tests {
     fn latency_spike_adds_fixed_extra_time() {
         let size = 4 * KIB; // eager: one flight pays the extra once
         let extra = SimDuration::from_micros(500);
-        let clean = builtin::myri_10g().one_way_us(size);
+        let clean = builtin::myri_10g().one_way_us(size).get();
         let mut s = sim();
         s.set_rail_fault(MYRI, 1.0, extra);
         let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));

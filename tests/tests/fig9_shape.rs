@@ -3,7 +3,7 @@
 //! crossover in the few-KB region.
 
 use nm_core::estimate::estimate_eager_split;
-use nm_model::units::{pow2_sizes, KIB};
+use nm_model::units::{pow2_sizes, Micros, KIB};
 use nm_sim::ClusterSpec;
 use nm_tests::sample_predictor;
 
@@ -12,7 +12,7 @@ fn crossover_sits_in_the_few_kb_region() {
     let p = sample_predictor(&ClusterSpec::paper_testbed());
     let crossover = pow2_sizes(4, 64 * KIB)
         .into_iter()
-        .find(|&s| estimate_eager_split(&p, s, 3.0).splitting_wins())
+        .find(|&s| estimate_eager_split(&p, s, Micros::new(3.0)).splitting_wins())
         .expect("splitting must win somewhere below 64K");
     // Paper: "splitting small messages (i.e. smaller than 4 KB) appears to
     // be costly". Accept a crossover in [2K, 16K].
@@ -22,7 +22,7 @@ fn crossover_sits_in_the_few_kb_region() {
 #[test]
 fn gain_at_64k_is_around_thirty_percent() {
     let p = sample_predictor(&ClusterSpec::paper_testbed());
-    let gain = estimate_eager_split(&p, 64 * KIB, 3.0).gain;
+    let gain = estimate_eager_split(&p, 64 * KIB, Micros::new(3.0)).gain;
     assert!((0.25..=0.50).contains(&gain), "gain at 64K: {:.1}%", gain * 100.0);
 }
 
@@ -31,7 +31,7 @@ fn gain_is_monotone_in_this_range() {
     let p = sample_predictor(&ClusterSpec::paper_testbed());
     let mut last = f64::MIN;
     for size in pow2_sizes(KIB, 64 * KIB) {
-        let gain = estimate_eager_split(&p, size, 3.0).gain;
+        let gain = estimate_eager_split(&p, size, Micros::new(3.0)).gain;
         assert!(gain >= last - 1e-6, "gain dipped at {size}");
         last = gain;
     }
@@ -41,7 +41,7 @@ fn gain_is_monotone_in_this_range() {
 fn tiny_messages_always_lose_with_the_paper_cost() {
     let p = sample_predictor(&ClusterSpec::paper_testbed());
     for size in pow2_sizes(4, 512) {
-        let e = estimate_eager_split(&p, size, 3.0);
+        let e = estimate_eager_split(&p, size, Micros::new(3.0));
         assert!(!e.splitting_wins(), "{size}B should lose: {e:?}");
     }
 }
@@ -52,7 +52,7 @@ fn the_estimate_is_conservative_versus_the_simulator() {
     // the estimator predicts: simulate a 64 KiB offloaded split and compare
     // against the estimate within 15%.
     let p = sample_predictor(&ClusterSpec::paper_testbed());
-    let est = estimate_eager_split(&p, 64 * KIB, 3.0).split_us;
+    let est = estimate_eager_split(&p, 64 * KIB, Micros::new(3.0)).split_us;
     let simulated = nm_tests::one_way_us(nm_core::strategy::StrategyKind::MulticoreEager, 64 * KIB);
     let rel = (simulated - est).abs() / est;
     assert!(rel < 0.15, "simulated {simulated:.1}us vs estimate {est:.1}us");

@@ -100,7 +100,8 @@ proptest! {
                 link.one_way_us_in_mode(send.size, TransferMode::Eager)
             } else {
                 link.one_way_us(send.size)
-            };
+            }
+            .get();
             let got = delivered.saturating_since(started).as_micros_f64();
             // 10ns tolerance: durations are rounded to nanoseconds.
             prop_assert!(
