@@ -3,6 +3,20 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Every machine-readable artifact (analyzer report, bench JSONs) is gated
+# on the same key-presence schema check.
+check_bench_schema() {
+    local file="$1"
+    shift
+    local key
+    for key in "$@"; do
+        grep -q "\"$key\":" "$file" || {
+            echo "$file missing key: $key" >&2
+            exit 1
+        }
+    done
+}
+
 cargo build --release
 cargo test -q
 # `undocumented_unsafe_blocks` is promoted to deny: every unsafe block
@@ -24,13 +38,9 @@ bash scripts/concurrency_lint.sh
 cargo build -q -p nm-analyzer
 cargo run -q -p nm-analyzer -- --root . --json ANALYZER_REPORT.json
 cargo test -q -p nm-analyzer
-for key in tool version files_scanned fns_total fns_hot fns_no_alloc status \
-    counts allowed_counts findings allows; do
-    grep -q "\"$key\":" ANALYZER_REPORT.json || {
-        echo "ANALYZER_REPORT.json missing key: $key" >&2
-        exit 1
-    }
-done
+check_bench_schema ANALYZER_REPORT.json \
+    tool version files_scanned fns_total fns_hot fns_no_alloc status \
+    counts allowed_counts findings allows
 
 # Dependency audit (availability-gated: needs the cargo-deny binary and a
 # local advisory DB, neither of which the offline container ships; config
@@ -41,12 +51,16 @@ else
     echo "ci: cargo-deny unavailable; skipping license/advisory audit" >&2
 fi
 
-# Loom lane: exhaustively model-check the runtime's submit/steal/shutdown
-# and register/park protocols under the vendored loom shim. `--cfg loom`
-# swaps the nm-sync facade to the model types; a separate target dir keeps
-# the flag from invalidating the main build cache.
+# Loom lanes: exhaustively model-check (a) the runtime's submit/steal/
+# shutdown and register/park protocols and (b) the replog seqlock ring —
+# no lost ops, replica convergence, no torn reads across a lap — under the
+# vendored loom shim. `--cfg loom` swaps the nm-sync facade to the model
+# types; a separate target dir keeps the flag from invalidating the main
+# build cache.
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
     cargo test -q -p nm-runtime --features loom --test loom
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    cargo test -q -p nm-replog --features loom --test loom
 
 # Miri lane: interpret the two unsafe hotspots (inline_vec, aggregate)
 # under the nightly Miri borrow/UB checker. Scoped by test-name filter so
@@ -78,22 +92,29 @@ fi
 
 # Resilience harness: deterministic seeded chaos run + JSON key schema.
 cargo run --release -p nm-bench --bin resilience -- --seed 42
-for key in bench seed msgs msg_bytes fault_free_completion_us faulted_completion_us \
+check_bench_schema BENCH_resilience.json \
+    bench seed msgs msg_bytes fault_free_completion_us faulted_completion_us \
     completion_inflation_pct failover_latency_us_mean retransmitted_bytes \
-    retries failovers quarantines readmissions probes_sent; do
-    grep -q "\"$key\":" BENCH_resilience.json || {
-        echo "BENCH_resilience.json missing key: $key" >&2
-        exit 1
-    }
-done
+    retries failovers quarantines readmissions probes_sent
 
 # Overload harness: deterministic admission-control sweep + JSON key schema.
 cargo run --release -p nm-bench --bin overload -- --seed 42
-for key in bench seed msg_bytes deadline_us offered_msgs accepted rejected shed \
+check_bench_schema BENCH_overload.json \
+    bench seed msg_bytes deadline_us offered_msgs accepted rejected shed \
     completed goodput_mibps p99_completion_us corrupt_chunks retries \
-    degrade_transitions; do
-    grep -q "\"$key\":" BENCH_overload.json || {
-        echo "BENCH_overload.json missing key: $key" >&2
-        exit 1
-    }
-done
+    degrade_transitions
+
+# Multicore scaling harness: replicated decision state vs the locked
+# baseline under health churn. decision_overhead runs immediately before
+# so BENCH_decision.json's warm reference is refreshed under the same
+# machine conditions (shared hosts drift between clock phases; the
+# in-process `replica_read_overhead_pct` is the phase-proof comparison).
+cargo run --release -p nm-bench --bin decision_overhead
+cargo run --release -p nm-bench --bin scaling
+check_bench_schema BENCH_scaling.json \
+    bench msg_bytes cores_available worker_counts decide_only_ns \
+    replicated_ns_per_decision_1w replica_read_overhead_pct \
+    locked_ns_per_decision_1w lock_copy_ns xfer_ns_model \
+    replicated_ops_per_sec locked_ops_per_sec \
+    modeled_replicated_ops_per_sec modeled_locked_ops_per_sec \
+    speedup_4w_vs_locked_1w speedup_source ops_appended replica_resyncs

@@ -94,8 +94,23 @@ macro_rules! atomic_int_shim {
                 maybe_yield();
                 self.inner.fetch_max(v, order)
             }
+
+            /// Atomic min, returning the previous value (a yield point).
+            pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                maybe_yield();
+                self.inner.fetch_min(v, order)
+            }
         }
     };
+}
+
+/// Memory fence (a model yield point). Model execution is serialized and
+/// sequentially consistent, so the fence itself is a no-op beyond the
+/// preemption opportunity — matching how every shim op is modeled.
+pub fn fence(order: Ordering) {
+    maybe_yield();
+    // A `Relaxed` fence is illegal in std; surface that misuse in models too.
+    assert!(order != Ordering::Relaxed, "fence must not be Relaxed");
 }
 
 atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);

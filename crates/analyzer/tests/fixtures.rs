@@ -28,6 +28,7 @@ fn analyze_fixtures() -> Analysis {
         ("unit_fixture.rs", "fixture"),
         ("no_alloc_fixture.rs", "fixture"),
         ("ordering_fixture.rs", "fixture_facade"),
+        ("replog_fixture.rs", "fixture_facade"),
         ("must_use_fixture.rs", "fixture"),
     ] {
         let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
@@ -50,14 +51,14 @@ fn per_rule_unallowed_counts_are_exact() {
         ("expect", 1),
         ("panic", 1),
         ("todo", 1),
-        ("unreachable", 1),
-        ("index", 2),
+        ("unreachable", 2),
+        ("index", 3),
         ("clone", 1),
         ("allow-missing-reason", 1),
         ("unit-bare", 4),
-        ("no-alloc", 5),
-        ("relaxed-ordering", 1),
-        ("facade-bypass", 3),
+        ("no-alloc", 6),
+        ("relaxed-ordering", 2),
+        ("facade-bypass", 4),
         ("must-use", 1),
     ];
     for &(rule, n) in expected {
@@ -84,10 +85,11 @@ fn allow_escapes_suppress_and_are_tallied() {
     let allowed = count_map(analysis.allow_counts());
     assert_eq!(allowed.get("unwrap").copied(), Some(2), "allowed unwraps: {allowed:?}");
     assert_eq!(allowed.get("unit-bare").copied(), Some(2), "allowed unit-bare: {allowed:?}");
-    assert_eq!(allowed.len(), 2, "no other rule should have allowed findings: {allowed:?}");
+    assert_eq!(allowed.get("no-alloc").copied(), Some(1), "allowed no-alloc: {allowed:?}");
+    assert_eq!(allowed.len(), 3, "no other rule should have allowed findings: {allowed:?}");
 
-    // Three escape comments are on record; exactly one lacks a reason.
-    assert_eq!(analysis.allows.len(), 3, "allows on record: {:#?}", analysis.allows);
+    // Four escape comments are on record; exactly one lacks a reason.
+    assert_eq!(analysis.allows.len(), 4, "allows on record: {:#?}", analysis.allows);
     assert_eq!(analysis.allows.iter().filter(|a| a.reason.is_empty()).count(), 1);
 }
 

@@ -1,7 +1,12 @@
 //! Runtime cross-check of nm-analyzer's static `no_alloc` proof: a counting
-//! global allocator wraps the system allocator, and the warm decision fast
-//! path (`MulticoreEager::decide` with a primed plan cache) must make
-//! **exactly zero** allocations across 10 000 calls.
+//! global allocator wraps the system allocator, and two hot paths must make
+//! **exactly zero** allocations across 10 000 calls each:
+//!
+//! 1. the warm decision fast path (`MulticoreEager::decide` with a primed
+//!    plan cache);
+//! 2. the replica read path (`DecisionReader::read` catching up on
+//!    published op batches) — per-op application included, so the proof
+//!    covers decode + apply, not just the caught-up fast exit.
 //!
 //! The static rule can only prove the absence of *named* allocation
 //! patterns; this test catches anything it cannot see (untyped `.collect()`
@@ -87,4 +92,45 @@ fn main() {
         after - before
     );
     println!("no_alloc proof: 0 allocations across 10000 warm decide() calls");
+
+    // Replica read path: pre-publish health/feedback/epoch batches (setup,
+    // may allocate), then prove the reader's catch-up — op decode + apply
+    // per pending op, plus the caught-up fast exit — never allocates. The
+    // ring holds every op (capacity 4096 > 3 * 1000), so no reader laps
+    // onto the allocating master-resync path here.
+    use nm_core::replicated::{CounterKind, EngineOp, SharedDecisionState};
+    use nm_core::RailState;
+
+    let shared = SharedDecisionState::new(2);
+    let mut reader = shared.reader();
+    std::hint::black_box(reader.read()); // drain the initial state
+    for i in 0..1_000u64 {
+        shared.publish_batch(&[
+            EngineOp::Health {
+                rail: 1,
+                state: if i % 2 == 0 { RailState::Degraded } else { RailState::Healthy },
+            },
+            EngineOp::Feedback { rail: 0, ewma_ratio: 1.0 + (i % 7) as f64 * 0.01 },
+            EngineOp::Counter { kind: CounterKind::FeedbackRecords, delta: 1 },
+        ]);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    // First read applies all 3000 pending ops; the rest take the
+    // caught-up fast exit. Both must be allocation-free.
+    for _ in 0..10_000 {
+        let facts = reader.read();
+        std::hint::black_box(facts.epoch());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "replica read allocated {} time(s) catching up on 3000 ops + 10k \
+         warm reads; the replica read path must be allocation-free",
+        after - before
+    );
+    assert_eq!(reader.resyncs(), 0, "catch-up must not have lapped");
+    println!("no_alloc proof: 0 allocations across 3000-op catch-up + 10000 replica reads");
 }

@@ -12,8 +12,9 @@
 
 use crate::admission::{AdmissionConfig, Backpressure};
 use crate::error::EngineError;
-use crate::health::{HealthConfig, HealthTracker};
+use crate::health::{HealthConfig, HealthTracker, RailState};
 use crate::predictor::Predictor;
+use crate::replicated::{CounterKind, EngineOp, SharedDecisionState};
 use crate::selection::select_rails;
 use crate::strategy::{Action, ChunkList, Ctx, Strategy};
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
@@ -242,6 +243,10 @@ pub struct Engine<T: Transport> {
     /// Admission control (caps, deadlines, degradation); `None` keeps every
     /// overload path fully disabled.
     admission: Option<Box<Admission>>,
+    /// Replicated decision state fed by an op log (multicore workers read
+    /// it lock-free); `None` publishes nothing and keeps the engine's
+    /// single-threaded behaviour bit-identical.
+    shared: Option<SharedDecisionState>,
 }
 
 /// Maximum out-of-order completions buffered per flow.
@@ -295,6 +300,7 @@ impl<T: Transport> Engine<T> {
             scratch_waits: Vec::with_capacity(rails),
             health: None,
             admission: None,
+            shared: None,
         })
     }
 
@@ -316,6 +322,45 @@ impl<T: Transport> Engine<T> {
     /// The health tracker, when fault tolerance is enabled.
     pub fn health(&self) -> Option<&HealthTracker> {
         self.health.as_deref().map(|ft| &ft.tracker)
+    }
+
+    /// Enables the replicated decision state: an op log the engine feeds at
+    /// every health transition, predictor-epoch bump, feedback update and
+    /// decision-relevant counter increment, so worker threads can read the
+    /// facts behind `decide()` lock-free via [`SharedDecisionState::reader`]
+    /// replicas. Call at construction (like the other builders): the log
+    /// mirrors mutations from this point on, starting from the all-healthy
+    /// epoch-0 state the engine itself starts in. With this off, nothing is
+    /// published and the engine is bit-identical to the unshared build.
+    pub fn with_shared_state(mut self) -> Self {
+        self.shared = Some(SharedDecisionState::new(self.transport.rail_count()));
+        self
+    }
+
+    /// The shared decision state, when enabled — clone it (cheap) to hand
+    /// to worker threads.
+    pub fn shared_state(&self) -> Option<&SharedDecisionState> {
+        self.shared.as_ref()
+    }
+
+    /// Publishes ops to the replicated decision state, if enabled. One
+    /// batch = one combining-lock acquisition = atomically visible prefix.
+    fn publish_ops(&self, ops: &[EngineOp]) {
+        if let Some(shared) = &self.shared {
+            shared.publish_batch(ops);
+        }
+    }
+
+    /// Mirrors `rail`'s post-record feedback EWMA (and the observation
+    /// count) into the replicated state.
+    fn publish_feedback(&self, rail: RailId) {
+        if self.shared.is_some() {
+            let ewma_ratio = self.feedback.rail(rail).ewma_ratio;
+            self.publish_ops(&[
+                EngineOp::Feedback { rail: rail.index() as u8, ewma_ratio },
+                EngineOp::Counter { kind: CounterKind::FeedbackRecords, delta: 1 },
+            ]);
+        }
     }
 
     /// Enables wire framing: every chunk payload is prefixed with a
@@ -925,6 +970,7 @@ impl<T: Transport> Engine<T> {
                                 ChunkOwner::Msg(id) => {
                                     if let Some((rail, submitted, predicted)) = prediction {
                                         self.feedback.record(rail, submitted, predicted, at);
+                                        self.publish_feedback(rail);
                                     }
                                     self.note_chunk_recovery(chunk, at);
                                     if self.note_chunk_done(id, at) {
@@ -934,6 +980,7 @@ impl<T: Transport> Engine<T> {
                                 ChunkOwner::Pack(ids) => {
                                     if let Some((rail, submitted, predicted)) = prediction {
                                         self.feedback.record(rail, submitted, predicted, at);
+                                        self.publish_feedback(rail);
                                     }
                                     self.note_chunk_recovery(chunk, at);
                                     for id in ids {
@@ -1076,6 +1123,12 @@ impl<T: Transport> Engine<T> {
                 ft.tracker.probe_failed(rail, at);
                 ft.tracker.next_probe_at(rail)
             };
+            // Probing → Quarantined: the rail was already unselectable, so
+            // no epoch bump — mirror the state flip alone.
+            self.publish_ops(&[
+                EngineOp::Health { rail: rail.index() as u8, state: RailState::Quarantined },
+                EngineOp::Counter { kind: CounterKind::ProbeFailures, delta: 1 },
+            ]);
             self.transport.schedule_wakeup(next);
             return Ok(());
         }
@@ -1102,6 +1155,13 @@ impl<T: Transport> Engine<T> {
             self.stats.quarantines += 1;
             // Split plans memoized against the old rail set must die.
             self.predictor_epoch += 1;
+            // One batch: replicas can never observe the quarantine without
+            // the epoch bump that kills plans split across the lost rail.
+            self.publish_ops(&[
+                EngineOp::Health { rail: rail.index() as u8, state: RailState::Quarantined },
+                EngineOp::EpochBump,
+                EngineOp::Counter { kind: CounterKind::Quarantines, delta: 1 },
+            ]);
             self.transport.schedule_wakeup(probe_at);
         }
         if meta.attempt > max_retries {
@@ -1137,8 +1197,15 @@ impl<T: Transport> Engine<T> {
             (cfg.degrade_min_count, cfg.degrade_drift_threshold)
         };
         let fb = self.feedback.rail(rail);
-        if fb.count >= min_count && fb.mean_signed_rel_err.abs() > threshold {
-            ft.tracker.note_drift(rail);
+        let drifted = fb.count >= min_count
+            && fb.mean_signed_rel_err.abs() > threshold
+            && ft.tracker.note_drift(rail);
+        if drifted {
+            // Healthy → Degraded: still selectable, so no epoch bump.
+            self.publish_ops(&[EngineOp::Health {
+                rail: rail.index() as u8,
+                state: RailState::Degraded,
+            }]);
         }
         if meta.attempt > 0 {
             if let Some(failed_at) = meta.first_failed_at {
@@ -1198,9 +1265,21 @@ impl<T: Transport> Engine<T> {
                 self.stats.readmissions += 1;
                 // The selectable set grew: memoized plans are stale.
                 self.predictor_epoch += 1;
+                // One batch: the re-admitted rail and the plan-killing
+                // epoch bump become visible to replicas together.
+                self.publish_ops(&[
+                    EngineOp::Health { rail: rail.index() as u8, state: RailState::Healthy },
+                    EngineOp::EpochBump,
+                    EngineOp::Counter { kind: CounterKind::Readmissions, delta: 1 },
+                ]);
                 true
             }
             Outcome::Failed(next) => {
+                // Probing → Quarantined (was already unselectable).
+                self.publish_ops(&[
+                    EngineOp::Health { rail: rail.index() as u8, state: RailState::Quarantined },
+                    EngineOp::Counter { kind: CounterKind::ProbeFailures, delta: 1 },
+                ]);
                 self.transport.schedule_wakeup(next);
                 false
             }
@@ -1217,6 +1296,11 @@ impl<T: Transport> Engine<T> {
                 ft.tracker.probe_due(rail, now).then(|| ft.tracker.begin_probe(rail))
             };
             if let Some(size) = size {
+                // Quarantined → Probing (both unselectable; no epoch bump).
+                self.publish_ops(&[EngineOp::Health {
+                    rail: rail.index() as u8,
+                    state: RailState::Probing,
+                }]);
                 self.submit_probe(rail, size);
             }
         }
@@ -1240,6 +1324,7 @@ impl<T: Transport> Engine<T> {
         let submit = ChunkSubmit::new(rail, size);
         let prediction = self.predict_completion(&submit);
         self.stats.probes_sent += 1;
+        self.publish_ops(&[EngineOp::Counter { kind: CounterKind::ProbesSent, delta: 1 }]);
         let chunk = self.transport.submit(submit);
         self.chunk_prediction.insert(chunk, prediction);
         self.chunk_owner.insert(chunk, ChunkOwner::Probe(rail));
@@ -1605,6 +1690,26 @@ impl<T: Transport> Engine<T> {
         // The corrected predictor absorbs the drift that degraded rails.
         if let Some(ft) = self.health.as_mut() {
             ft.tracker.clear_degraded();
+        }
+        // Mirror the whole adoption as one batch: reset feedback ratios,
+        // refreshed health states (Degraded rails went Healthy above), and
+        // the plan-killing epoch bump — atomically visible to replicas.
+        if self.shared.is_some() {
+            let rails = self.predictor.rail_count();
+            let mut ops = Vec::with_capacity(2 * rails + 1);
+            for r in 0..rails {
+                ops.push(EngineOp::Feedback { rail: r as u8, ewma_ratio: 1.0 });
+            }
+            if let Some(ft) = self.health.as_deref() {
+                for r in 0..rails {
+                    ops.push(EngineOp::Health {
+                        rail: r as u8,
+                        state: ft.tracker.state(RailId(r)),
+                    });
+                }
+            }
+            ops.push(EngineOp::EpochBump);
+            self.publish_ops(&ops);
         }
     }
 

@@ -61,6 +61,7 @@ pub mod feedback;
 pub mod health;
 pub mod plan_cache;
 pub mod predictor;
+pub mod replicated;
 pub mod selection;
 pub mod session;
 pub mod split;
@@ -74,6 +75,7 @@ pub use feedback::{Feedback, RailFeedback};
 pub use health::{HealthConfig, HealthTracker, RailState};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use predictor::{Predictor, RailView};
+pub use replicated::{CounterKind, DecisionReader, DecisionState, EngineOp, SharedDecisionState};
 pub use session::{Session, SessionBuilder};
 pub use strategy::{Action, ChunkPlan, Ctx, Strategy, StrategyKind};
 pub use transport::{ChunkSubmit, Transport, TransportEvent};

@@ -1,0 +1,142 @@
+//! Loom model checks for the operation log's publish/replay protocols.
+//!
+//! Compiled and run only under the loom CI lane:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p nm-replog --features loom --test loom
+//! ```
+//!
+//! Three invariants are modeled (ISSUE 6 tentpole):
+//!
+//! 1. **No lost op** — concurrent writers appending through the combining
+//!    lock never drop or double-apply an op: the master state equals the
+//!    sum of everything appended, in every schedule.
+//! 2. **Replica convergence** — replicas replaying the ring concurrently
+//!    with writers end up, after the writers finish and one final `read`,
+//!    bit-identical to the master state.
+//! 3. **No torn reads during combine** — ops carry an internal invariant
+//!    (`w1 == 3 * w0`); `apply_op` asserts it, so a replica that validated
+//!    a half-overwritten slot panics the model. A 2-slot ring forces the
+//!    writer to lap in-flight readers, exercising the invalidate → write →
+//!    publish window and the lap-resync fallback.
+//!
+//! Models stay tiny (2 threads, ≤ 4 ops): loom explores *schedules*, and
+//! every extra synchronization op multiplies the state space.
+
+#![cfg(loom)]
+
+use nm_replog::{OpLog, Replicated, WireOp, OP_WORDS};
+
+/// Model state: a running sum plus an op counter. `Pair` ops carry the
+/// torn-read tripwire: the payload is `(x, 3x)` and `apply_op` asserts the
+/// relation, so any torn slot read fails the model loudly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Sum {
+    total: u64,
+    ops: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pair(u64);
+
+impl WireOp for Pair {
+    fn encode_op(self) -> [u64; OP_WORDS] {
+        [self.0, self.0 * 3]
+    }
+    fn decode_op(words: [u64; OP_WORDS]) -> Self {
+        assert_eq!(words[1], words[0] * 3, "torn slot read validated as intact");
+        Pair(words[0])
+    }
+}
+
+impl Replicated for Sum {
+    type Op = Pair;
+    fn apply_op(&mut self, op: Pair) {
+        self.total += op.0;
+        self.ops += 1;
+    }
+}
+
+/// Invariant 1: two concurrent writers, no op lost or double-applied.
+#[test]
+fn no_lost_op_under_concurrent_append() {
+    loom::model(|| {
+        let log = OpLog::new(Sum::default(), 4);
+        let hs: Vec<_> = [1u64, 2]
+            .into_iter()
+            .map(|v| {
+                let log = log.clone();
+                nm_sync::thread::spawn(move || log.append_batch(&[Pair(v), Pair(v * 10)]))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let m = log.master_snapshot();
+        assert_eq!(m.ops, 4, "an op was lost or double-applied");
+        assert_eq!(m.total, 1 + 10 + 2 + 20);
+        assert_eq!(log.tail(), 4);
+    });
+}
+
+/// Invariant 2: a replica replaying concurrently with a writer converges
+/// to the master state once the writer is done.
+#[test]
+fn replica_converges_with_concurrent_writer() {
+    loom::model(|| {
+        let log = OpLog::new(Sum::default(), 4);
+        let writer = {
+            let log = log.clone();
+            nm_sync::thread::spawn(move || {
+                log.append(Pair(5));
+                log.append_batch(&[Pair(6), Pair(7)]);
+            })
+        };
+        let reader = {
+            let log = log.clone();
+            nm_sync::thread::spawn(move || {
+                let mut rep = log.replica();
+                // Mid-flight reads observe a consistent prefix: `total`
+                // is always a prefix-sum of {5, 6, 7} in append order.
+                let s = rep.read();
+                assert!(matches!(s.total, 0 | 5 | 11 | 18), "non-prefix state {s:?}");
+                rep
+            })
+        };
+        writer.join().unwrap();
+        let mut rep = reader.join().unwrap();
+        assert_eq!(*rep.read(), log.master_snapshot(), "replica diverged from master");
+    });
+}
+
+/// Invariant 3: a 2-slot ring laps an in-flight reader; seqlock validation
+/// must reject every torn slot (the `decode_op`/`apply_op` asserts) and
+/// the lap falls back to a master resync that still converges.
+#[test]
+fn lapped_reader_never_tears_and_resyncs() {
+    loom::model(|| {
+        let log = OpLog::new(Sum::default(), 2);
+        let writer = {
+            let log = log.clone();
+            nm_sync::thread::spawn(move || {
+                // 4 ops through 2 slots: every slot is overwritten once.
+                log.append_batch(&[Pair(1), Pair(2)]);
+                log.append_batch(&[Pair(3), Pair(4)]);
+            })
+        };
+        let reader = {
+            let log = log.clone();
+            nm_sync::thread::spawn(move || {
+                let mut rep = log.replica();
+                let s = rep.read();
+                assert!(matches!(s.total, 0 | 1 | 3 | 6 | 10), "non-prefix state {s:?}");
+                rep
+            })
+        };
+        writer.join().unwrap();
+        let mut rep = reader.join().unwrap();
+        let m = log.master_snapshot();
+        assert_eq!(m.total, 10);
+        assert_eq!(*rep.read(), m, "lapped replica failed to converge");
+    });
+}

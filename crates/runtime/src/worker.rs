@@ -59,7 +59,7 @@ impl WorkerPool {
     /// A pool shaped like `topology` (one worker per logical CPU).
     pub fn new(topology: Topology) -> Self {
         let n = topology.cpu_count();
-        let stats = Arc::new(OffloadStats::new());
+        let stats = Arc::new(OffloadStats::with_shards(n));
         let mut senders = Vec::with_capacity(n);
         let mut shared = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -71,7 +71,7 @@ impl WorkerPool {
             let stats2 = stats.clone();
             let handle = thread::Builder::new()
                 .name(format!("nm-worker-{i}"))
-                .spawn(move || worker_loop(rx, sh2, stats2))
+                .spawn(move || worker_loop(i, rx, sh2, stats2))
                 .expect("spawn worker");
             senders.push(tx);
             shared.push(sh);
@@ -177,12 +177,18 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Msg>, shared: Arc<WorkerShared>, stats: Arc<OffloadStats>) {
+fn worker_loop(
+    index: usize,
+    rx: Receiver<Msg>,
+    shared: Arc<WorkerShared>,
+    stats: Arc<OffloadStats>,
+) {
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Run { tasklet, submitted, signaled } => {
                 shared.idle.store(false, Ordering::Release);
-                stats.record(submitted.elapsed(), signaled);
+                // Into this worker's own shard: no contention on record.
+                stats.record(index, submitted.elapsed(), signaled);
                 tasklet.run();
                 // Decrement `queued` before raising `idle`: quiescence is
                 // "idle && queued == 0", and this order makes the pair
