@@ -118,3 +118,13 @@ check_bench_schema BENCH_scaling.json \
     replicated_ops_per_sec locked_ops_per_sec \
     modeled_replicated_ops_per_sec modeled_locked_ops_per_sec \
     speedup_4w_vs_locked_1w speedup_source ops_appended replica_resyncs
+
+# Collectives harness: prediction-driven algorithm selection over the
+# N-node cluster model, completion vs node count 2..32 per primitive,
+# predicted/measured crossover points + JSON key schema. Deterministic
+# (virtual time only), so the numbers are reproducible bit-for-bit.
+cargo run --release -p nm-bench --bin collectives
+check_bench_schema BENCH_collectives.json \
+    bench provenance node_counts crossover_matches series collective bytes \
+    variants algorithm predicted_us measured_us selected \
+    predicted_crossover_n measured_crossover_n crossover_match

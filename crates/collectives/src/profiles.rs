@@ -1,0 +1,154 @@
+//! Per-pair predictors for an N-node cluster, derived by sampling.
+//!
+//! Profiles describe *rails*, not node counts: the time for `b` bytes
+//! between two nodes depends only on which rails the pair shares. The bank
+//! therefore samples one two-node twin cluster per distinct common-rail
+//! set (natural + forced-eager profiles per rail, exactly what a session
+//! does at init) and reuses it for every pair with that rail set — on a
+//! homogeneous cluster that is a single sampling run however many nodes
+//! exist.
+
+use nm_core::predictor::{Predictor, RailView};
+use nm_core::split::equal_completion_split;
+use nm_model::TransferMode;
+use nm_sampler::{sample_rail, SampleTransport, SamplingConfig, SimTransport};
+use nm_sim::{ClusterSpec, RailId};
+use std::collections::HashMap;
+
+/// Sampled cost knowledge for every node pair of one cluster spec.
+pub struct ProfileBank {
+    spec: ClusterSpec,
+    /// Predictors keyed by the (ascending) physical common-rail set.
+    cache: HashMap<Vec<usize>, Predictor>,
+}
+
+impl ProfileBank {
+    /// An empty bank over `spec`; predictors are sampled lazily per
+    /// distinct common-rail set.
+    pub fn new(spec: ClusterSpec) -> Self {
+        assert!(spec.validate().is_ok(), "invalid cluster spec");
+        ProfileBank { spec, cache: HashMap::new() }
+    }
+
+    /// The cluster spec this bank describes.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Distinct rail sets sampled so far (observability for tests/benches).
+    pub fn sampled_sets(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn predictor_for_rails(&mut self, rails: &[usize]) -> &Predictor {
+        if !self.cache.contains_key(rails) {
+            // A private two-node twin with only the shared links: local
+            // rail i of the pair is twin rail i.
+            let links = rails
+                .iter()
+                .map(|&r| self.spec.rails.get(r).expect("validated rail index").clone())
+                .collect::<Vec<_>>();
+            let twin = ClusterSpec::two_nodes(4, links.clone());
+            let mut sampler = SimTransport::new(twin);
+            let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+            let views = (0..sampler.rail_count())
+                .map(|i| {
+                    let natural = sample_rail(&mut sampler, i, &cfg).expect("sampling");
+                    let eager_cfg =
+                        SamplingConfig { mode: Some(TransferMode::Eager), ..cfg.clone() };
+                    let eager = sample_rail(&mut sampler, i, &eager_cfg).expect("sampling");
+                    RailView {
+                        rail: RailId(i),
+                        name: sampler.rail_name(i).into(),
+                        natural,
+                        eager,
+                        rdv_threshold: links.get(i).expect("twin rail").rdv_threshold,
+                    }
+                })
+                .collect();
+            self.cache.insert(rails.to_vec(), Predictor::new(views));
+        }
+        self.cache.get(rails).expect("just inserted")
+    }
+
+    /// The predictor for the `src -> dst` pair, in the pair's dense local
+    /// rail space (matching [`nm_core::driver::cluster::PairDriver`]).
+    /// Panics when the pair shares no rail — the same condition the driver
+    /// rejects.
+    pub fn predictor_for_pair(&mut self, src: usize, dst: usize) -> Predictor {
+        let rails = self.spec.common_rails(src, dst);
+        assert!(!rails.is_empty(), "nodes {src} and {dst} share no rail");
+        self.predictor_for_rails(&rails).clone()
+    }
+
+    /// Predicted best-effort time (µs) for `bytes` between `src` and
+    /// `dst`: the equal-completion split over every shared rail, all idle —
+    /// what the engine's hetero-split achieves on an uncontended pair.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the DAG cost
+    // model, beneath the typed Micros boundary
+    pub fn hop_time_us(&mut self, src: usize, dst: usize, bytes: u64) -> f64 {
+        let rails = self.spec.common_rails(src, dst);
+        assert!(!rails.is_empty(), "nodes {src} and {dst} share no rail");
+        let p = self.predictor_for_rails(&rails);
+        let candidates: Vec<(RailId, f64)> =
+            (0..p.rail_count()).map(|i| (RailId(i), 0.0)).collect();
+        equal_completion_split(&p.natural_cost(), &candidates, bytes.max(1)).completion_us
+    }
+
+    /// Predicted one-way latency floor (µs) of the pair: the fastest
+    /// rail's time at the smallest sampled size. The DAG cost model uses
+    /// `hop_time - hop_latency` as the sender-occupancy ("overhead") part
+    /// of a hop.
+    // nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the DAG cost
+    // model, beneath the typed Micros boundary
+    pub fn hop_latency_us(&mut self, src: usize, dst: usize) -> f64 {
+        let rails = self.spec.common_rails(src, dst);
+        assert!(!rails.is_empty(), "nodes {src} and {dst} share no rail");
+        let p = self.predictor_for_rails(&rails);
+        p.rails()
+            .iter()
+            .map(|r| r.natural.predict_us(r.natural.sampled_range().0))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::builtin;
+    use nm_model::units::MIB;
+    use nm_sim::NodeSpec;
+
+    #[test]
+    fn homogeneous_cluster_samples_one_twin() {
+        let mut bank = ProfileBank::new(ClusterSpec::homogeneous(8, 4, builtin::paper_testbed()));
+        let t01 = bank.hop_time_us(0, 1, MIB);
+        let t56 = bank.hop_time_us(5, 6, MIB);
+        assert_eq!(t01, t56, "identical pairs share one profile");
+        assert_eq!(bank.sampled_sets(), 1);
+        assert!(t01 > 0.0);
+    }
+
+    #[test]
+    fn partial_rail_pairs_get_their_own_profile_and_are_slower() {
+        let mut spec = ClusterSpec::homogeneous(4, 4, builtin::paper_testbed());
+        spec.nodes[3] = NodeSpec::with_cores(4).on_rails(vec![1]);
+        let mut bank = ProfileBank::new(spec);
+        let both_rails = bank.hop_time_us(0, 1, 4 * MIB);
+        let one_rail = bank.hop_time_us(0, 3, 4 * MIB);
+        assert_eq!(bank.sampled_sets(), 2);
+        assert!(
+            one_rail > 1.5 * both_rails,
+            "single-rail pair must be much slower: {one_rail} vs {both_rails}"
+        );
+        let p = bank.predictor_for_pair(0, 3);
+        assert_eq!(p.rail_count(), 1, "pair predictor lives in the local rail space");
+    }
+
+    #[test]
+    fn latency_floor_is_below_any_transfer_time() {
+        let mut bank = ProfileBank::new(ClusterSpec::homogeneous(2, 4, builtin::paper_testbed()));
+        let lat = bank.hop_latency_us(0, 1);
+        assert!(lat > 0.0 && lat < bank.hop_time_us(0, 1, 64 * 1024), "{lat}");
+    }
+}

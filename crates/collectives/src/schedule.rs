@@ -1,0 +1,468 @@
+//! Collective communication schedules as hop DAGs.
+//!
+//! A collective operation is compiled to a [`HopDag`]: point-to-point hops
+//! (src node, dst node, byte count) partially ordered by data dependencies.
+//! The runner posts each hop on the engine of its node pair the instant its
+//! dependencies are delivered, so every hop inherits the engine's whole
+//! decision path — multirail splitting, failover, admission, integrity —
+//! and the DAG shape alone distinguishes algorithms:
+//!
+//! * **barrier**: flat (linear fan-in to the root, then fan-out) vs
+//!   binomial tree (log₂ n combine + log₂ n release rounds);
+//! * **broadcast**: flat (root posts n−1 sends, serializing on its own
+//!   cores/NICs) vs binomial tree (every holder forwards);
+//! * **all-to-all**: pairwise-exchange (n−1 contention-free permutation
+//!   rounds, each node sends its block straight to partner `(i+k) mod n`)
+//!   vs ring (neighbor store-and-forward: bundles shrink from `(n−1)·b`
+//!   to `b` as blocks are dropped off along the ring).
+//!
+//! Root is always node 0. Barrier hops carry [`BARRIER_BYTES`] — the
+//! engine does not model zero-byte messages, and a real barrier token is a
+//! header's worth of bytes anyway.
+
+/// Payload of one barrier token. The engine rejects zero-byte messages;
+/// eight bytes is a sequence-number-sized token.
+pub const BARRIER_BYTES: u64 = 8;
+
+/// The collective primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// Synchronization: no node leaves before every node arrived.
+    Barrier,
+    /// Root's `bytes` reach every other node.
+    Broadcast,
+    /// Every node sends a distinct `bytes` block to every other node.
+    AllToAll,
+}
+
+impl Collective {
+    /// Stable lowercase name (JSON keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::Barrier => "barrier",
+            Collective::Broadcast => "broadcast",
+            Collective::AllToAll => "alltoall",
+        }
+    }
+
+    /// The algorithm variants implementing this collective.
+    pub fn algorithms(self) -> [Algorithm; 2] {
+        match self {
+            Collective::Barrier => [Algorithm::BarrierFlat, Algorithm::BarrierTree],
+            Collective::Broadcast => [Algorithm::BcastFlat, Algorithm::BcastTree],
+            Collective::AllToAll => [Algorithm::AlltoallPairwise, Algorithm::AlltoallRing],
+        }
+    }
+}
+
+/// One concrete schedule shape for a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Linear fan-in to node 0, then linear fan-out.
+    BarrierFlat,
+    /// Binomial combine + binomial release.
+    BarrierTree,
+    /// Root posts n−1 direct sends.
+    BcastFlat,
+    /// Binomial (recursive-doubling) forwarding tree.
+    BcastTree,
+    /// n−1 permutation rounds, partner `(i+k) mod n`.
+    AlltoallPairwise,
+    /// Neighbor store-and-forward ring with shrinking bundles.
+    AlltoallRing,
+}
+
+/// Every algorithm, in a stable order (selector state is indexed by this).
+pub const ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::BarrierFlat,
+    Algorithm::BarrierTree,
+    Algorithm::BcastFlat,
+    Algorithm::BcastTree,
+    Algorithm::AlltoallPairwise,
+    Algorithm::AlltoallRing,
+];
+
+impl Algorithm {
+    /// The collective this algorithm implements.
+    pub fn collective(self) -> Collective {
+        match self {
+            Algorithm::BarrierFlat | Algorithm::BarrierTree => Collective::Barrier,
+            Algorithm::BcastFlat | Algorithm::BcastTree => Collective::Broadcast,
+            Algorithm::AlltoallPairwise | Algorithm::AlltoallRing => Collective::AllToAll,
+        }
+    }
+
+    /// Stable lowercase name (JSON keys, table rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::BarrierFlat => "flat",
+            Algorithm::BarrierTree => "tree",
+            Algorithm::BcastFlat => "flat",
+            Algorithm::BcastTree => "tree",
+            Algorithm::AlltoallPairwise => "pairwise",
+            Algorithm::AlltoallRing => "ring",
+        }
+    }
+
+    /// Position in [`ALGORITHMS`] (selector state index).
+    pub fn ordinal(self) -> usize {
+        match self {
+            Algorithm::BarrierFlat => 0,
+            Algorithm::BarrierTree => 1,
+            Algorithm::BcastFlat => 2,
+            Algorithm::BcastTree => 3,
+            Algorithm::AlltoallPairwise => 4,
+            Algorithm::AlltoallRing => 5,
+        }
+    }
+
+    /// Compiles the schedule for `nodes` participants moving `bytes` per
+    /// block. Barrier algorithms ignore `bytes` and carry
+    /// [`BARRIER_BYTES`] tokens.
+    pub fn dag(self, nodes: usize, bytes: u64) -> HopDag {
+        assert!(nodes >= 2, "a collective needs at least two participants");
+        assert!(bytes >= 1, "zero-byte collectives are not modeled");
+        let hops = match self {
+            Algorithm::BarrierFlat => barrier_flat(nodes),
+            Algorithm::BarrierTree => barrier_tree(nodes),
+            Algorithm::BcastFlat => bcast_flat(nodes, bytes),
+            Algorithm::BcastTree => bcast_tree(nodes, bytes),
+            Algorithm::AlltoallPairwise => alltoall_pairwise(nodes, bytes),
+            Algorithm::AlltoallRing => alltoall_ring(nodes, bytes),
+        };
+        let dag = HopDag { algorithm: self, nodes, bytes, hops };
+        debug_assert!(dag.check().is_ok(), "generator produced a malformed DAG");
+        dag
+    }
+}
+
+/// One point-to-point transfer inside a collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Sending node index.
+    pub src: usize,
+    /// Receiving node index.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Indices of hops that must be *delivered* before this hop may be
+    /// posted. Always strictly smaller than this hop's own index.
+    pub deps: Vec<usize>,
+}
+
+/// A compiled collective schedule: hops in a topological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopDag {
+    /// The algorithm that produced this schedule.
+    pub algorithm: Algorithm,
+    /// Participant count.
+    pub nodes: usize,
+    /// Block size the collective was compiled for.
+    pub bytes: u64,
+    /// The hops; `deps` indices point into this vector.
+    pub hops: Vec<Hop>,
+}
+
+impl HopDag {
+    /// Total bytes moved by the schedule.
+    // nm-analyzer: allow(unit-bare) -- raw wire-byte tally over hop sizes,
+    // same domain as Hop::bytes
+    pub fn total_bytes(&self) -> u64 {
+        self.hops.iter().map(|h| h.bytes).sum()
+    }
+
+    /// Structural validation: src ≠ dst, nodes in range, deps topological.
+    pub fn check(&self) -> Result<(), String> {
+        for (i, h) in self.hops.iter().enumerate() {
+            if h.src == h.dst {
+                return Err(format!("hop {i} is a loopback"));
+            }
+            if h.src >= self.nodes || h.dst >= self.nodes {
+                return Err(format!("hop {i} names a node outside 0..{}", self.nodes));
+            }
+            if h.bytes == 0 {
+                return Err(format!("hop {i} is empty"));
+            }
+            if h.deps.iter().any(|&d| d >= i) {
+                return Err(format!("hop {i} depends forward"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn barrier_flat(n: usize) -> Vec<Hop> {
+    let mut hops = Vec::with_capacity(2 * (n - 1));
+    // Fan-in: everyone tells the root they arrived.
+    for i in 1..n {
+        hops.push(Hop { src: i, dst: 0, bytes: BARRIER_BYTES, deps: Vec::new() });
+    }
+    // Fan-out: the root releases everyone once all arrivals landed.
+    let arrivals: Vec<usize> = (0..n - 1).collect();
+    for i in 1..n {
+        hops.push(Hop { src: 0, dst: i, bytes: BARRIER_BYTES, deps: arrivals.clone() });
+    }
+    hops
+}
+
+fn barrier_tree(n: usize) -> Vec<Hop> {
+    let mut hops = Vec::new();
+    // Receives recorded per node; a node's sends depend on everything it
+    // has received so far (its subtree must have combined before it
+    // reports up; a release forwards only after it arrived).
+    let mut arrived: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Combine: in round r, nodes whose lowest set bit is 2^r report to
+    // their parent (binomial reduce towards node 0).
+    let mut mask = 1;
+    while mask < n {
+        for src in (mask..n).step_by(2 * mask) {
+            if src & mask != 0 || src == 0 {
+                // step_by already enumerates src = mask, 3·mask, ... — all
+                // have the mask bit set; the guard documents the intent.
+            }
+            let dst = src - mask;
+            let idx = hops.len();
+            hops.push(Hop { src, dst, bytes: BARRIER_BYTES, deps: arrived[src].clone() });
+            arrived[dst].push(idx);
+        }
+        mask <<= 1;
+    }
+    // Release: recursive doubling from the root. The root's first send
+    // depends on its full combine set; everyone else forwards after their
+    // release arrived.
+    let mut mask = 1;
+    while mask < n {
+        for src in 0..mask.min(n) {
+            let dst = src + mask;
+            if dst >= n {
+                continue;
+            }
+            let idx = hops.len();
+            hops.push(Hop { src, dst, bytes: BARRIER_BYTES, deps: arrived[src].clone() });
+            arrived[dst].push(idx);
+        }
+        mask <<= 1;
+    }
+    hops
+}
+
+fn bcast_flat(n: usize, bytes: u64) -> Vec<Hop> {
+    (1..n).map(|i| Hop { src: 0, dst: i, bytes, deps: Vec::new() }).collect()
+}
+
+fn bcast_tree(n: usize, bytes: u64) -> Vec<Hop> {
+    let mut hops = Vec::new();
+    let mut arrived: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Recursive doubling: after round r the first 2^(r+1) nodes hold the
+    // data; each holder forwards as soon as its own copy arrived.
+    let mut mask = 1;
+    while mask < n {
+        for src in 0..mask.min(n) {
+            let dst = src + mask;
+            if dst >= n {
+                continue;
+            }
+            let idx = hops.len();
+            hops.push(Hop { src, dst, bytes, deps: arrived[src].clone() });
+            arrived[dst].push(idx);
+        }
+        mask <<= 1;
+    }
+    hops
+}
+
+fn alltoall_pairwise(n: usize, bytes: u64) -> Vec<Hop> {
+    let mut hops = Vec::new();
+    let mut last_send: Vec<Option<usize>> = vec![None; n];
+    let mut last_recv: Vec<Option<usize>> = vec![None; n];
+    // Round k: the permutation i -> (i+k) mod n. Every node sends and
+    // receives exactly once per round; a node enters round k only after
+    // finishing its round-(k-1) exchange (the synchronization that keeps
+    // the rounds contention-free permutations).
+    for k in 1..n {
+        let mut next_send = last_send.clone();
+        let mut next_recv = last_recv.clone();
+        for src in 0..n {
+            let dst = (src + k) % n;
+            let idx = hops.len();
+            let deps: Vec<usize> = [last_send[src], last_recv[src]].into_iter().flatten().collect();
+            hops.push(Hop { src, dst, bytes, deps });
+            next_send[src] = Some(idx);
+            next_recv[dst] = Some(idx);
+        }
+        last_send = next_send;
+        last_recv = next_recv;
+    }
+    hops
+}
+
+fn alltoall_ring(n: usize, bytes: u64) -> Vec<Hop> {
+    let mut hops = Vec::new();
+    let mut last_recv: Vec<Option<usize>> = vec![None; n];
+    // Step k: every node bundles the foreign blocks it still holds and
+    // passes them to its right neighbor; one block per bundle is home and
+    // stays, so bundles shrink from (n-1)·b to b.
+    for k in 1..n {
+        let bundle = (n - k) as u64 * bytes;
+        let mut next_recv: Vec<Option<usize>> = vec![None; n];
+        for (src, prev) in last_recv.iter().enumerate() {
+            let dst = (src + 1) % n;
+            let idx = hops.len();
+            let deps: Vec<usize> = prev.iter().copied().collect();
+            hops.push(Hop { src, dst, bytes: bundle, deps });
+            next_recv[dst] = Some(idx);
+        }
+        last_recv = next_recv;
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_yields_a_valid_dag() {
+        for n in [2usize, 3, 4, 5, 8, 13, 16, 32] {
+            for algo in ALGORITHMS {
+                let dag = algo.dag(n, 4096);
+                assert!(dag.check().is_ok(), "{algo:?} n={n}: {:?}", dag.check());
+                assert_eq!(dag.nodes, n);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_counts_match_the_textbook_shapes() {
+        for n in [2usize, 4, 7, 8, 16] {
+            assert_eq!(Algorithm::BarrierFlat.dag(n, 1).hops.len(), 2 * (n - 1));
+            assert_eq!(Algorithm::BarrierTree.dag(n, 1).hops.len(), 2 * (n - 1));
+            assert_eq!(Algorithm::BcastFlat.dag(n, 1).hops.len(), n - 1);
+            assert_eq!(Algorithm::BcastTree.dag(n, 1).hops.len(), n - 1);
+            assert_eq!(Algorithm::AlltoallPairwise.dag(n, 1).hops.len(), n * (n - 1));
+            assert_eq!(Algorithm::AlltoallRing.dag(n, 1).hops.len(), n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn barrier_release_gates_on_every_arrival() {
+        for algo in [Algorithm::BarrierFlat, Algorithm::BarrierTree] {
+            for n in [2usize, 4, 6, 8] {
+                let dag = algo.dag(n, 1);
+                // Transitive closure: every fan-out delivery must be
+                // downstream of every fan-in source.
+                let mut reach: Vec<std::collections::BTreeSet<usize>> = Vec::new();
+                for h in &dag.hops {
+                    let mut r: std::collections::BTreeSet<usize> = [h.src].into();
+                    for &d in &h.deps {
+                        let up = reach[d].clone();
+                        r.extend(up);
+                    }
+                    reach.push(r);
+                }
+                // Each release (dst receives from the release wave) sees
+                // all n-1 arrivals upstream.
+                for i in 1..n {
+                    let release = dag
+                        .hops
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| h.dst == i)
+                        .map(|(idx, _)| idx)
+                        .max()
+                        .expect("every node is released");
+                    let upstream = &reach[release];
+                    for j in 1..n {
+                        if j == i {
+                            continue;
+                        }
+                        assert!(
+                            upstream.contains(&j),
+                            "{algo:?} n={n}: node {i} released before {j} arrived"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_every_node_exactly_once() {
+        for algo in [Algorithm::BcastFlat, Algorithm::BcastTree] {
+            for n in [2usize, 5, 8, 11, 16] {
+                let dag = algo.dag(n, 64);
+                let mut recv = vec![0usize; n];
+                for h in &dag.hops {
+                    recv[h.dst] += 1;
+                }
+                assert_eq!(recv[0], 0, "{algo:?}: root receives nothing");
+                assert!(
+                    recv.iter().skip(1).all(|&c| c == 1),
+                    "{algo:?} n={n}: every non-root receives once: {recv:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_tree_depth_is_logarithmic() {
+        let dag = Algorithm::BcastTree.dag(16, 64);
+        let mut depth = vec![0usize; dag.hops.len()];
+        for (i, h) in dag.hops.iter().enumerate() {
+            depth[i] = h.deps.iter().map(|&d| depth[d] + 1).max().unwrap_or(1);
+        }
+        assert_eq!(depth.iter().max(), Some(&4), "16 nodes = 4 doubling rounds");
+    }
+
+    #[test]
+    fn alltoall_delivers_every_block() {
+        // Pairwise: each ordered pair appears exactly once at size b.
+        let n = 6;
+        let dag = Algorithm::AlltoallPairwise.dag(n, 100);
+        let mut pair = vec![vec![0u64; n]; n];
+        for h in &dag.hops {
+            pair[h.src][h.dst] += h.bytes;
+        }
+        for (s, row) in pair.iter().enumerate() {
+            for (d, got) in row.iter().enumerate() {
+                let want = if s == d { 0 } else { 100 };
+                assert_eq!(*got, want, "pairwise {s}->{d}");
+            }
+        }
+        // Ring: total forwarded bytes per step shrink linearly; summing
+        // per-block hop distances gives n*sum(d)=n·n(n-1)/2 block moves.
+        let dag = Algorithm::AlltoallRing.dag(n, 100);
+        let total: u64 = dag.total_bytes();
+        assert_eq!(total, 100 * (n * n * (n - 1) / 2) as u64);
+        assert!(dag.hops.iter().all(|h| h.dst == (h.src + 1) % n), "ring sends to the neighbor");
+    }
+
+    #[test]
+    fn pairwise_rounds_are_synchronized() {
+        let n = 5;
+        let dag = Algorithm::AlltoallPairwise.dag(n, 10);
+        // Hop i of round k (hops are emitted round-major) must depend on
+        // round k-1 activity of its source.
+        for (i, h) in dag.hops.iter().enumerate() {
+            let round = i / n;
+            if round == 0 {
+                assert!(h.deps.is_empty());
+            } else {
+                assert!(!h.deps.is_empty(), "round {round} hop {i} must be gated");
+                assert!(h.deps.iter().all(|&d| d / n == round - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_ignores_the_bytes_argument() {
+        let dag = Algorithm::BarrierTree.dag(4, 123_456);
+        assert!(dag.hops.iter().all(|h| h.bytes == BARRIER_BYTES));
+    }
+
+    #[test]
+    #[should_panic(expected = "two participants")]
+    fn single_node_collective_is_rejected() {
+        let _ = Algorithm::BcastFlat.dag(1, 64);
+    }
+}

@@ -97,13 +97,23 @@ impl SimCluster {
     }
 
     /// Registers a driver for the directed pair `src -> dst`.
+    ///
+    /// The driver exposes a *dense local rail space*: local rail `i` is the
+    /// `i`-th rail both endpoints have a NIC on ([`ClusterSpec::common_rails`]).
+    /// On a homogeneous cluster that mapping is the identity; on a
+    /// heterogeneous one the engine above never sees rails it cannot use.
+    /// Panics when the pair shares no rail (the cluster is partitioned for
+    /// this pair).
     pub fn pair_driver(&self, src: NodeId, dst: NodeId) -> PairDriver {
         assert_ne!(src, dst, "loopback pairs are not modeled");
         let mut s = self.shared.borrow_mut();
+        let rail_map: Vec<RailId> =
+            s.sim.spec().common_rails(src.index(), dst.index()).into_iter().map(RailId).collect();
+        assert!(!rail_map.is_empty(), "nodes {src} and {dst} share no rail");
         let index = s.inboxes.len();
         s.inboxes.push(VecDeque::new());
         s.sources.push(src);
-        PairDriver { shared: self.shared.clone(), index, src, dst }
+        PairDriver { shared: self.shared.clone(), index, src, dst, rail_map }
     }
 
     /// Current shared virtual time.
@@ -115,14 +125,62 @@ impl SimCluster {
     pub fn spec(&self) -> ClusterSpec {
         self.shared.borrow().sim.spec().clone()
     }
+
+    /// Advances the shared simulator by exactly one internal event and
+    /// routes what it produced into the drivers' inboxes. Returns `false`
+    /// when the calendar is exhausted.
+    ///
+    /// Workload drivers that coordinate *several* engines (collectives) use
+    /// this instead of letting any one engine's `poll` free-run the clock:
+    /// after each single step they drain every engine whose inbox filled
+    /// ([`PairDriver::pending_events`]), so dependent sends are posted at
+    /// their true virtual time instead of wherever another engine happened
+    /// to drag the clock.
+    pub fn pump_one(&self) -> bool {
+        self.shared.borrow_mut().pump()
+    }
+
+    /// Cumulative reserved time on the switch backplane of a physical rail
+    /// (zero when the spec has no switch).
+    pub fn switch_busy_total(&self, rail: RailId) -> nm_model::SimDuration {
+        self.shared.borrow().sim.switch_busy_total(rail)
+    }
 }
 
 /// One directed pair's view of the shared cluster.
+///
+/// Rail indices at this interface are *local*: dense `0..rail_count()`
+/// over the rails both endpoints share, translated to physical rails on
+/// submit and back on events. `rail_map[local] == physical`.
 pub struct PairDriver {
     shared: Rc<RefCell<Shared>>,
     index: usize,
     src: NodeId,
     dst: NodeId,
+    rail_map: Vec<RailId>,
+}
+
+impl PairDriver {
+    /// Physical rail behind a local index.
+    fn physical(&self, rail: RailId) -> RailId {
+        self.rail_map[rail.index()]
+    }
+
+    /// Local index of a physical rail, when this pair uses it.
+    fn local(&self, physical: RailId) -> Option<RailId> {
+        self.rail_map.iter().position(|&r| r == physical).map(RailId)
+    }
+
+    /// The physical rails behind the local rail space, in local order.
+    pub fn rail_map(&self) -> &[RailId] {
+        &self.rail_map
+    }
+
+    /// Events queued in this driver's inbox, deliverable by the next `poll`
+    /// without advancing the shared clock.
+    pub fn pending_events(&self) -> usize {
+        self.shared.borrow().inboxes[self.index].len()
+    }
 }
 
 impl Transport for PairDriver {
@@ -131,20 +189,20 @@ impl Transport for PairDriver {
     }
 
     fn rail_count(&self) -> usize {
-        self.shared.borrow().sim.spec().rail_count()
+        self.rail_map.len()
     }
 
     fn rail_name(&self, rail: RailId) -> String {
-        self.shared.borrow().sim.spec().rails[rail.index()].name.clone()
+        self.shared.borrow().sim.spec().rails[self.physical(rail).index()].name.clone()
     }
 
     fn rdv_threshold(&self, rail: RailId) -> u64 {
-        self.shared.borrow().sim.spec().rails[rail.index()].rdv_threshold
+        self.shared.borrow().sim.spec().rails[self.physical(rail).index()].rdv_threshold
     }
 
     fn rail_busy_until(&self, rail: RailId) -> SimTime {
         // Shared state: another engine's traffic from this node raises it.
-        self.shared.borrow().sim.nic_busy_until(self.src, rail)
+        self.shared.borrow().sim.nic_busy_until(self.src, self.physical(rail))
     }
 
     fn core_count(&self) -> usize {
@@ -157,11 +215,12 @@ impl Transport for PairDriver {
     }
 
     fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId {
+        let rail = self.physical(chunk.rail);
         let mut s = self.shared.borrow_mut();
         let id = s.sim.submit(SendSpec {
             src: self.src,
             dst: self.dst,
-            rail: chunk.rail,
+            rail,
             size: chunk.bytes,
             send_core: chunk.send_core,
             recv_core: chunk.recv_core,
@@ -173,13 +232,28 @@ impl Transport for PairDriver {
     }
 
     fn poll(&mut self) -> Vec<TransportEvent> {
-        let mut s = self.shared.borrow_mut();
         loop {
-            if !s.inboxes[self.index].is_empty() {
-                return s.inboxes[self.index].drain(..).collect();
-            }
-            if !s.pump() {
-                return Vec::new();
+            let drained: Vec<TransportEvent> = {
+                let mut s = self.shared.borrow_mut();
+                if s.inboxes[self.index].is_empty() && !s.pump() {
+                    return Vec::new();
+                }
+                s.inboxes[self.index].drain(..).collect()
+            };
+            // Physical rail events fold into the local rail space; idle
+            // notifications for rails this pair cannot use are dropped
+            // (possibly leaving nothing — then keep pumping).
+            let events: Vec<TransportEvent> = drained
+                .into_iter()
+                .filter_map(|ev| match ev {
+                    TransportEvent::RailIdle { rail, at } => {
+                        self.local(rail).map(|rail| TransportEvent::RailIdle { rail, at })
+                    }
+                    other => Some(other),
+                })
+                .collect();
+            if !events.is_empty() {
+                return events;
             }
         }
     }
@@ -198,6 +272,7 @@ mod tests {
         ClusterSpec {
             nodes: vec![NodeSpec::dual_dual_core_opteron(); 3],
             rails: builtin::paper_testbed(),
+            switch: None,
         }
     }
 
@@ -310,6 +385,61 @@ mod tests {
             b_driver.rail_busy_until(RailId(0)) > SimTime::ZERO,
             "sibling traffic must raise the shared NIC's busy-until"
         );
+    }
+
+    #[test]
+    fn partial_rail_sets_fold_into_a_dense_local_space() {
+        // Node 1 only has a QsNetII NIC: the 0->1 pair sees exactly one
+        // local rail, and traffic it submits lands on physical rail 1.
+        let mut spec = three_node_spec();
+        spec.nodes[1].rails = Some(vec![1]);
+        let cluster = SimCluster::new(spec.clone());
+        let mut d01 = cluster.pair_driver(NodeId(0), NodeId(1));
+        assert_eq!(d01.rail_count(), 1);
+        assert_eq!(d01.rail_map(), &[RailId(1)]);
+        assert_eq!(d01.rail_name(RailId(0)), "qsnet2");
+        assert_eq!(d01.rdv_threshold(RailId(0)), spec.rails[1].rdv_threshold);
+
+        let d02 = cluster.pair_driver(NodeId(0), NodeId(2));
+        assert_eq!(d02.rail_count(), 2, "fully-attached pairs keep the identity map");
+
+        d01.submit(crate::transport::ChunkSubmit {
+            rail: RailId(0),
+            bytes: MIB,
+            send_core: CoreId(0),
+            recv_core: CoreId(0),
+            offload_delay: nm_model::SimDuration::ZERO,
+            mode: None,
+            payload: None,
+        });
+        assert!(
+            d02.rail_busy_until(RailId(1)) > SimTime::ZERO,
+            "the local-0 submit must land on physical rail 1"
+        );
+        assert_eq!(d02.rail_busy_until(RailId(0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pump_one_advances_exactly_one_calendar_step() {
+        let cluster = SimCluster::new(three_node_spec());
+        let spec = cluster.spec();
+        let mut e01 = Engine::new(
+            cluster.pair_driver(NodeId(0), NodeId(1)),
+            predictor_for(&spec),
+            StrategyKind::SingleRail(Some(RailId(0))).build(),
+        )
+        .expect("engine");
+        let _ = e01.post_send(MIB).expect("post");
+        let mut steps = 0;
+        while cluster.pump_one() {
+            steps += 1;
+            if e01.transport().pending_events() > 0 {
+                break;
+            }
+        }
+        assert!(steps >= 1, "at least one event must fire");
+        assert!(e01.transport().pending_events() > 0, "events land in the inbox");
+        e01.drain().expect("drain");
     }
 
     #[test]

@@ -1,4 +1,13 @@
-//! Hierarchical machine topology.
+//! Hierarchical **intra-node core** topology.
+//!
+//! Two modules in this workspace are called `topology`; they describe
+//! different machines and must not be confused:
+//!
+//! * **This one** (`nm_runtime::topology`) is the *inside* of one node:
+//!   packages × cores, used for tasklet placement. It never names rails,
+//!   NICs or other nodes.
+//! * `nm_sim::topology` (re-exported as `nm_sim::net`) is the *cluster
+//!   interconnect*: nodes, per-node rail sets and the switch backplane.
 //!
 //! Marcel "was carefully designed to ... efficiently exploit hierarchical
 //! architectures": placement decisions know which cores share a package.

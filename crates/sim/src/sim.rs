@@ -160,6 +160,9 @@ enum ResKey {
     NicTx(NodeId, RailId),
     NicRx(NodeId, RailId),
     Core(NodeId, CoreId),
+    /// The rail's switch backplane (only exists under a
+    /// [`crate::topology::SwitchSpec`]).
+    Switch(RailId),
 }
 
 /// One reservation made on behalf of a transfer: enough to undo it.
@@ -208,6 +211,9 @@ pub struct Simulator {
     nic_rx: Vec<Vec<SerialResource>>,
     /// `cores[node][core]`.
     cores: Vec<Vec<SerialResource>>,
+    /// Per-rail switch backplane, `switch[rail]`; empty when the spec has
+    /// no switch (ideal point-to-point cabling, the paper's world).
+    switch: Vec<SerialResource>,
     /// Reserved windows per transfer, parallel to `transfers` — what
     /// [`Self::try_cancel_all`] retracts.
     windows: Vec<Vec<Window>>,
@@ -237,6 +243,11 @@ impl Simulator {
             .iter()
             .map(|n| (0..n.cores).map(|_| SerialResource::new()).collect())
             .collect();
+        let switch = if spec.switch.is_some() {
+            (0..spec.rail_count()).map(|_| SerialResource::new()).collect()
+        } else {
+            Vec::new()
+        };
         let rail_fault = vec![(1.0, SimDuration::ZERO); spec.rail_count()];
         Simulator {
             spec,
@@ -247,6 +258,7 @@ impl Simulator {
             nic_tx,
             nic_rx,
             cores,
+            switch,
             windows: Vec::new(),
             rail_fault,
             trace: Trace::disabled(),
@@ -310,6 +322,20 @@ impl Simulator {
     /// When a core drains its current reservations.
     pub fn core_busy_until(&self, node: NodeId, core: CoreId) -> SimTime {
         self.cores[node.index()][core.index()].busy_until()
+    }
+
+    /// When the switch backplane of `rail` drains. [`SimTime::ZERO`] when
+    /// the cluster has no switch.
+    pub fn switch_busy_until(&self, rail: RailId) -> SimTime {
+        self.switch.get(rail.index()).map_or(SimTime::ZERO, SerialResource::busy_until)
+    }
+
+    /// Cumulative time the switch backplane of `rail` has been reserved —
+    /// each transfer contributes exactly one transit window, which the
+    /// topology property tests pin (no double charging).
+    /// [`SimDuration::ZERO`] when the cluster has no switch.
+    pub fn switch_busy_total(&self, rail: RailId) -> SimDuration {
+        self.switch.get(rail.index()).map_or(SimDuration::ZERO, SerialResource::busy_total)
     }
 
     /// Cores of `node` idle at the current instant.
@@ -406,6 +432,18 @@ impl Simulator {
         assert_ne!(spec.src, spec.dst, "loopback transfers are not modeled");
         assert!(spec.rail.index() < self.spec.rail_count(), "bad rail {:?}", spec.rail);
         assert!(
+            self.spec.has_nic(spec.src.index(), spec.rail.index()),
+            "node {:?} has no NIC on rail {:?}",
+            spec.src,
+            spec.rail
+        );
+        assert!(
+            self.spec.has_nic(spec.dst.index(), spec.rail.index()),
+            "node {:?} has no NIC on rail {:?}",
+            spec.dst,
+            spec.rail
+        );
+        assert!(
             spec.send_core.index() < self.spec.nodes[spec.src.index()].cores,
             "bad send core {:?}",
             spec.send_core
@@ -476,10 +514,25 @@ impl Simulator {
         // FIFO), which keeps submit-time pre-reservations (rendezvous) and
         // arrival-time work mutually consistent.
         let wire_arrive = start + (one_way - copy);
+        // The payload crosses the switch backplane (when one is modeled)
+        // between injection and receive: one transit window per transfer,
+        // reserved from injection start. A backplane faster than the link
+        // finishes inside the wire gap and delays nothing; a contended one
+        // pushes the arrival out.
+        let switch_clear = match self.switch_transit(spec.size) {
+            Some(transit) => {
+                let sw = &self.switch[spec.rail.index()];
+                let sw_start = start.max(sw.free_at(start));
+                let (_, sw_end) =
+                    self.reserve_tracked(id, ResKey::Switch(spec.rail), sw_start, transit);
+                sw_end
+            }
+            None => wire_arrive,
+        };
+        let arrive = wire_arrive.max(switch_clear);
         let rx_nic = &self.nic_rx[spec.dst.index()][spec.rail.index()];
         let rx_core = &self.cores[spec.dst.index()][spec.recv_core.index()];
-        let recv_start =
-            wire_arrive.max(rx_nic.free_at(wire_arrive)).max(rx_core.free_at(wire_arrive));
+        let recv_start = arrive.max(rx_nic.free_at(arrive)).max(rx_core.free_at(arrive));
         let (_, recv_end) =
             self.reserve_tracked(id, ResKey::NicRx(spec.dst, spec.rail), recv_start, copy);
         self.reserve_tracked(id, ResKey::Core(spec.dst, spec.recv_core), recv_start, copy);
@@ -553,12 +606,26 @@ impl Simulator {
         // whole handshake). The receiver is modeled as granting CTS
         // immediately, so the window placement is already known.
         let cts_arrive = rts_arrive + cts_flight;
+        let transit = self.switch_transit(spec.size);
         let tx = &self.nic_tx[spec.src.index()][spec.rail.index()];
         let rx = &self.nic_rx[spec.dst.index()][spec.rail.index()];
-        let dma_start = cts_arrive.max(tx.free_at(cts_arrive)).max(rx.free_at(cts_arrive));
+        let mut dma_start = cts_arrive.max(tx.free_at(cts_arrive)).max(rx.free_at(cts_arrive));
+        if transit.is_some() {
+            dma_start = dma_start.max(self.switch[spec.rail.index()].free_at(dma_start));
+        }
         let (_, dma_end) =
             self.reserve_tracked(id, ResKey::NicTx(spec.src, spec.rail), dma_start, dma);
         self.reserve_tracked(id, ResKey::NicRx(spec.dst, spec.rail), dma_start, dma);
+        // The DMA stream crosses the backplane cut-through: its transit
+        // window overlaps the DMA window and only outlives it on a slow
+        // (oversubscribed) switch, in which case delivery waits for it.
+        let finish = match transit {
+            Some(t) => {
+                let (_, sw_end) = self.reserve_tracked(id, ResKey::Switch(spec.rail), dma_start, t);
+                dma_end.max(sw_end)
+            }
+            None => dma_end,
+        };
         for (node, dir) in [(spec.src, NicDir::Tx), (spec.dst, NicDir::Rx)] {
             self.trace.push(TraceRecord::NicBusy {
                 node,
@@ -569,7 +636,7 @@ impl Simulator {
                 transfer: id,
             });
         }
-        self.calendar.push(dma_end, Ev::DmaEnd(id));
+        self.calendar.push(finish, Ev::DmaEnd(id));
         let tx_gen = self.nic_tx[spec.src.index()][spec.rail.index()].generation();
         self.calendar.push(
             dma_end,
@@ -584,11 +651,18 @@ impl Simulator {
         self.calendar.push(post_end, Ev::CoreIdleCheck(spec.src, spec.send_core, core_gen));
     }
 
+    /// The backplane transit duration of a `size`-byte transfer, or `None`
+    /// when no switch is modeled.
+    fn switch_transit(&self, size: u64) -> Option<SimDuration> {
+        self.spec.switch.as_ref().map(|sw| sw.transit(size))
+    }
+
     fn resource(&self, res: ResKey) -> &SerialResource {
         match res {
             ResKey::NicTx(node, rail) => &self.nic_tx[node.index()][rail.index()],
             ResKey::NicRx(node, rail) => &self.nic_rx[node.index()][rail.index()],
             ResKey::Core(node, core) => &self.cores[node.index()][core.index()],
+            ResKey::Switch(rail) => &self.switch[rail.index()],
         }
     }
 
@@ -597,6 +671,7 @@ impl Simulator {
             ResKey::NicTx(node, rail) => &mut self.nic_tx[node.index()][rail.index()],
             ResKey::NicRx(node, rail) => &mut self.nic_rx[node.index()][rail.index()],
             ResKey::Core(node, core) => &mut self.cores[node.index()][core.index()],
+            ResKey::Switch(rail) => &mut self.switch[rail.index()],
         }
     }
 

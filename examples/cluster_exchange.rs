@@ -19,6 +19,7 @@ fn ring_exchange(kind: StrategyKind, nodes: usize, size: u64) -> f64 {
     let spec = ClusterSpec {
         nodes: vec![NodeSpec::dual_dual_core_opteron(); nodes],
         rails: builtin::paper_testbed(),
+        switch: None,
     };
     // Profiles describe rails, not node counts: sample a two-node twin.
     let predictor = sample_predictor(&ClusterSpec::two_nodes(4, spec.rails.clone()));
