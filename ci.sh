@@ -128,3 +128,12 @@ check_bench_schema BENCH_collectives.json \
     bench provenance node_counts crossover_matches series collective bytes \
     variants algorithm predicted_us measured_us selected \
     predicted_crossover_n measured_crossover_n crossover_match
+
+# Cluster-resilience harness: seeded mid-operation node death + neighbour
+# port kill at 8/16/32 nodes; the collectives must self-heal (watchdog +
+# DAG repair) and the recovery stats are schema-gated.
+cargo run --release -p nm-bench --bin cluster_resilience -- --seed 42
+check_bench_schema BENCH_cluster_resilience.json \
+    bench seed provenance node_counts series collective algorithm bytes \
+    nodes fault_free_us faulted_us inflation_pct repairs hops_retried \
+    hops_rerouted repair_latency_us retry_queue_peak dead_nodes

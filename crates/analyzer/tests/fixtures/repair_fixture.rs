@@ -1,0 +1,50 @@
+//! Repair/watchdog fixture: the self-healing idioms the collectives
+//! repair path must keep panic-free. Unlike `collectives_fixture.rs`
+//! (per-fn markers) this file is listed in the fixture config's
+//! `hot_paths` — mirroring how `crates/collectives/src/repair.rs` is
+//! covered file-level in `analyzer.toml` — so *every* non-test fn here
+//! is under the panic-freedom rules.
+
+/// Deadline arithmetic that unwraps a checked sum: pinned violations —
+/// 1x unwrap, plus 1x unit-bare (a public `_us` fn trafficking in bare
+/// u64 instead of `Micros`, exactly the watchdog idiom the rule guards).
+pub fn deadline_us(base: Option<u64>, backoff: u64) -> u64 {
+    base.unwrap() + backoff // 1x unwrap
+}
+
+/// Cascade step that indexes the state table: pinned violation.
+pub fn cancel_step(state: &mut [u8], i: usize) -> bool {
+    state[i] = 0; // 1x index
+    true
+}
+
+/// Plan graft that clones the dependency list per release: pinned
+/// violation (the real planner shares one list deliberately, with the
+/// escape on record).
+pub fn graft_deps(arrivals: &Vec<usize>) -> Vec<usize> {
+    arrivals.clone() // 1x clone
+}
+
+/// Survivor lookup whose bound is pre-checked — the legitimate escape,
+/// reason on record.
+pub fn survivor_root(survivors: &[usize]) -> usize {
+    if survivors.is_empty() {
+        return 0;
+    }
+    // nm-analyzer: allow(index) -- emptiness checked on the line above
+    survivors[0]
+}
+
+/// Panic-free by construction: the shape the real planners use.
+pub fn first_unreleased(survivors: &[usize], released: &[usize]) -> Option<usize> {
+    survivors.iter().copied().find(|s| !released.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn survivor_root_handles_empty() {
+        assert_eq!(super::survivor_root(&[]), 0); // test indexing is exempt
+        assert_eq!(super::survivor_root(&[3, 5]), 3);
+    }
+}

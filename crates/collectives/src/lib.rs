@@ -27,15 +27,17 @@
 
 pub mod cost;
 pub mod profiles;
+pub mod repair;
 pub mod runner;
 pub mod schedule;
 pub mod select;
 
 pub use profiles::ProfileBank;
-pub use runner::{CollectiveCluster, RunResult};
+pub use runner::{CollectiveCluster, RunResult, RunStats};
 pub use schedule::{Algorithm, Collective, HopDag, ALGORITHMS, BARRIER_BYTES};
-pub use select::{OpRecord, Selector};
+pub use select::{dag_health_penalty_us, OpRecord, Selector};
 
+use nm_faults::ClusterFaultSchedule;
 use nm_sim::ClusterSpec;
 
 /// One executed collective: the selection inputs and the outcome.
@@ -53,6 +55,8 @@ pub struct CompletedOp {
     pub predicted_us: f64,
     /// Simulated makespan (µs).
     pub measured_us: f64,
+    /// Failure/repair counters (all zero on a healthy run).
+    pub stats: RunStats,
 }
 
 /// The full collectives stack over one simulated cluster.
@@ -70,6 +74,23 @@ impl Collectives {
             bank: ProfileBank::new(spec),
             selector: Selector::new(),
         }
+    }
+
+    /// Builds the stack over a cluster that replays `schedule`: engines
+    /// get fault tolerance, runs self-heal (watchdog + DAG repair), and
+    /// selection adds a per-node health penalty. With an empty schedule
+    /// this is exactly [`Collectives::new`].
+    pub fn new_faulted(spec: ClusterSpec, schedule: &ClusterFaultSchedule) -> Result<Self, String> {
+        Ok(Collectives {
+            runner: CollectiveCluster::with_faults(spec.clone(), schedule)?,
+            bank: ProfileBank::new(spec),
+            selector: Selector::new(),
+        })
+    }
+
+    /// The runner (health state, shared clock) — read-only.
+    pub fn runner(&self) -> &CollectiveCluster {
+        &self.runner
     }
 
     /// Number of participating nodes.
@@ -109,6 +130,7 @@ impl Collectives {
             bytes,
             predicted_us,
             measured_us: result.duration_us,
+            stats: result.stats,
         };
         self.selector.record(OpRecord {
             collective: op.collective,
@@ -122,15 +144,32 @@ impl Collectives {
     }
 
     /// Runs `collective` with the prediction-chosen variant — the
-    /// crate's headline operation.
+    /// crate's headline operation. On a healing cluster each candidate's
+    /// corrected prediction additionally carries a health penalty for
+    /// routing hops through sick nodes, so sustained degradation shifts
+    /// the choice (flat → tree when the hub's rails are failing).
     pub fn run(&mut self, collective: Collective, bytes: u64) -> Result<CompletedOp, String> {
         let nodes = self.nodes();
-        let candidates: Vec<(Algorithm, f64)> = collective
-            .algorithms()
-            .into_iter()
-            .map(|a| (a, cost::predict_dag_us(&mut self.bank, &a.dag(nodes, bytes))))
-            .collect();
-        let (algorithm, _) = self.selector.choose(&candidates).ok_or("no algorithm candidates")?;
+        let algorithm = if self.runner.healing() {
+            let candidates: Vec<(Algorithm, f64, f64)> = collective
+                .algorithms()
+                .into_iter()
+                .map(|a| {
+                    let dag = a.dag(nodes, bytes);
+                    let predicted = cost::predict_dag_us(&mut self.bank, &dag);
+                    let penalty = dag_health_penalty_us(&dag, self.runner.node_sickness());
+                    (a, predicted, penalty)
+                })
+                .collect();
+            self.selector.choose_penalized(&candidates).ok_or("no algorithm candidates")?.0
+        } else {
+            let candidates: Vec<(Algorithm, f64)> = collective
+                .algorithms()
+                .into_iter()
+                .map(|a| (a, cost::predict_dag_us(&mut self.bank, &a.dag(nodes, bytes))))
+                .collect();
+            self.selector.choose(&candidates).ok_or("no algorithm candidates")?.0
+        };
         self.run_algorithm(algorithm, bytes)
     }
 }

@@ -50,7 +50,11 @@ impl ProfileBank {
                 .collect::<Vec<_>>();
             let twin = ClusterSpec::two_nodes(4, links.clone());
             let mut sampler = SimTransport::new(twin);
-            let cfg = SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+            // Sampler defaults (multi-iter, warmed): a 1-iter/0-warmup
+            // config fed the predictor cold-cache outliers, skewing the
+            // equal-completion splits and the crossover points the bench
+            // pins (issue #8).
+            let cfg = SamplingConfig::default();
             let views = (0..sampler.rail_count())
                 .map(|i| {
                     let natural = sample_rail(&mut sampler, i, &cfg).expect("sampling");

@@ -15,13 +15,64 @@
 //! deforming the schedule.
 
 use crate::profiles::ProfileBank;
-use crate::schedule::HopDag;
+use crate::repair::{self, HopRole};
+use crate::schedule::{Algorithm, Collective, Hop, HopDag};
 use nm_core::driver::cluster::{PairDriver, SimCluster};
 use nm_core::engine::{Engine, MsgId};
+use nm_core::health::HealthConfig;
 use nm_core::strategy::StrategyKind;
-use nm_model::SimTime;
+use nm_faults::ClusterFaultSchedule;
+use nm_model::{SimDuration, SimTime};
 use nm_sim::{ClusterSpec, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// A posted hop's deadline is this many times the bank's uncontended hop
+/// prediction (floored at [`MIN_HOP_TIMEOUT_US`]), doubling per retry.
+const TIMEOUT_FACTOR: f64 = 8.0;
+
+/// Deadline floor: latency-bound barrier tokens predict in single-digit
+/// µs, far below honest queueing noise under contention.
+const MIN_HOP_TIMEOUT_US: f64 = 2_000.0;
+
+/// Reposts of one hop on its original pair before the hop is written off
+/// and left to DAG repair.
+const MAX_HOP_RETRIES: u32 = 4;
+
+/// DAG repair rounds per run before the runner declares the operation
+/// unrecoverable (each round replans from scratch, so needing many is a
+/// sign the fault schedule is killing nodes faster than repair converges).
+const MAX_REPAIRS: u64 = 8;
+
+/// Hard bound on the flow-held completion queue: completions the engines
+/// reported done whose in-order release is still pending. Growth past this
+/// means a flow is wedged, not busy.
+const DONE_QUEUE_BOUND: usize = 4096;
+
+/// Per-node sickness EWMA: weight a failure adds, and the decay a success
+/// applies. Deterministic (no RNG), bounded in `[0, 1)`.
+const SICKNESS_GAIN: f64 = 0.3;
+const SICKNESS_DECAY: f64 = 0.9;
+
+/// Failure/repair observability for one executed DAG. All zero on a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Hops reposted on their original pair after a watchdog teardown.
+    pub hops_retried: u64,
+    /// Replacement hops grafted by DAG repair (re-rooted trees, ring
+    /// splices).
+    pub hops_rerouted: u64,
+    /// Repair rounds executed.
+    pub repairs: u64,
+    /// First watchdog teardown to last repair-hop delivery (µs); zero when
+    /// nothing needed repair.
+    pub repair_latency_us: f64,
+    /// Peak length of the flow-held completion queue (satellite: bounded
+    /// retry queue).
+    pub retry_queue_peak: usize,
+    /// Participants with every NIC port down when the run finished.
+    pub dead_nodes: usize,
+}
 
 /// Outcome of one executed hop DAG.
 #[derive(Debug, Clone)]
@@ -32,8 +83,30 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Makespan in microseconds (`finished_at - started_at`).
     pub duration_us: f64,
-    /// Per-hop delivery times, indexed like `dag.hops`.
-    pub deliveries: Vec<SimTime>,
+    /// Per-hop delivery times. The first `dag.hops.len()` entries mirror
+    /// the compiled schedule; repair hops extend past them. `None` marks a
+    /// hop torn out by the watchdog or cancelled by repair — on a
+    /// fault-free run every entry is `Some`.
+    pub deliveries: Vec<Option<SimTime>>,
+    /// The hops actually executed, indexed like `deliveries`: the compiled
+    /// schedule plus any repair hops grafted after it.
+    pub hops: Vec<Hop>,
+    /// Failure/repair counters.
+    pub stats: RunStats,
+}
+
+/// Execution state of one hop in the (growing) DAG.
+#[derive(Debug, Clone)]
+enum HopState {
+    /// Dependencies unmet.
+    Pending,
+    /// Live on its pair's engine, watched by the deadline.
+    Posted { id: MsgId, deadline: SimTime, attempts: u32 },
+    /// Delivered.
+    Done(SimTime),
+    /// Torn out (retries exhausted, endpoint dead, or dependency lost);
+    /// owed work is replanned by repair, never by resurrecting this index.
+    Cancelled,
 }
 
 /// A simulated cluster plus the per-pair engines collectives run on.
@@ -46,6 +119,14 @@ pub struct CollectiveCluster {
     cluster: SimCluster,
     spec: ClusterSpec,
     engines: HashMap<(usize, usize), Engine<PairDriver>>,
+    /// Healing machinery armed: the cluster replays a non-empty fault
+    /// schedule, engines run with fault tolerance, runs take the watchdog
+    /// path. An *empty* schedule keeps the plain path — inertness is a
+    /// guarantee, not an optimization.
+    healing: bool,
+    /// Per-node failure EWMA, persisted across runs so the selector can
+    /// penalize schedules through a sick hub. All zeros when healthy.
+    sickness: Vec<f64>,
 }
 
 impl CollectiveCluster {
@@ -53,7 +134,31 @@ impl CollectiveCluster {
     pub fn new(spec: ClusterSpec) -> Self {
         assert!(spec.validate().is_ok(), "invalid cluster spec");
         let cluster = SimCluster::new(spec.clone());
-        CollectiveCluster { cluster, spec, engines: HashMap::new() }
+        let nodes = spec.nodes.len();
+        CollectiveCluster {
+            cluster,
+            spec,
+            engines: HashMap::new(),
+            healing: false,
+            sickness: vec![0.0; nodes],
+        }
+    }
+
+    /// A cluster that replays `schedule`: engines get fault tolerance and
+    /// runs take the self-healing path (watchdog + DAG repair), unless the
+    /// schedule is empty — then this is exactly [`CollectiveCluster::new`]
+    /// over a fault-capable transport.
+    pub fn with_faults(spec: ClusterSpec, schedule: &ClusterFaultSchedule) -> Result<Self, String> {
+        spec.validate()?;
+        let cluster = SimCluster::with_faults(spec.clone(), schedule)?;
+        let nodes = spec.nodes.len();
+        Ok(CollectiveCluster {
+            cluster,
+            spec,
+            engines: HashMap::new(),
+            healing: !schedule.is_empty(),
+            sickness: vec![0.0; nodes],
+        })
     }
 
     /// The cluster spec.
@@ -71,20 +176,46 @@ impl CollectiveCluster {
         self.cluster.now()
     }
 
+    /// Whether runs take the self-healing path.
+    pub fn healing(&self) -> bool {
+        self.healing
+    }
+
+    /// Per-node failure EWMA (all zeros when nothing has failed).
+    pub fn node_sickness(&self) -> &[f64] {
+        &self.sickness
+    }
+
     fn ensure_engine(&mut self, bank: &mut ProfileBank, src: usize, dst: usize) {
         if !self.engines.contains_key(&(src, dst)) {
             let driver = self.cluster.pair_driver(NodeId(src), NodeId(dst));
             let predictor = bank.predictor_for_pair(src, dst);
-            let engine = Engine::new(driver, predictor, StrategyKind::HeteroSplit.build())
+            let mut engine = Engine::new(driver, predictor, StrategyKind::HeteroSplit.build())
                 .expect("engine construction");
+            if self.healing {
+                engine = engine
+                    .with_fault_tolerance(HealthConfig::default())
+                    .expect("default health config");
+            }
             self.engines.insert((src, dst), engine);
         }
     }
 
-    /// Executes `dag` to completion, event-ordered. Fails when the
+    /// Executes `dag` to completion, event-ordered. On a healing cluster
+    /// hops are deadline-watched and the DAG is repaired around quarantined
+    /// rails and dead nodes; otherwise any failure is fatal. Fails when the
     /// simulator's calendar drains while hops are still outstanding (a
-    /// malformed schedule) or an engine rejects a post.
+    /// malformed schedule), an engine rejects a post, or repair cannot
+    /// converge.
     pub fn run(&mut self, bank: &mut ProfileBank, dag: &HopDag) -> Result<RunResult, String> {
+        if self.healing {
+            self.run_resilient(bank, dag)
+        } else {
+            self.run_clean(bank, dag)
+        }
+    }
+
+    fn run_clean(&mut self, bank: &mut ProfileBank, dag: &HopDag) -> Result<RunResult, String> {
         dag.check()?;
         let started_at = self.cluster.now();
 
@@ -132,18 +263,24 @@ impl CollectiveCluster {
         // a completion until its flow predecessors finish, so
         // `try_completion` can trail `poll`'s done list by a few events.
         let mut done_queue: Vec<(usize, usize, MsgId)> = Vec::new();
+        let mut retry_queue_peak = 0usize;
         while outstanding > 0 {
             // Drain phase: deliver every event already routed to an inbox
             // before touching the clock, releasing dependents as hops
             // complete. Newly-posted hops can themselves fill inboxes, so
             // iterate to a fixed point.
             loop {
-                let pending: Vec<(usize, usize)> = self
+                let mut pending: Vec<(usize, usize)> = self
                     .engines
                     .iter()
                     .filter(|(_, e)| e.transport().pending_events() > 0)
                     .map(|(&k, _)| k)
                     .collect();
+                // Engines live in a HashMap; same-instant deliveries leave
+                // several inboxes pending at once, and poll order decides
+                // same-instant submit order downstream. Sort to keep runs
+                // bit-deterministic.
+                pending.sort_unstable();
                 if pending.is_empty() {
                     break;
                 }
@@ -151,6 +288,13 @@ impl CollectiveCluster {
                     let engine = self.engines.get_mut(&pair).expect("engine exists");
                     let done = engine.poll().map_err(|e| format!("poll {pair:?}: {e}"))?;
                     done_queue.extend(done.into_iter().map(|id| (pair.0, pair.1, id)));
+                }
+                retry_queue_peak = retry_queue_peak.max(done_queue.len());
+                if done_queue.len() > DONE_QUEUE_BOUND {
+                    return Err(format!(
+                        "flow-held completion queue wedged at {} entries",
+                        done_queue.len()
+                    ));
                 }
                 let mut ready: Vec<usize> = Vec::new();
                 for key in std::mem::take(&mut done_queue) {
@@ -184,18 +328,410 @@ impl CollectiveCluster {
             }
         }
 
-        let deliveries: Vec<SimTime> = deliveries
-            .into_iter()
-            .map(|d| d.ok_or("hop never delivered"))
-            .collect::<Result<_, _>>()?;
-        let finished_at = deliveries.iter().copied().max().unwrap_or(started_at);
+        if deliveries.iter().any(Option::is_none) {
+            return Err("hop never delivered".into());
+        }
+        let finished_at = deliveries.iter().flatten().copied().max().unwrap_or(started_at);
         Ok(RunResult {
             started_at,
             finished_at,
             duration_us: finished_at.saturating_since(started_at).as_micros_f64(),
             deliveries,
+            hops: dag.hops.clone(),
+            stats: RunStats { retry_queue_peak, ..RunStats::default() },
         })
     }
+
+    /// The self-healing execution path: every posted hop carries a
+    /// deadline (watchdog), torn-out hops are retried with backoff on
+    /// their pair, and when retries cannot meet an obligation — typically
+    /// because an endpoint died — the run reaches quiescence and a repair
+    /// round replans the owed semantics over the survivors
+    /// ([`crate::repair`]), grafting the plan as fresh hop indices
+    /// (exactly-once: identities are never reused).
+    fn run_resilient(&mut self, bank: &mut ProfileBank, dag: &HopDag) -> Result<RunResult, String> {
+        dag.check()?;
+        let started_at = self.cluster.now();
+        let n = dag.nodes;
+        let original_count = dag.hops.len();
+        let mut hops: Vec<Hop> = dag.hops.clone();
+        let mut roles: Vec<HopRole> =
+            hops.iter().enumerate().map(|(i, h)| original_role(dag.algorithm, n, i, h)).collect();
+        let mut state: Vec<HopState> = vec![HopState::Pending; hops.len()];
+        let mut remaining: Vec<usize> = hops.iter().map(|h| h.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); hops.len()];
+        for (i, h) in hops.iter().enumerate() {
+            for &d in &h.deps {
+                dependents[d].push(i);
+            }
+        }
+
+        // Semantic completion tracking, fed by every delivery (original or
+        // repair) and consumed by the repair planners. The compiled root
+        // self-releases: it is never the dst of a release hop.
+        let mut released: BTreeSet<usize> = [0].into();
+        let mut holders: BTreeSet<usize> = [0].into();
+        let mut block_done: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        let mut posted_ids: HashMap<(usize, usize, MsgId), usize> = HashMap::new();
+        let mut stats = RunStats::default();
+        let mut first_failure: Option<SimTime> = None;
+        let mut last_repair_delivery: Option<SimTime> = None;
+        let mut outstanding = 0usize;
+        let mut done_queue: Vec<(usize, usize, MsgId)> = Vec::new();
+
+        for hop in &hops {
+            self.ensure_engine(bank, hop.src, hop.dst);
+        }
+        for (i, &rem) in remaining.iter().enumerate() {
+            if rem == 0 {
+                self.post_watched(bank, &hops, &mut state, &mut posted_ids, i, 0)?;
+                outstanding += 1;
+            }
+        }
+
+        loop {
+            // Event loop until every hop is Done or Cancelled.
+            while outstanding > 0 {
+                // Drain inboxes to a fixed point, then process completions.
+                loop {
+                    let mut pending: Vec<(usize, usize)> = self
+                        .engines
+                        .iter()
+                        .filter(|(_, e)| e.transport().pending_events() > 0)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    // HashMap order is per-instance random; sort so poll
+                    // (and thus same-instant submit) order is reproducible.
+                    pending.sort_unstable();
+                    if pending.is_empty() {
+                        break;
+                    }
+                    for pair in pending {
+                        let Some(engine) = self.engines.get_mut(&pair) else { continue };
+                        match engine.poll() {
+                            Ok(done) => {
+                                done_queue.extend(done.into_iter().map(|id| (pair.0, pair.1, id)));
+                            }
+                            Err(_e) => {
+                                // Poisoned engine (e.g. a chunk burned
+                                // through every retry): drop it, write off
+                                // its live hops; repair re-plans the owed
+                                // work and a fresh engine replaces it.
+                                self.engines.remove(&pair);
+                                let mut victims: Vec<usize> = posted_ids
+                                    .iter()
+                                    .filter(|((s, d, _), _)| (*s, *d) == pair)
+                                    .map(|(_, &i)| i)
+                                    .collect();
+                                victims.sort_unstable();
+                                for i in victims {
+                                    posted_ids.retain(|_, &mut v| v != i);
+                                    self.note_failure(hops[i].src, hops[i].dst);
+                                    first_failure.get_or_insert(self.cluster.now());
+                                    outstanding -= cancel_cascade(&mut state, &dependents, i);
+                                }
+                            }
+                        }
+                    }
+                    stats.retry_queue_peak = stats.retry_queue_peak.max(done_queue.len());
+                    if done_queue.len() > DONE_QUEUE_BOUND {
+                        return Err(format!(
+                            "flow-held completion queue wedged at {} entries",
+                            done_queue.len()
+                        ));
+                    }
+                    let mut ready: Vec<usize> = Vec::new();
+                    for key in std::mem::take(&mut done_queue) {
+                        let Some(engine) = self.engines.get_mut(&(key.0, key.1)) else {
+                            continue; // completion of a dropped engine
+                        };
+                        let Some(completion) = engine.try_completion(key.2) else {
+                            done_queue.push(key);
+                            continue;
+                        };
+                        let Some(&hop_idx) = posted_ids.get(&key) else {
+                            continue; // hop was written off while held
+                        };
+                        posted_ids.remove(&key);
+                        if !matches!(state[hop_idx], HopState::Posted { .. }) {
+                            continue;
+                        }
+                        let at = completion.delivered_at;
+                        state[hop_idx] = HopState::Done(at);
+                        outstanding -= 1;
+                        self.note_success(hops[hop_idx].src, hops[hop_idx].dst);
+                        match roles[hop_idx] {
+                            HopRole::Arrive => {}
+                            HopRole::Release => {
+                                released.insert(hops[hop_idx].dst);
+                            }
+                            HopRole::Payload => {
+                                holders.insert(hops[hop_idx].dst);
+                            }
+                            HopRole::Block(s, d) => {
+                                block_done.insert((s, d));
+                            }
+                        }
+                        if hop_idx >= original_count {
+                            last_repair_delivery =
+                                Some(last_repair_delivery.map_or(at, |t| t.max(at)));
+                        }
+                        for &dep in &dependents[hop_idx] {
+                            remaining[dep] = remaining[dep].saturating_sub(1);
+                            if remaining[dep] == 0 && matches!(state[dep], HopState::Pending) {
+                                ready.push(dep);
+                            }
+                        }
+                    }
+                    ready.sort_unstable();
+                    for hop_idx in ready {
+                        self.ensure_engine(bank, hops[hop_idx].src, hops[hop_idx].dst);
+                        self.post_watched(bank, &hops, &mut state, &mut posted_ids, hop_idx, 0)?;
+                        outstanding += 1;
+                    }
+                }
+                if outstanding == 0 {
+                    break;
+                }
+                if !self.cluster.pump_one() {
+                    return Err(format!("calendar drained with {outstanding} hops outstanding"));
+                }
+                // Watchdog: deadlines are pinned on the calendar, so a
+                // wedged hop is noticed the moment the clock passes it.
+                let now = self.cluster.now();
+                let expired: Vec<usize> = state
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        HopState::Posted { deadline, .. } if *deadline <= now => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                for i in expired {
+                    let (id, attempts) = match &state[i] {
+                        HopState::Posted { id, attempts, .. } => (*id, *attempts),
+                        _ => continue,
+                    };
+                    let pair = (hops[i].src, hops[i].dst);
+                    let Some(engine) = self.engines.get_mut(&pair) else {
+                        continue; // engine already dropped; hop was written off
+                    };
+                    match engine.abandon(id) {
+                        Ok(false) => {
+                            // Completing (held or already delivered): give
+                            // it a fresh deadline and keep waiting.
+                            let deadline = now + self.hop_timeout(bank, &hops[i], 0);
+                            self.cluster.schedule_wakeup(deadline);
+                            state[i] = HopState::Posted { id, deadline, attempts };
+                        }
+                        Ok(true) => {
+                            posted_ids.remove(&(pair.0, pair.1, id));
+                            self.note_failure(pair.0, pair.1);
+                            first_failure.get_or_insert(now);
+                            let endpoint_dead = self.cluster.node_is_down(pair.0)
+                                || self.cluster.node_is_down(pair.1);
+                            if !endpoint_dead && attempts < MAX_HOP_RETRIES {
+                                stats.hops_retried += 1;
+                                self.post_watched(
+                                    bank,
+                                    &hops,
+                                    &mut state,
+                                    &mut posted_ids,
+                                    i,
+                                    attempts + 1,
+                                )?;
+                            } else {
+                                outstanding -= cancel_cascade(&mut state, &dependents, i);
+                            }
+                        }
+                        Err(e) => return Err(format!("abandon hop {i} {pair:?}: {e}")),
+                    }
+                }
+            }
+
+            // Quiescent: every hop Done or Cancelled. Check the owed
+            // semantics over the survivors; an empty plan is completion.
+            let survivors: BTreeSet<usize> =
+                (0..n).filter(|&i| !self.cluster.node_is_down(i)).collect();
+            stats.dead_nodes = n - survivors.len();
+            let plan = match dag.algorithm.collective() {
+                Collective::Barrier => repair::plan_barrier(&survivors, &released),
+                Collective::Broadcast => repair::plan_bcast(dag.bytes, &survivors, &holders)?,
+                Collective::AllToAll => repair::plan_alltoall(dag.bytes, &survivors, &block_done),
+            };
+            if plan.is_empty() {
+                break;
+            }
+            if stats.repairs >= MAX_REPAIRS {
+                return Err(format!(
+                    "DAG repair did not converge after {MAX_REPAIRS} rounds \
+                     ({} hops still owed)",
+                    plan.len()
+                ));
+            }
+            stats.repairs += 1;
+            first_failure.get_or_insert(self.cluster.now());
+            // The new root (min survivor) self-releases, like the compiled
+            // root did.
+            if dag.algorithm.collective() == Collective::Barrier {
+                if let Some(&root) = survivors.iter().next() {
+                    released.insert(root);
+                }
+            }
+            // Graft the plan as fresh indices and post its roots.
+            let base = hops.len();
+            for rh in &plan {
+                let abs_deps: Vec<usize> = rh.deps.iter().map(|&d| d + base).collect();
+                hops.push(Hop { src: rh.src, dst: rh.dst, bytes: rh.bytes, deps: abs_deps });
+                roles.push(rh.role);
+                state.push(HopState::Pending);
+                remaining.push(rh.deps.len());
+                dependents.push(Vec::new());
+                stats.hops_rerouted += 1;
+            }
+            for (i, hop) in hops.iter().enumerate().skip(base) {
+                for &d in &hop.deps {
+                    dependents[d].push(i);
+                }
+            }
+            for i in base..hops.len() {
+                self.ensure_engine(bank, hops[i].src, hops[i].dst);
+                if remaining[i] == 0 {
+                    self.post_watched(bank, &hops, &mut state, &mut posted_ids, i, 0)?;
+                    outstanding += 1;
+                }
+            }
+        }
+
+        let deliveries: Vec<Option<SimTime>> = state
+            .iter()
+            .map(|s| match s {
+                HopState::Done(at) => Some(*at),
+                _ => None,
+            })
+            .collect();
+        if let (Some(begin), Some(end)) = (first_failure, last_repair_delivery) {
+            stats.repair_latency_us = end.saturating_since(begin).as_micros_f64();
+        }
+        let finished_at = deliveries.iter().flatten().copied().max().unwrap_or(started_at);
+        Ok(RunResult {
+            started_at,
+            finished_at,
+            duration_us: finished_at.saturating_since(started_at).as_micros_f64(),
+            deliveries,
+            hops,
+            stats,
+        })
+    }
+
+    /// Posts hop `i` on its pair's engine with a pinned watchdog deadline
+    /// (`TIMEOUT_FACTOR ×` the bank's uncontended prediction, doubled per
+    /// prior attempt).
+    fn post_watched(
+        &mut self,
+        bank: &mut ProfileBank,
+        hops: &[Hop],
+        state: &mut [HopState],
+        posted_ids: &mut HashMap<(usize, usize, MsgId), usize>,
+        i: usize,
+        attempts: u32,
+    ) -> Result<(), String> {
+        let h = &hops[i];
+        let timeout = self.hop_timeout(bank, h, attempts);
+        let engine = self
+            .engines
+            .get_mut(&(h.src, h.dst))
+            .ok_or_else(|| format!("hop {i}: no engine for pair ({}, {})", h.src, h.dst))?;
+        let id = engine
+            .post_send(h.bytes)
+            .map_err(|e| format!("hop {i} ({}->{}): {e}", h.src, h.dst))?;
+        let deadline = self.cluster.now() + timeout;
+        self.cluster.schedule_wakeup(deadline);
+        posted_ids.insert((h.src, h.dst, id), i);
+        state[i] = HopState::Posted { id, deadline, attempts };
+        Ok(())
+    }
+
+    /// Watchdog budget for one hop attempt.
+    fn hop_timeout(&mut self, bank: &mut ProfileBank, h: &Hop, attempts: u32) -> SimDuration {
+        let base =
+            (TIMEOUT_FACTOR * bank.hop_time_us(h.src, h.dst, h.bytes)).max(MIN_HOP_TIMEOUT_US);
+        let scaled = base * f64::from(1u32 << attempts.min(16));
+        SimDuration::from_micros(scaled as u64)
+    }
+
+    fn note_failure(&mut self, src: usize, dst: usize) {
+        for node in [src, dst] {
+            if let Some(s) = self.sickness.get_mut(node) {
+                *s += (1.0 - *s) * SICKNESS_GAIN;
+            }
+        }
+    }
+
+    fn note_success(&mut self, src: usize, dst: usize) {
+        for node in [src, dst] {
+            if let Some(s) = self.sickness.get_mut(node) {
+                *s *= SICKNESS_DECAY;
+            }
+        }
+    }
+}
+
+/// Semantic role of a *compiled* hop. Repair hops carry their role
+/// explicitly; originals are classified from the algorithm's shape: both
+/// barrier generators root at node 0 and only release "upward"
+/// (`src < dst`), broadcast hops all carry payload, a pairwise hop *is*
+/// its block, and a ring hop at step `k` homes the block that has
+/// traveled `k` edges: origin `(dst - k) mod n`.
+fn original_role(algorithm: Algorithm, n: usize, idx: usize, hop: &Hop) -> HopRole {
+    match algorithm {
+        Algorithm::BarrierFlat | Algorithm::BarrierTree => {
+            if hop.src < hop.dst {
+                HopRole::Release
+            } else {
+                HopRole::Arrive
+            }
+        }
+        Algorithm::BcastFlat | Algorithm::BcastTree => HopRole::Payload,
+        Algorithm::AlltoallPairwise => HopRole::Block(hop.src, hop.dst),
+        Algorithm::AlltoallRing => {
+            // Ring hops are emitted step-major, n per step, steps 1..n.
+            let k = idx / n + 1;
+            HopRole::Block((hop.dst + n - k) % n, hop.dst)
+        }
+    }
+}
+
+/// Cancels hop `i` and every transitive dependent that can no longer run
+/// (a dep that will never deliver starves the whole downstream cone).
+/// Descendants are always `Pending` — a dependent is posted strictly after
+/// its deps deliver. Returns how many hops left the outstanding count:
+/// only *posted* hops are counted there, so pending descendants cancel
+/// without touching it.
+fn cancel_cascade(state: &mut [HopState], dependents: &[Vec<usize>], i: usize) -> usize {
+    let mut stack = vec![i];
+    let mut removed = 0;
+    while let Some(j) = stack.pop() {
+        let cancellable = match state.get(j) {
+            Some(HopState::Pending) => true,
+            // Only the cascade root may be live on an engine (and its
+            // caller has already torn it out of that engine).
+            Some(HopState::Posted { .. }) => j == i,
+            _ => false,
+        };
+        if !cancellable {
+            continue;
+        }
+        if matches!(state.get(j), Some(HopState::Posted { .. })) {
+            removed += 1;
+        }
+        state[j] = HopState::Cancelled;
+        if let Some(deps) = dependents.get(j) {
+            stack.extend(deps.iter().copied());
+        }
+    }
+    removed
 }
 
 #[cfg(test)]
@@ -217,7 +753,11 @@ mod tests {
         let res = cc.run(&mut bank, &dag).expect("run");
         assert_eq!(res.deliveries.len(), 3);
         assert!(res.duration_us > 0.0);
-        assert_eq!(res.finished_at, *res.deliveries.iter().max().expect("nonempty"));
+        assert_eq!(res.finished_at, *res.deliveries.iter().flatten().max().expect("nonempty"));
+        assert_eq!(
+            res.stats,
+            RunStats { retry_queue_peak: res.stats.retry_queue_peak, ..RunStats::default() }
+        );
     }
 
     #[test]

@@ -14,10 +14,34 @@
 //! This file is on the analyzer's hot-path list: selection runs on every
 //! collective post, so it must be panic-free (no unwrap/expect/indexing).
 
-use crate::schedule::{Algorithm, Collective, ALGORITHMS};
+use crate::schedule::{Algorithm, Collective, HopDag, ALGORITHMS};
 
 /// EWMA weight of the newest observation.
 const ALPHA: f64 = 0.25;
+
+/// Added cost (µs) per hop per unit of endpoint sickness. Sickness is the
+/// runner's per-node failure EWMA in `[0, 1)`; at 50 µs/unit a flat
+/// schedule hammering one sick hub accrues roughly a retry-timeout's worth
+/// of penalty per touching hop, which is what shifts selection to shapes
+/// that spread load off the hub (flat → tree) under sustained degradation.
+const HEALTH_PENALTY_US: f64 = 50.0;
+
+/// Health penalty of running `dag` given per-node sickness: every hop is
+/// charged for the sickness of both its endpoints, so schedules that
+/// concentrate traffic on degraded nodes price themselves out.
+// nm-analyzer: hot_path
+// nm-analyzer: allow(unit-bare) -- µs-f64 numeric core of the DAG cost
+// model, beneath the typed Micros boundary
+pub fn dag_health_penalty_us(dag: &HopDag, sickness: &[f64]) -> f64 {
+    dag.hops
+        .iter()
+        .map(|h| {
+            let s = sickness.get(h.src).copied().unwrap_or(0.0)
+                + sickness.get(h.dst).copied().unwrap_or(0.0);
+            HEALTH_PENALTY_US * s
+        })
+        .sum()
+}
 
 /// One completed collective: what was predicted, what happened.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +125,29 @@ impl Selector {
         best
     }
 
+    /// Like [`Selector::choose`], but each candidate carries an additive
+    /// health penalty (µs) on top of its corrected prediction — the
+    /// faulted runner's selection path. A zero penalty reduces to
+    /// `choose` exactly.
+    // nm-analyzer: hot_path
+    pub fn choose_penalized(
+        &self,
+        candidates: &[(Algorithm, f64, f64)],
+    ) -> Option<(Algorithm, f64)> {
+        let mut best: Option<(Algorithm, f64)> = None;
+        for &(algo, predicted, penalty) in candidates {
+            let cost = self.corrected_us(algo, predicted) + penalty;
+            let beat = match best {
+                Some((_, b)) => cost < b,
+                None => true,
+            };
+            if beat {
+                best = Some((algo, cost));
+            }
+        }
+        best
+    }
+
     /// Feeds back one completed operation: updates the algorithm's EWMA
     /// correction and appends to the record trail.
     // nm-analyzer: hot_path
@@ -165,6 +212,34 @@ mod tests {
         s.record(rec(Algorithm::BarrierFlat, f64::NAN, 50.0));
         assert_eq!(s.correction(Algorithm::BarrierFlat), 1.0);
         assert_eq!(s.records().len(), 2, "records keep everything for observability");
+    }
+
+    #[test]
+    fn a_sick_hub_prices_flat_out_of_selection() {
+        // Node 0 is degraded: every flat hop touches it, only log-ish many
+        // tree hops do, so the penalty gap flips an otherwise-flat choice.
+        let mut sickness = vec![0.0; 8];
+        sickness[0] = 0.8;
+        let flat = Algorithm::BarrierFlat.dag(8, 1);
+        let tree = Algorithm::BarrierTree.dag(8, 1);
+        let p_flat = dag_health_penalty_us(&flat, &sickness);
+        let p_tree = dag_health_penalty_us(&tree, &sickness);
+        assert!(p_flat > 2.0 * p_tree, "flat {p_flat} vs tree {p_tree}");
+        let s = Selector::new();
+        // Model says flat is slightly cheaper; health says otherwise.
+        let picked = s.choose_penalized(&[
+            (Algorithm::BarrierFlat, 100.0, p_flat),
+            (Algorithm::BarrierTree, 120.0, p_tree),
+        ]);
+        assert_eq!(picked.map(|(a, _)| a), Some(Algorithm::BarrierTree));
+        // Zero penalties reduce to plain choice.
+        let same = s.choose_penalized(&[
+            (Algorithm::BarrierFlat, 100.0, 0.0),
+            (Algorithm::BarrierTree, 120.0, 0.0),
+        ]);
+        assert_eq!(same.map(|(a, _)| a), Some(Algorithm::BarrierFlat));
+        // Healthy cluster: no penalty anywhere.
+        assert_eq!(dag_health_penalty_us(&flat, &[0.0; 8]), 0.0);
     }
 
     #[test]

@@ -13,13 +13,57 @@
 //! and engines interleave by polling. Events are routed to per-driver
 //! inboxes; any driver's `poll` may advance the shared clock and feed its
 //! peers' inboxes.
+//!
+//! A cluster built with [`SimCluster::with_faults`] replays a seeded
+//! [`ClusterFaultSchedule`] against the shared transport: submissions onto
+//! a downed NIC port fail immediately, a `DownBegin` kills the port's
+//! in-flight transfers, transient loss dooms submissions by lottery, and
+//! shaping windows forward to the simulator's per-port fault slots. Every
+//! transition instant is pinned by a calendar wakeup, so transitions apply
+//! at their exact virtual time even when no traffic is moving. An empty
+//! schedule is inert: no wakeups, no lotteries, no extra branches taken —
+//! the fault-free cluster stays bit-identical to [`SimCluster::new`].
 
 use crate::transport::{ChunkId, ChunkSubmit, Transport, TransportEvent};
+use nm_faults::cluster::{ClusterFaultSchedule, ClusterFaultState, ClusterTransition};
+use nm_faults::Change;
 use nm_model::SimTime;
 use nm_sim::{ClusterSpec, CoreId, NodeId, RailId, SendSpec, SimEvent, Simulator, TransferId};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+
+/// Synthetic id space for chunks rejected at submission (port down) — far
+/// above anything the shared simulator will ever allocate.
+const REJECTED_CHUNK_BASE: u64 = 1 << 63;
+
+/// Calendar wakeup token pinning fault transition instants.
+const FAULT_WAKEUP_TOKEN: u64 = 1;
+
+/// Calendar wakeup token for workload-level deadlines
+/// ([`SimCluster::schedule_wakeup`] — the collectives watchdog).
+const WATCHDOG_WAKEUP_TOKEN: u64 = 2;
+
+/// Tokens at or above this are per-driver engine timers: token =
+/// `ENGINE_WAKEUP_BASE + driver index`, routed back to that inbox.
+const ENGINE_WAKEUP_BASE: u64 = 16;
+
+/// Fault-replay state threaded through the shared transport.
+struct ClusterFaults {
+    state: ClusterFaultState,
+    /// Compiled schedule, time-sorted; `next` is the replay cursor.
+    timeline: Vec<ClusterTransition>,
+    next: usize,
+    /// `(src, dst, physical rail)` of each live submitted transfer.
+    inflight: HashMap<TransferId, (usize, usize, usize)>,
+    /// Loss-lottery victims: their delivery is rewritten to `ChunkFailed`
+    /// (the send side completes normally, delivery never happens).
+    doomed: HashSet<TransferId>,
+    /// Transfers already reported failed (killed by `DownBegin`): their
+    /// residual simulator events are swallowed.
+    suppressed: HashSet<TransferId>,
+    next_rejected: u64,
+}
 
 struct Shared {
     sim: Simulator,
@@ -29,9 +73,64 @@ struct Shared {
     sources: Vec<NodeId>,
     /// Which driver submitted each transfer.
     owner: HashMap<TransferId, usize>,
+    /// Fault replay; `None` keeps every injection hook fully disabled.
+    faults: Option<Box<ClusterFaults>>,
 }
 
 impl Shared {
+    /// Applies every fault transition due at or before `at`. Called per
+    /// routed event (each transition instant also has a pinned wakeup), so
+    /// the state a submission consults is always current for `now`.
+    fn apply_transitions_until(&mut self, at: SimTime) {
+        loop {
+            let Some(f) = self.faults.as_deref_mut() else { return };
+            let Some(t) = f.timeline.get(f.next) else { return };
+            if t.at > at {
+                return;
+            }
+            let t = t.clone();
+            f.next += 1;
+            f.state.apply(&t);
+            match t.change {
+                Change::DownBegin => {
+                    // Kill in-flight transfers crossing the downed port.
+                    // Iteration order over the map is nondeterministic;
+                    // sort by id so failure events replay identically.
+                    let mut victims: Vec<TransferId> = f
+                        .inflight
+                        .iter()
+                        .filter(|(_, &(s, d, r))| {
+                            r == t.rail.index() && (s == t.node || d == t.node)
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    victims.sort_by_key(|c| c.0);
+                    for id in victims {
+                        f.inflight.remove(&id);
+                        f.doomed.remove(&id);
+                        f.suppressed.insert(id);
+                        if let Some(&o) = self.owner.get(&id) {
+                            self.inboxes[o].push_back(TransportEvent::ChunkFailed {
+                                chunk: ChunkId(id.0),
+                                at: t.at,
+                            });
+                        }
+                    }
+                }
+                Change::ShapeBegin { time_scale, extra_latency } => {
+                    self.sim.set_nic_fault(NodeId(t.node), t.rail, time_scale, extra_latency);
+                }
+                Change::ShapeEnd => {
+                    self.sim.clear_nic_fault(NodeId(t.node), t.rail);
+                }
+                // Loss windows act at submission time via the state's
+                // lottery; down-end only flips the state bit (already
+                // applied above).
+                _ => {}
+            }
+        }
+    }
+
     /// Steps the simulator once and routes the produced events.
     fn pump(&mut self) -> bool {
         let events = self.sim.step();
@@ -39,8 +138,26 @@ impl Shared {
             return false;
         }
         for ev in events {
+            if self.faults.is_some() {
+                self.apply_transitions_until(event_time(&ev));
+            }
             match ev {
                 SimEvent::Delivered { transfer, at } => {
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        f.inflight.remove(&transfer);
+                        if f.suppressed.remove(&transfer) {
+                            continue; // failure already reported at onset
+                        }
+                        if f.doomed.remove(&transfer) {
+                            if let Some(&o) = self.owner.get(&transfer) {
+                                self.inboxes[o].push_back(TransportEvent::ChunkFailed {
+                                    chunk: ChunkId(transfer.0),
+                                    at,
+                                });
+                            }
+                            continue;
+                        }
+                    }
                     if let Some(&o) = self.owner.get(&transfer) {
                         self.inboxes[o].push_back(TransportEvent::ChunkDelivered {
                             chunk: ChunkId(transfer.0),
@@ -49,6 +166,11 @@ impl Shared {
                     }
                 }
                 SimEvent::SendDone { transfer, at } => {
+                    if let Some(f) = self.faults.as_deref() {
+                        if f.suppressed.contains(&transfer) {
+                            continue;
+                        }
+                    }
                     if let Some(&o) = self.owner.get(&transfer) {
                         self.inboxes[o].push_back(TransportEvent::ChunkSendDone {
                             chunk: ChunkId(transfer.0),
@@ -71,10 +193,33 @@ impl Shared {
                         }
                     }
                 }
-                SimEvent::RtsArrived { .. } | SimEvent::Wakeup { .. } => {}
+                SimEvent::Wakeup { token, at } => {
+                    // Engine retry/probe timers route back to their driver;
+                    // fault and watchdog tokens exist only to pin calendar
+                    // instants (the step itself is the payload).
+                    if token >= ENGINE_WAKEUP_BASE {
+                        let i = (token - ENGINE_WAKEUP_BASE) as usize;
+                        if let Some(inbox) = self.inboxes.get_mut(i) {
+                            inbox.push_back(TransportEvent::Wakeup { at });
+                        }
+                    }
+                }
+                SimEvent::RtsArrived { .. } => {}
             }
         }
         true
+    }
+}
+
+/// The instant a simulator event fired at.
+fn event_time(ev: &SimEvent) -> SimTime {
+    match ev {
+        SimEvent::Delivered { at, .. }
+        | SimEvent::SendDone { at, .. }
+        | SimEvent::RtsArrived { at, .. }
+        | SimEvent::NicIdle { at, .. }
+        | SimEvent::CoreIdle { at, .. }
+        | SimEvent::Wakeup { at, .. } => *at,
     }
 }
 
@@ -92,8 +237,76 @@ impl SimCluster {
                 inboxes: Vec::new(),
                 sources: Vec::new(),
                 owner: HashMap::new(),
+                faults: None,
             })),
         }
+    }
+
+    /// Wraps a cluster spec in a shared simulator that replays `schedule`.
+    ///
+    /// Validates the schedule against the spec, compiles it to per-port
+    /// transitions, and pins every distinct transition instant with a
+    /// calendar wakeup so faults begin and end at their exact virtual time.
+    /// An empty schedule produces a cluster indistinguishable from
+    /// [`SimCluster::new`].
+    pub fn with_faults(spec: ClusterSpec, schedule: &ClusterFaultSchedule) -> Result<Self, String> {
+        schedule.validate(&spec)?;
+        let mut sim = Simulator::new(spec);
+        let timeline = schedule.transitions(sim.spec());
+        let mut last_at = None;
+        for t in &timeline {
+            if last_at != Some(t.at) {
+                sim.schedule_wakeup(t.at, FAULT_WAKEUP_TOKEN);
+                last_at = Some(t.at);
+            }
+        }
+        let faults = ClusterFaults {
+            state: ClusterFaultState::new(sim.spec(), schedule.seed()),
+            timeline,
+            next: 0,
+            inflight: HashMap::new(),
+            doomed: HashSet::new(),
+            suppressed: HashSet::new(),
+            next_rejected: 0,
+        };
+        let mut shared = Shared {
+            sim,
+            inboxes: Vec::new(),
+            sources: Vec::new(),
+            owner: HashMap::new(),
+            faults: Some(Box::new(faults)),
+        };
+        // Transitions scheduled at t=0 are already due: apply them now so
+        // the first submission sees them without waiting for a pump.
+        shared.apply_transitions_until(SimTime::ZERO);
+        Ok(SimCluster { shared: Rc::new(RefCell::new(shared)) })
+    }
+
+    /// Whether this cluster was built with a fault schedule (even an empty
+    /// one — callers use this to decide if healing machinery is warranted).
+    pub fn faulted(&self) -> bool {
+        self.shared.borrow().faults.is_some()
+    }
+
+    /// Whether every NIC port of `node` is currently down (always `false`
+    /// on a fault-free cluster). Reflects transitions up to the shared
+    /// `now`.
+    pub fn node_is_down(&self, node: usize) -> bool {
+        self.shared.borrow().faults.as_deref().is_some_and(|f| f.state.node_is_down(node))
+    }
+
+    /// Whether `(node, rail)` is inside a `RailDown` window right now.
+    pub fn port_is_down(&self, node: usize, rail: RailId) -> bool {
+        self.shared.borrow().faults.as_deref().is_some_and(|f| f.state.is_down(node, rail))
+    }
+
+    /// Pins a workload-level deadline on the shared calendar (clamped to
+    /// `now`), guaranteeing the clock reaches `at` even if all traffic
+    /// stalls first — the collectives watchdog leans on this.
+    pub fn schedule_wakeup(&self, at: SimTime) {
+        let mut s = self.shared.borrow_mut();
+        let at = at.max(s.sim.now());
+        s.sim.schedule_wakeup(at, WATCHDOG_WAKEUP_TOKEN);
     }
 
     /// Registers a driver for the directed pair `src -> dst`.
@@ -217,6 +430,18 @@ impl Transport for PairDriver {
     fn submit(&mut self, chunk: ChunkSubmit) -> ChunkId {
         let rail = self.physical(chunk.rail);
         let mut s = self.shared.borrow_mut();
+        let s = &mut *s;
+        if let Some(f) = s.faults.as_deref_mut() {
+            if f.state.is_down(self.src.index(), rail) || f.state.is_down(self.dst.index(), rail) {
+                // Either endpoint's port is dark: reject without touching
+                // the simulator; the failure event carries a synthetic id.
+                let id = ChunkId(REJECTED_CHUNK_BASE | f.next_rejected);
+                f.next_rejected += 1;
+                let at = s.sim.now();
+                s.inboxes[self.index].push_back(TransportEvent::ChunkFailed { chunk: id, at });
+                return id;
+            }
+        }
         let id = s.sim.submit(SendSpec {
             src: self.src,
             dst: self.dst,
@@ -228,7 +453,48 @@ impl Transport for PairDriver {
             offload_delay: chunk.offload_delay,
         });
         s.owner.insert(id, self.index);
+        if let Some(f) = s.faults.as_deref_mut() {
+            f.inflight.insert(id, (self.src.index(), self.dst.index(), rail.index()));
+            // Fixed draw order (tx port, then rx port) keeps the loss
+            // lottery's RNG stream stable across runs.
+            let drop_tx = f.state.should_drop(self.src.index(), rail);
+            let drop_rx = f.state.should_drop(self.dst.index(), rail);
+            if drop_tx || drop_rx {
+                f.doomed.insert(id);
+            }
+        }
         ChunkId(id.0)
+    }
+
+    fn schedule_wakeup(&mut self, at: SimTime) {
+        let mut s = self.shared.borrow_mut();
+        let at = at.max(s.sim.now());
+        s.sim.schedule_wakeup(at, ENGINE_WAKEUP_BASE + self.index as u64);
+    }
+
+    fn cancel_chunks(&mut self, chunks: &[ChunkId]) -> bool {
+        if chunks.is_empty() {
+            return false;
+        }
+        // Synthetic rejected ids never reached the simulator; there is
+        // nothing to retract behind them.
+        if chunks.iter().any(|c| c.0 >= REJECTED_CHUNK_BASE) {
+            return false;
+        }
+        let ids: Vec<TransferId> = chunks.iter().map(|c| TransferId(c.0)).collect();
+        let mut s = self.shared.borrow_mut();
+        let s = &mut *s;
+        if !s.sim.try_cancel_all(&ids) {
+            return false;
+        }
+        for id in &ids {
+            s.owner.remove(id);
+            if let Some(f) = s.faults.as_deref_mut() {
+                f.inflight.remove(id);
+                f.doomed.remove(id);
+            }
+        }
+        true
     }
 
     fn poll(&mut self) -> Vec<TransportEvent> {
@@ -281,7 +547,9 @@ mod tests {
         // profiles describe rails, not node counts.
         let two_node = ClusterSpec::two_nodes(4, spec.rails.clone());
         let mut sampler = nm_sampler::SimTransport::new(two_node);
-        let cfg = nm_sampler::SamplingConfig { iters: 1, warmup: 0, ..Default::default() };
+        // Sampler defaults: a 1-iter/0-warmup config seeds the predictor
+        // with cold-cache points and skews split decisions (issue #8).
+        let cfg = nm_sampler::SamplingConfig::default();
         let rails = (0..spec.rail_count())
             .map(|i| {
                 let natural = nm_sampler::sample_rail(&mut sampler, i, &cfg).expect("sampling");
@@ -471,5 +739,168 @@ mod tests {
             done.chunks
         );
         e01.drain().expect("drain");
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_a_clean_cluster() {
+        let run = |cluster: SimCluster| {
+            let spec = cluster.spec();
+            let mut e01 = Engine::new(
+                cluster.pair_driver(NodeId(0), NodeId(1)),
+                predictor_for(&spec),
+                StrategyKind::HeteroSplit.build(),
+            )
+            .expect("engine");
+            let mut e21 = Engine::new(
+                cluster.pair_driver(NodeId(2), NodeId(1)),
+                predictor_for(&spec),
+                StrategyKind::HeteroSplit.build(),
+            )
+            .expect("engine");
+            let a = e01.post_send(MIB).expect("post");
+            let b = e21.post_send(2 * MIB).expect("post");
+            let da = e01.wait(a).expect("wait");
+            let db = e21.wait(b).expect("wait");
+            (da.delivered_at, da.chunks, db.delivered_at, db.chunks)
+        };
+        let clean = run(SimCluster::new(three_node_spec()));
+        let faulted =
+            SimCluster::with_faults(three_node_spec(), &nm_faults::ClusterFaultSchedule::empty())
+                .expect("schedule");
+        assert!(faulted.faulted());
+        assert!(!faulted.node_is_down(0));
+        assert_eq!(run(faulted), clean, "empty schedule must be inert");
+    }
+
+    #[test]
+    fn submissions_onto_a_downed_port_fail_without_reaching_the_sim() {
+        use nm_faults::{ClusterFaultSchedule, ClusterFaultSpec, FaultKind};
+        let schedule = ClusterFaultSchedule::new(7).with(ClusterFaultSpec::port(
+            1,
+            RailId(0),
+            SimTime::ZERO,
+            FaultKind::RailDown { duration: nm_model::SimDuration::from_micros(50_000) },
+        ));
+        let cluster = SimCluster::with_faults(three_node_spec(), &schedule).expect("schedule");
+        assert!(cluster.port_is_down(1, RailId(0)));
+        assert!(!cluster.node_is_down(1), "one dark port is not a dead node");
+        let mut d01 = cluster.pair_driver(NodeId(0), NodeId(1));
+        let id = d01.submit(crate::transport::ChunkSubmit {
+            rail: RailId(0),
+            bytes: MIB,
+            send_core: CoreId(0),
+            recv_core: CoreId(0),
+            offload_delay: nm_model::SimDuration::ZERO,
+            mode: None,
+            payload: None,
+        });
+        assert!(id.0 >= super::REJECTED_CHUNK_BASE, "rejected ids are synthetic");
+        let events = d01.poll();
+        assert!(
+            matches!(events[..], [TransportEvent::ChunkFailed { chunk, .. }] if chunk == id),
+            "the rejection must surface as ChunkFailed: {events:?}"
+        );
+        assert_eq!(
+            d01.rail_busy_until(RailId(0)),
+            SimTime::ZERO,
+            "a rejected submit must not occupy the NIC"
+        );
+    }
+
+    #[test]
+    fn engine_heals_around_a_mid_flight_port_kill() {
+        use nm_faults::{ClusterFaultSchedule, ClusterFaultSpec, FaultKind};
+        // Node 1's rail-0 port dies mid-transfer and stays dark long past
+        // the run; the engine must fail over to rail 1 and still deliver.
+        let schedule = ClusterFaultSchedule::new(42).with(ClusterFaultSpec::port(
+            1,
+            RailId(0),
+            SimTime::from_micros(120),
+            FaultKind::RailDown { duration: nm_model::SimDuration::from_micros(1_000_000) },
+        ));
+        let cluster = SimCluster::with_faults(three_node_spec(), &schedule).expect("schedule");
+        let spec = cluster.spec();
+        let mut e01 = Engine::new(
+            cluster.pair_driver(NodeId(0), NodeId(1)),
+            predictor_for(&spec),
+            StrategyKind::HeteroSplit.build(),
+        )
+        .expect("engine")
+        .with_fault_tolerance(crate::health::HealthConfig::default())
+        .expect("health");
+        let id = e01.post_send(4 * MIB).expect("post");
+        let done = e01.wait(id).expect("wait");
+        assert!(e01.stats().rail_failures.iter().sum::<u64>() > 0, "the kill must be observed");
+        let rail0_bytes = done.chunks.iter().filter(|c| c.0 == RailId(0)).map(|c| c.1).sum::<u64>();
+        assert!(
+            rail0_bytes < 4 * MIB,
+            "some traffic must have been rerouted off the dead port: {:?}",
+            done.chunks
+        );
+    }
+
+    #[test]
+    fn abandon_tears_a_message_out_without_poisoning_the_flow() {
+        let cluster = SimCluster::new(three_node_spec());
+        let spec = cluster.spec();
+        let mut e01 = Engine::new(
+            cluster.pair_driver(NodeId(0), NodeId(1)),
+            predictor_for(&spec),
+            StrategyKind::HeteroSplit.build(),
+        )
+        .expect("engine")
+        .with_fault_tolerance(crate::health::HealthConfig::default())
+        .expect("health");
+        let a = e01.post_send(2 * MIB).expect("post a");
+        let b = e01.post_send(MIB).expect("post b");
+        // Advance the clock so a's first chunk has started: the transport
+        // refuses to retract it and abandon must take the forced path.
+        while cluster.now() == SimTime::ZERO {
+            assert!(cluster.pump_one(), "calendar cannot be empty with two sends posted");
+        }
+        assert!(e01.abandon(a).expect("abandon"), "an inflight message must be evictable");
+        assert_eq!(e01.stats().msgs_abandoned, 1);
+        assert!(!e01.abandon(a).expect("abandon"), "already gone");
+        assert!(!e01.abandon(crate::MsgId(999)).expect("abandon"), "unknown id");
+        // The flow sequencer skipped a's slot: b still completes, and any
+        // late deliveries of a's chunks are swallowed, not mis-credited.
+        let done = e01.wait(b).expect("wait b");
+        assert!(done.delivered_at > SimTime::ZERO);
+        e01.drain().expect("drain");
+    }
+
+    #[test]
+    fn cancel_chunks_retracts_only_unstarted_transfers() {
+        let cluster = SimCluster::new(three_node_spec());
+        let mut d01 = cluster.pair_driver(NodeId(0), NodeId(1));
+        let submit = |d: &mut PairDriver| {
+            d.submit(crate::transport::ChunkSubmit {
+                rail: RailId(0),
+                bytes: MIB,
+                send_core: CoreId(0),
+                recv_core: CoreId(0),
+                offload_delay: nm_model::SimDuration::ZERO,
+                mode: None,
+                payload: None,
+            })
+        };
+        let first = submit(&mut d01);
+        let second = submit(&mut d01);
+        assert!(!d01.cancel_chunks(&[]), "empty set refuses");
+        assert!(!d01.cancel_chunks(&[first]), "the head transfer has started");
+        assert!(d01.cancel_chunks(&[second]), "the queued tail is retractable");
+        // Only the first delivery remains on the calendar.
+        let mut delivered = 0;
+        loop {
+            let events = d01.poll();
+            if events.is_empty() {
+                break;
+            }
+            delivered += events
+                .iter()
+                .filter(|e| matches!(e, TransportEvent::ChunkDelivered { .. }))
+                .count();
+        }
+        assert_eq!(delivered, 1, "the cancelled transfer must never deliver");
     }
 }

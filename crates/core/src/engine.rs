@@ -65,6 +65,9 @@ pub struct EngineStats {
     pub promotes: u64,
     /// Messages cancelled while still queued.
     pub cancelled: u64,
+    /// Messages forcibly torn out by [`Engine::abandon`] (collectives DAG
+    /// repair rerouting a stuck hop).
+    pub msgs_abandoned: u64,
     /// Per-rail payload bytes put on the wire.
     pub rail_bytes: Vec<u64>,
     /// Times the strategy answered `Defer`.
@@ -1669,6 +1672,79 @@ impl<T: Transport> Engine<T> {
             self.completions.insert(c.id, c);
         }
         self.stats.cancelled += 1;
+        Ok(true)
+    }
+
+    /// Forcibly removes a message so the caller can repost its payload
+    /// elsewhere (collectives DAG repair rerouting a hop whose path died).
+    ///
+    /// Where [`Engine::cancel`] refuses unless the retraction is perfectly
+    /// clean, `abandon` succeeds whenever exactly-once semantics can still
+    /// be guaranteed: queued messages are removed; in-flight messages are
+    /// torn out — un-started chunks retracted from the transport, moving
+    /// ones marked abandoned so their late deliveries are swallowed — and
+    /// retry-parked chunks are dropped from the backoff queue. The flow
+    /// sequence is skipped so successors are not held.
+    ///
+    /// Returns `Ok(true)` when the message was removed and will **never**
+    /// complete here (safe to repost on another pair). Returns `Ok(false)`
+    /// when the message is already physically delivered (held or
+    /// completed), unknown, packed with co-travelers, or the engine lacks
+    /// the fault-tolerance layer — in every such case the message still
+    /// completes locally and the caller should keep waiting instead.
+    pub fn abandon(&mut self, id: MsgId) -> Result<bool, EngineError> {
+        if self.cancel(id)? {
+            return Ok(true);
+        }
+        if !self.inflight.contains_key(&id) {
+            return Ok(false); // held, completed, or unknown: it will complete
+        }
+        if self.health.is_none() {
+            // Without the fault layer there is no abandoned-set to swallow
+            // late deliveries into; a forced teardown would poison poll.
+            return Ok(false);
+        }
+        let chunks: Vec<ChunkId> = self
+            .chunk_owner
+            .iter()
+            .filter(|(_, o)| matches!(o, ChunkOwner::Msg(owner) if *owner == id))
+            .map(|(&c, _)| c)
+            .collect();
+        let ft = self.health.as_mut().expect("checked above");
+        let parked = ft.retries.iter().any(|r| matches!(&r.owner, ChunkOwner::Msg(o) if *o == id));
+        if chunks.is_empty() && !parked {
+            // No individually-owned chunks and nothing parked: the message
+            // rides inside an aggregate pack. Tearing the pack apart would
+            // strand its co-travelers; it completes with the pack.
+            return Ok(false);
+        }
+        // Best effort: retract what has not started; whatever cannot be
+        // retracted keeps flying and its delivery is swallowed later.
+        let retracted = !chunks.is_empty() && self.transport.cancel_chunks(&chunks);
+        let ft = self.health.as_mut().expect("checked above");
+        for c in &chunks {
+            self.chunk_owner.remove(c);
+            self.chunk_prediction.remove(c);
+            ft.chunk_meta.remove(c);
+            if !retracted {
+                ft.abandoned.insert(*c);
+            }
+        }
+        ft.retries.retain(|r| !matches!(&r.owner, ChunkOwner::Msg(o) if *o == id));
+        let msg = self.inflight.remove(&id).expect("checked above");
+        self.release_pending(msg.size);
+        let sequencer = self
+            .flow_release
+            .entry(msg.tag)
+            .or_insert_with(|| nm_proto::Sequencer::new(FLOW_REORDER_WINDOW));
+        let released = sequencer
+            .skip(msg.flow_seq)
+            .map_err(|e| EngineError::Transport(format!("flow skip: {e}")))?;
+        for c in released {
+            self.held.remove(&c.id);
+            self.completions.insert(c.id, c);
+        }
+        self.stats.msgs_abandoned += 1;
         Ok(true)
     }
 

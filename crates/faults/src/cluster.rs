@@ -1,0 +1,567 @@
+//! Cluster-scale fault schedules: `(node, rail)`-addressed failures.
+//!
+//! The 2-node [`FaultSchedule`](crate::FaultSchedule) addresses faults by
+//! rail alone — on a point-to-point pair "rail 0" *is* a location. On an
+//! N-node cluster the same physical rail fans out into one NIC port per
+//! node, and failures are local: one node's Myrinet port dies while the
+//! other fifteen keep using the rail. A [`ClusterFaultSchedule`] therefore
+//! addresses each fault at a NIC **port** `(node, rail)`, with a node-wide
+//! target (`rail: None`) covering every port at once — that is how
+//! `NodeDown` is expressed: a simultaneous `RailDown` on all of the node's
+//! ports, which no repair can route around and the collectives layer must
+//! instead *re-plan* around.
+//!
+//! Only the availability/performance classes (`RailDown`, `TransientLoss`,
+//! `LatencySpike`, `BandwidthDegrade`) are meaningful here: the cluster
+//! transport is size-only (no real bytes move), so the corruption classes
+//! are rejected at validation instead of being silently inert.
+//!
+//! Like its 2-node counterpart, a schedule validates its windows (against a
+//! concrete [`ClusterSpec`], since port addresses must exist), compiles to
+//! time-sorted [`ClusterTransition`]s, and drives a [`ClusterFaultState`]
+//! whose lotteries draw from one seeded RNG — `(workload, schedule)` fully
+//! determines a chaos run, and an empty schedule is guaranteed inert.
+
+use crate::schedule::{Change, FaultKind, FaultSchedule};
+use nm_model::{SimDuration, SimTime};
+use nm_sim::{ClusterSpec, RailId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One scheduled cluster fault, addressed at a NIC port or a whole node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFaultSpec {
+    /// Afflicted node.
+    pub node: usize,
+    /// Afflicted NIC port of that node; `None` strikes every port the node
+    /// has (the node-down shape).
+    pub rail: Option<RailId>,
+    /// Onset instant (virtual time).
+    pub at: SimTime,
+    /// Failure model (availability/performance classes only).
+    pub kind: FaultKind,
+}
+
+impl ClusterFaultSpec {
+    /// A fault on one NIC port.
+    pub fn port(node: usize, rail: RailId, at: SimTime, kind: FaultKind) -> Self {
+        ClusterFaultSpec { node, rail: Some(rail), at, kind }
+    }
+
+    /// A whole-node outage: `RailDown` on every NIC port of `node` for
+    /// `duration`. While it lasts the node can neither send nor receive.
+    pub fn node_down(node: usize, at: SimTime, duration: SimDuration) -> Self {
+        ClusterFaultSpec { node, rail: None, at, kind: FaultKind::RailDown { duration } }
+    }
+}
+
+/// A state change at one instant on one NIC port, produced by compiling a
+/// cluster schedule. Reuses the 2-node [`Change`] vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTransition {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Affected node.
+    pub node: usize,
+    /// Affected NIC port of that node.
+    pub rail: RailId,
+    /// The change itself.
+    pub change: Change,
+}
+
+/// A deterministic, seedable fault schedule over an N-node topology.
+///
+/// ```
+/// use nm_faults::cluster::{ClusterFaultSchedule, ClusterFaultSpec};
+/// use nm_model::{SimDuration, SimTime};
+/// use nm_sim::ClusterSpec;
+///
+/// let spec = ClusterSpec::homogeneous(8, 4, nm_model::builtin::paper_testbed());
+/// let schedule = ClusterFaultSchedule::new(42)
+///     .with(ClusterFaultSpec::node_down(3, SimTime::from_micros(500), SimDuration::from_micros(10_000)));
+/// schedule.validate(&spec).unwrap();
+/// // Two ports on node 3 go down and come back: 4 transitions.
+/// assert_eq!(schedule.transitions(&spec).len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFaultSchedule {
+    seed: u64,
+    faults: Vec<ClusterFaultSpec>,
+}
+
+impl ClusterFaultSchedule {
+    /// An empty schedule whose probabilistic draws use `seed`.
+    pub fn new(seed: u64) -> Self {
+        ClusterFaultSchedule { seed, faults: Vec::new() }
+    }
+
+    /// The fault-free schedule — injection hooks stay completely inert.
+    pub fn empty() -> Self {
+        ClusterFaultSchedule::new(0)
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, spec: ClusterFaultSpec) -> Self {
+        self.faults.push(spec);
+        self
+    }
+
+    /// The RNG seed for probabilistic fault models.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[ClusterFaultSpec] {
+        &self.faults
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The NIC ports a fault expands to on `spec`.
+    fn ports(spec: &ClusterSpec, f: &ClusterFaultSpec) -> Vec<RailId> {
+        match f.rail {
+            Some(r) => vec![r],
+            None => {
+                (0..spec.rail_count()).filter(|&r| spec.has_nic(f.node, r)).map(RailId).collect()
+            }
+        }
+    }
+
+    /// Checks addresses against `spec`, parameter sanity, fault-class
+    /// applicability, and rejects overlapping same-class windows on one
+    /// port (node-wide faults are expanded to their ports first).
+    pub fn validate(&self, spec: &ClusterSpec) -> Result<(), String> {
+        for f in &self.faults {
+            if f.node >= spec.nodes.len() {
+                return Err(format!(
+                    "{} on node {}: cluster has {} nodes",
+                    f.kind.label(),
+                    f.node,
+                    spec.nodes.len()
+                ));
+            }
+            if let Some(r) = f.rail {
+                if r.index() >= spec.rail_count() || !spec.has_nic(f.node, r.index()) {
+                    return Err(format!(
+                        "{} on node {}: no NIC on rail {:?}",
+                        f.kind.label(),
+                        f.node,
+                        r
+                    ));
+                }
+            } else if Self::ports(spec, f).is_empty() {
+                return Err(format!("node {} has no NIC ports to fault", f.node));
+            }
+            if f.kind.duration() <= SimDuration::ZERO {
+                return Err(format!(
+                    "{} on node {}: duration must be positive",
+                    f.kind.label(),
+                    f.node
+                ));
+            }
+            match f.kind {
+                FaultKind::RailDown { .. } => {}
+                FaultKind::TransientLoss { prob, .. } => {
+                    if !(0.0..=1.0).contains(&prob) {
+                        return Err(format!("transient-loss prob {prob} outside [0, 1]"));
+                    }
+                }
+                FaultKind::LatencySpike { extra, .. } => {
+                    if extra <= SimDuration::ZERO {
+                        return Err("latency-spike extra latency must be positive".into());
+                    }
+                }
+                FaultKind::BandwidthDegrade { factor, .. } => {
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!("bandwidth-degrade factor {factor} outside (0, 1]"));
+                    }
+                }
+                // The cluster transport moves sizes, not bytes: there is
+                // nothing to corrupt, duplicate, or reorder at this layer.
+                _ => {
+                    return Err(format!(
+                        "{} is a corruption-class fault; the cluster transport is size-only",
+                        f.kind.label()
+                    ));
+                }
+            }
+        }
+        for (i, a) in self.faults.iter().enumerate() {
+            for b in &self.faults[i + 1..] {
+                if a.node != b.node || !FaultSchedule::same_class(&a.kind, &b.kind) {
+                    continue;
+                }
+                let shared_port =
+                    Self::ports(spec, a).iter().any(|p| Self::ports(spec, b).contains(p));
+                if shared_port
+                    && FaultSchedule::windows_overlap(
+                        a.at,
+                        a.kind.duration(),
+                        b.at,
+                        b.kind.duration(),
+                    )
+                {
+                    return Err(format!(
+                        "overlapping {} windows on node {} (at {} and {})",
+                        a.kind.label(),
+                        a.node,
+                        a.at,
+                        b.at
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the schedule into a time-sorted per-port transition list.
+    /// Ties are broken by (node, rail, end-before-begin) so a back-to-back
+    /// window on one port closes before the next opens.
+    pub fn transitions(&self, spec: &ClusterSpec) -> Vec<ClusterTransition> {
+        let mut out = Vec::with_capacity(self.faults.len() * 2);
+        for f in &self.faults {
+            let end_at = f.at + f.kind.duration();
+            let (begin, end) = match f.kind {
+                FaultKind::RailDown { .. } => (Change::DownBegin, Change::DownEnd),
+                FaultKind::TransientLoss { prob, .. } => {
+                    (Change::LossBegin { prob }, Change::LossEnd)
+                }
+                FaultKind::LatencySpike { extra, .. } => {
+                    (Change::ShapeBegin { time_scale: 1.0, extra_latency: extra }, Change::ShapeEnd)
+                }
+                FaultKind::BandwidthDegrade { factor, .. } => (
+                    Change::ShapeBegin {
+                        time_scale: 1.0 / factor,
+                        extra_latency: SimDuration::ZERO,
+                    },
+                    Change::ShapeEnd,
+                ),
+                // Rejected by validate; compiling them anyway would put the
+                // runtime state in a window it never exits.
+                _ => continue,
+            };
+            for port in Self::ports(spec, f) {
+                out.push(ClusterTransition { at: f.at, node: f.node, rail: port, change: begin });
+                out.push(ClusterTransition { at: end_at, node: f.node, rail: port, change: end });
+            }
+        }
+        out.sort_by_key(|t| {
+            let is_begin = matches!(
+                t.change,
+                Change::DownBegin | Change::LossBegin { .. } | Change::ShapeBegin { .. }
+            );
+            (t.at, t.node, t.rail.index(), is_begin)
+        });
+        out
+    }
+}
+
+/// Open fault windows per NIC port, plus the deterministic loss RNG.
+///
+/// The shaping slot is mirrored here for introspection (`any_active`), but
+/// its effect lives in the simulator's per-NIC shaping table — the driver
+/// forwards `ShapeBegin`/`ShapeEnd` to `Simulator::set_nic_fault`.
+#[derive(Debug)]
+pub struct ClusterFaultState {
+    /// `down[node][rail]` — true while the port is hard-down.
+    down: Vec<Vec<bool>>,
+    /// `loss[node][rail]` — open transient-loss window probability.
+    loss: Vec<Vec<Option<f64>>>,
+    /// `shape[node][rail]` — open shaping window.
+    shape: Vec<Vec<(f64, SimDuration)>>,
+    /// `ports[node][rail]` — whether the node has a NIC there at all
+    /// (node-down queries must not count absent ports as up).
+    ports: Vec<Vec<bool>>,
+    rng: StdRng,
+}
+
+impl ClusterFaultState {
+    /// All-healthy state for `spec`, drawing from `seed`.
+    pub fn new(spec: &ClusterSpec, seed: u64) -> Self {
+        let rails = spec.rail_count();
+        let nodes = spec.nodes.len();
+        let ports = (0..nodes).map(|n| (0..rails).map(|r| spec.has_nic(n, r)).collect()).collect();
+        ClusterFaultState {
+            down: vec![vec![false; rails]; nodes],
+            loss: vec![vec![None; rails]; nodes],
+            shape: vec![vec![(1.0, SimDuration::ZERO); rails]; nodes],
+            ports,
+            rng: StdRng::seed_from_u64(seed ^ 0x6e6d_636c_6600),
+        }
+    }
+
+    /// Applies one transition. Corruption-class changes (rejected at
+    /// validation) are ignored rather than panicking.
+    pub fn apply(&mut self, t: &ClusterTransition) {
+        let (n, r) = (t.node, t.rail.index());
+        match t.change {
+            Change::DownBegin => self.down[n][r] = true,
+            Change::DownEnd => self.down[n][r] = false,
+            Change::LossBegin { prob } => self.loss[n][r] = Some(prob),
+            Change::LossEnd => self.loss[n][r] = None,
+            Change::ShapeBegin { time_scale, extra_latency } => {
+                self.shape[n][r] = (time_scale, extra_latency)
+            }
+            Change::ShapeEnd => self.shape[n][r] = (1.0, SimDuration::ZERO),
+            _ => {}
+        }
+    }
+
+    /// True while the port `(node, rail)` is hard-down.
+    pub fn is_down(&self, node: usize, rail: RailId) -> bool {
+        self.down[node][rail.index()]
+    }
+
+    /// True while *every* NIC port of `node` is down — the node can neither
+    /// send nor receive and counts as dead for DAG repair.
+    pub fn node_is_down(&self, node: usize) -> bool {
+        let mut any = false;
+        for (r, &present) in self.ports[node].iter().enumerate() {
+            if present {
+                if !self.down[node][r] {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Draws the loss lottery for one port. Consumes randomness only while
+    /// a loss window is open, so fault-free ports never perturb the stream.
+    pub fn should_drop(&mut self, node: usize, rail: RailId) -> bool {
+        match self.loss[node][rail.index()] {
+            None => false,
+            Some(prob) => self.rng.random_range(0.0..1.0) < prob,
+        }
+    }
+
+    /// Current `(time_scale, extra_latency)` shaping of a port.
+    pub fn shaping(&self, node: usize, rail: RailId) -> (f64, SimDuration) {
+        self.shape[node][rail.index()]
+    }
+
+    /// True when any window is open on any port.
+    pub fn any_active(&self) -> bool {
+        self.down.iter().flatten().any(|&d| d)
+            || self.loss.iter().flatten().any(|l| l.is_some())
+            || self.shape.iter().flatten().any(|&s| s != (1.0, SimDuration::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_model::builtin;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+    fn spec(n: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(n, 4, builtin::paper_testbed())
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        let s = ClusterFaultSchedule::empty();
+        assert!(s.is_empty());
+        assert!(s.validate(&spec(8)).is_ok());
+        assert!(s.transitions(&spec(8)).is_empty());
+        assert!(!ClusterFaultState::new(&spec(8), 0).any_active());
+    }
+
+    #[test]
+    fn node_down_expands_to_every_nic_port() {
+        let sp = spec(4);
+        let s = ClusterFaultSchedule::new(1).with(ClusterFaultSpec::node_down(2, t(100), d(50)));
+        s.validate(&sp).unwrap();
+        let ts = s.transitions(&sp);
+        // paper_testbed has 2 rails: 2 ports x (begin + end).
+        assert_eq!(ts.len(), 4);
+        assert!(ts.iter().all(|tr| tr.node == 2));
+
+        let mut state = ClusterFaultState::new(&sp, 1);
+        for tr in ts.iter().filter(|tr| tr.change == Change::DownBegin) {
+            state.apply(tr);
+        }
+        assert!(state.node_is_down(2));
+        assert!(!state.node_is_down(1));
+        assert!(state.is_down(2, RailId(0)));
+        assert!(state.is_down(2, RailId(1)));
+    }
+
+    #[test]
+    fn one_downed_port_does_not_kill_the_node() {
+        let sp = spec(4);
+        let s = ClusterFaultSchedule::new(1).with(ClusterFaultSpec::port(
+            1,
+            RailId(0),
+            t(0),
+            FaultKind::RailDown { duration: d(10) },
+        ));
+        s.validate(&sp).unwrap();
+        let mut state = ClusterFaultState::new(&sp, 1);
+        for tr in s.transitions(&sp).iter().filter(|tr| tr.change == Change::DownBegin) {
+            state.apply(tr);
+        }
+        assert!(state.is_down(1, RailId(0)));
+        assert!(!state.is_down(1, RailId(1)));
+        assert!(!state.node_is_down(1), "one live port keeps the node up");
+    }
+
+    #[test]
+    fn validation_rejects_bad_addresses_and_classes() {
+        let sp = spec(4);
+        let bad_node =
+            ClusterFaultSchedule::new(0).with(ClusterFaultSpec::node_down(9, t(0), d(1)));
+        assert!(bad_node.validate(&sp).is_err());
+
+        let bad_rail = ClusterFaultSchedule::new(0).with(ClusterFaultSpec::port(
+            0,
+            RailId(7),
+            t(0),
+            FaultKind::RailDown { duration: d(1) },
+        ));
+        assert!(bad_rail.validate(&sp).is_err());
+
+        let corruption = ClusterFaultSchedule::new(0).with(ClusterFaultSpec::port(
+            0,
+            RailId(0),
+            t(0),
+            FaultKind::PayloadCorrupt { prob: 0.5, duration: d(1) },
+        ));
+        let err = corruption.validate(&sp).unwrap_err();
+        assert!(err.contains("size-only"), "{err}");
+
+        // A port the node does not have.
+        let mut partial = sp.clone();
+        partial.nodes[3].rails = Some(vec![1]);
+        let absent = ClusterFaultSchedule::new(0).with(ClusterFaultSpec::port(
+            3,
+            RailId(0),
+            t(0),
+            FaultKind::RailDown { duration: d(1) },
+        ));
+        assert!(absent.validate(&partial).is_err());
+    }
+
+    #[test]
+    fn overlap_is_rejected_per_port_across_node_wide_targets() {
+        let sp = spec(4);
+        // Node-wide down overlapping a port-down on the same node: the
+        // expanded port sets intersect.
+        let s = ClusterFaultSchedule::new(0)
+            .with(ClusterFaultSpec::node_down(1, t(0), d(100)))
+            .with(ClusterFaultSpec::port(
+                1,
+                RailId(1),
+                t(50),
+                FaultKind::RailDown { duration: d(100) },
+            ));
+        assert!(s.validate(&sp).is_err());
+        // Same two windows on different nodes are fine.
+        let disjoint = ClusterFaultSchedule::new(0)
+            .with(ClusterFaultSpec::node_down(1, t(0), d(100)))
+            .with(ClusterFaultSpec::port(
+                2,
+                RailId(1),
+                t(50),
+                FaultKind::RailDown { duration: d(100) },
+            ));
+        assert!(disjoint.validate(&sp).is_ok());
+    }
+
+    #[test]
+    fn transitions_sort_ends_before_begins_per_port() {
+        let sp = spec(2);
+        let s = ClusterFaultSchedule::new(0)
+            .with(ClusterFaultSpec::port(
+                0,
+                RailId(0),
+                t(100),
+                FaultKind::RailDown { duration: d(50) },
+            ))
+            .with(ClusterFaultSpec::port(
+                0,
+                RailId(0),
+                t(150),
+                FaultKind::RailDown { duration: d(10) },
+            ));
+        s.validate(&sp).unwrap();
+        let ts = s.transitions(&sp);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[1].at, t(150));
+        assert_eq!(ts[1].change, Change::DownEnd);
+        assert_eq!(ts[2].at, t(150));
+        assert_eq!(ts[2].change, Change::DownBegin);
+    }
+
+    #[test]
+    fn shaping_faults_compile_to_per_port_shape_changes() {
+        let sp = spec(2);
+        let s = ClusterFaultSchedule::new(0)
+            .with(ClusterFaultSpec::port(
+                1,
+                RailId(0),
+                t(0),
+                FaultKind::BandwidthDegrade { factor: 0.25, duration: d(10) },
+            ))
+            .with(ClusterFaultSpec::port(
+                0,
+                RailId(1),
+                t(0),
+                FaultKind::LatencySpike { extra: d(500), duration: d(10) },
+            ));
+        s.validate(&sp).unwrap();
+        let ts = s.transitions(&sp);
+        let mut state = ClusterFaultState::new(&sp, 0);
+        for tr in &ts {
+            if matches!(tr.change, Change::ShapeBegin { .. }) {
+                state.apply(tr);
+            }
+        }
+        assert_eq!(state.shaping(1, RailId(0)), (4.0, SimDuration::ZERO));
+        assert_eq!(state.shaping(0, RailId(1)), (1.0, d(500)));
+        assert_eq!(state.shaping(0, RailId(0)), (1.0, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn loss_lotteries_are_deterministic_and_lazy() {
+        let sp = spec(2);
+        let draw = |seed: u64| {
+            let mut s = ClusterFaultState::new(&sp, seed);
+            s.apply(&ClusterTransition {
+                at: SimTime::ZERO,
+                node: 0,
+                rail: RailId(0),
+                change: Change::LossBegin { prob: 0.5 },
+            });
+            (0..64).map(|_| s.should_drop(0, RailId(0))).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3), "same seed, same lottery");
+        assert_ne!(draw(3), draw(4), "different seeds diverge");
+
+        // Closed windows never draw: the stream stays aligned.
+        let mut a = ClusterFaultState::new(&sp, 9);
+        for _ in 0..100 {
+            assert!(!a.should_drop(1, RailId(1)));
+        }
+        let mut b = ClusterFaultState::new(&sp, 9);
+        let open = ClusterTransition {
+            at: SimTime::ZERO,
+            node: 0,
+            rail: RailId(0),
+            change: Change::LossBegin { prob: 0.5 },
+        };
+        a.apply(&open);
+        b.apply(&open);
+        assert_eq!(a.should_drop(0, RailId(0)), b.should_drop(0, RailId(0)));
+    }
+}

@@ -31,8 +31,10 @@
 // No unsafe anywhere in this crate; keep it that way.
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod schedule;
 pub mod state;
 
+pub use cluster::{ClusterFaultSchedule, ClusterFaultSpec, ClusterFaultState, ClusterTransition};
 pub use schedule::{Change, FaultKind, FaultSchedule, FaultSpec, Transition};
 pub use state::FaultState;

@@ -296,7 +296,7 @@ impl FaultSchedule {
         Ok(())
     }
 
-    fn same_class(a: &FaultKind, b: &FaultKind) -> bool {
+    pub(crate) fn same_class(a: &FaultKind, b: &FaultKind) -> bool {
         use FaultKind::*;
         matches!(
             (a, b),
@@ -311,8 +311,17 @@ impl FaultSchedule {
         )
     }
 
+    pub(crate) fn windows_overlap(
+        a_at: SimTime,
+        a_dur: SimDuration,
+        b_at: SimTime,
+        b_dur: SimDuration,
+    ) -> bool {
+        a_at < b_at + b_dur && b_at < a_at + a_dur
+    }
+
     fn overlap(a: &FaultSpec, b: &FaultSpec) -> bool {
-        a.at < b.at + b.kind.duration() && b.at < a.at + a.kind.duration()
+        Self::windows_overlap(a.at, a.kind.duration(), b.at, b.kind.duration())
     }
 
     /// Compiles the schedule into a time-sorted transition list. Ties are

@@ -221,6 +221,11 @@ pub struct Simulator {
     /// subsequently submitted transfers; `(1.0, ZERO)` bypasses the
     /// arithmetic entirely.
     rail_fault: Vec<(f64, SimDuration)>,
+    /// Per-NIC-port fault shaping `nic_fault[node][rail]`, composed with
+    /// the rail-wide slot: scales multiply, extra latencies add. Nominal
+    /// entries compose exactly (`x * 1.0 == x`, `d + ZERO == d`), so a
+    /// cluster that never faults a port stays bit-identical.
+    nic_fault: Vec<Vec<(f64, SimDuration)>>,
     trace: Trace,
     jitter_frac: f64,
     rng: StdRng,
@@ -249,6 +254,7 @@ impl Simulator {
             Vec::new()
         };
         let rail_fault = vec![(1.0, SimDuration::ZERO); spec.rail_count()];
+        let nic_fault = vec![vec![(1.0, SimDuration::ZERO); spec.rail_count()]; spec.nodes.len()];
         Simulator {
             spec,
             now: SimTime::ZERO,
@@ -261,6 +267,7 @@ impl Simulator {
             switch,
             windows: Vec::new(),
             rail_fault,
+            nic_fault,
             trace: Trace::disabled(),
             jitter_frac: 0.0,
             rng: StdRng::seed_from_u64(0x6e6d_7369_6d00),
@@ -396,6 +403,42 @@ impl Simulator {
         self.rail_fault[rail.index()] = (1.0, SimDuration::ZERO);
     }
 
+    /// Sets fault shaping on one NIC port `(node, rail)`: transfers
+    /// submitted from now on that *touch* the port (as sender or receiver)
+    /// are stretched by `time_scale` and pay `extra_latency` per one-way
+    /// flight, composed with the rail-wide slot and the other endpoint's
+    /// port (scales multiply, latencies add).
+    pub fn set_nic_fault(
+        &mut self,
+        node: NodeId,
+        rail: RailId,
+        time_scale: f64,
+        extra_latency: SimDuration,
+    ) {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "fault time scale must be positive, got {time_scale}"
+        );
+        self.nic_fault[node.index()][rail.index()] = (time_scale, extra_latency);
+    }
+
+    /// Restores nominal shaping on one NIC port.
+    pub fn clear_nic_fault(&mut self, node: NodeId, rail: RailId) {
+        self.nic_fault[node.index()][rail.index()] = (1.0, SimDuration::ZERO);
+    }
+
+    /// Effective `(time_scale, extra_latency)` for a transfer: the rail
+    /// slot composed with both endpoints' port slots. All-nominal inputs
+    /// compose to exactly `(1.0, ZERO)` — IEEE multiplication by 1.0 and
+    /// adding a zero duration are exact — so the fast-path guards in the
+    /// submit arithmetic still skip faulting entirely.
+    fn fault_shaping(&self, src: NodeId, dst: NodeId, rail: RailId) -> (f64, SimDuration) {
+        let (rail_scale, rail_extra) = self.rail_fault[rail.index()];
+        let (src_scale, src_extra) = self.nic_fault[src.index()][rail.index()];
+        let (dst_scale, dst_extra) = self.nic_fault[dst.index()][rail.index()];
+        (rail_scale * src_scale * dst_scale, rail_extra + src_extra + dst_extra)
+    }
+
     /// Submits a transfer; send-side work starts as soon as the required
     /// resources are free (and not before `now + offload_delay`).
     pub fn submit(&mut self, spec: SendSpec) -> TransferId {
@@ -460,7 +503,7 @@ impl Simulator {
         let link = &self.spec.rails[spec.rail.index()];
         let copy_raw = link.pio.copy_time(spec.size);
         let one_way_raw = link.eager.time(spec.size);
-        let (fault_scale, fault_extra) = self.rail_fault[spec.rail.index()];
+        let (fault_scale, fault_extra) = self.fault_shaping(spec.src, spec.dst, spec.rail);
         let mut copy = self.jitter(copy_raw);
         let mut one_way = self.jitter(one_way_raw);
         if fault_scale != 1.0 {
@@ -567,7 +610,7 @@ impl Simulator {
         let link = &self.spec.rails[spec.rail.index()];
         let (setup_us, ctrl_us) = (link.rdv_setup_us, link.ctrl_latency_us);
         let rdv_raw = link.rdv.time(spec.size);
-        let (fault_scale, fault_extra) = self.rail_fault[spec.rail.index()];
+        let (fault_scale, fault_extra) = self.fault_shaping(spec.src, spec.dst, spec.rail);
         let setup = self.jitter(SimDuration::from_micros_f64(setup_us));
         let mut rts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
         let mut cts_flight = self.jitter(SimDuration::from_micros_f64(ctrl_us));
@@ -1139,6 +1182,62 @@ mod tests {
             (s.transfer(a).delivered_at, s.transfer(b).delivered_at)
         };
         assert_eq!(run(false), run(true), "(1.0, ZERO) shaping must be bit-identical");
+    }
+
+    #[test]
+    fn nic_port_shaping_composes_with_the_rail_slot() {
+        let size = 64 * KIB;
+        let clean = {
+            let mut s = sim();
+            let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+            s.run_until_delivered(id).as_micros_f64()
+        };
+        // 2x on the rail, 2x on the sender's port: 4x total.
+        let mut s = sim();
+        s.set_rail_fault(MYRI, 2.0, SimDuration::ZERO);
+        s.set_nic_fault(N0, MYRI, 2.0, SimDuration::ZERO);
+        let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let at = s.run_until_delivered(id).as_micros_f64();
+        assert!((at - 4.0 * clean).abs() / clean < 0.05, "composed 4x: {at:.1} vs {clean:.1}");
+        // The untouched reverse port is nominal after clearing.
+        s.clear_rail_fault(MYRI);
+        s.clear_nic_fault(N0, MYRI);
+        let healed = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let dur = s.run_until_delivered(healed) - s.transfer(healed).started_at.unwrap();
+        assert!((dur.as_micros_f64() - clean).abs() < 0.01, "port shaping must clear");
+    }
+
+    #[test]
+    fn receiver_port_spike_charges_transfers_into_it() {
+        let size = 4 * KIB;
+        let extra = SimDuration::from_micros(300);
+        let clean = builtin::myri_10g().one_way_us(size).get();
+        let mut s = sim();
+        s.set_nic_fault(N1, MYRI, 1.0, extra);
+        let id = s.submit(SendSpec::simple(N0, N1, MYRI, size));
+        let at = s.run_until_delivered(id).as_micros_f64();
+        assert!((at - (clean + 300.0)).abs() < 0.01, "rx-port spike: {at:.1} vs {clean:.1}");
+        // Traffic avoiding the sick port is untouched.
+        let other = s.submit(SendSpec::simple(N1, N0, QUAD, size));
+        let o = s.run_until_delivered(other) - s.transfer(other).started_at.unwrap();
+        let quad_clean = builtin::qsnet2().one_way_us(size).get();
+        assert!((o.as_micros_f64() - quad_clean).abs() < 0.01);
+    }
+
+    #[test]
+    fn nominal_nic_shaping_is_exactly_inert() {
+        let run = |touch: bool| {
+            let mut s = Simulator::paper_testbed().with_jitter(0.05, 11);
+            if touch {
+                s.set_nic_fault(N0, MYRI, 1.0, SimDuration::ZERO);
+                s.set_nic_fault(N1, QUAD, 1.0, SimDuration::ZERO);
+            }
+            let a = s.submit(SendSpec::simple(N0, N1, MYRI, 64 * KIB));
+            let b = s.submit(SendSpec::simple(N0, N1, QUAD, 2 * MIB));
+            s.run_until_idle();
+            (s.transfer(a).delivered_at, s.transfer(b).delivered_at)
+        };
+        assert_eq!(run(false), run(true), "nominal port shaping must be bit-identical");
     }
 
     #[test]

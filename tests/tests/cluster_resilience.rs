@@ -1,0 +1,165 @@
+//! Cluster-scale fault injection and self-healing collectives.
+//!
+//! Three contracts of the N-node fault path (DESIGN.md §15):
+//!
+//! 1. **Inertness** — a faulted stack with an *empty* schedule is
+//!    bit-identical to a clean stack: same algorithm choice, same virtual
+//!    completion times, zero failure stats. Fault capability must cost
+//!    nothing until a fault is actually scheduled.
+//! 2. **Engine-level healing** — a single NIC-port kill mid-barrier is
+//!    absorbed below the runner: the per-pair engines fail over to the
+//!    surviving rail and the collective completes deterministically with
+//!    no DAG repair at all.
+//! 3. **DAG repair** — a node death mid-barrier (plus a rail kill on a
+//!    neighbour) exceeds what rail failover can fix. The watchdog tears
+//!    the stranded hops out, repair replans over the survivors, and every
+//!    survivor is released exactly once. Dead nodes are excused; repair
+//!    hops never touch them.
+
+use nm_collectives::{
+    Algorithm, Collective, CollectiveCluster, Collectives, ProfileBank, ALGORITHMS,
+};
+use nm_faults::{ClusterFaultSchedule, ClusterFaultSpec, FaultKind};
+use nm_model::builtin;
+use nm_model::units::{KIB, MIB};
+use nm_model::{SimDuration, SimTime};
+use nm_sim::{ClusterSpec, RailId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn testbed(n: usize) -> ClusterSpec {
+    ClusterSpec::homogeneous(n, 4, builtin::paper_testbed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Contract 1: an empty N-node fault schedule is inert. The faulted
+    /// constructor threads a fault-capable transport through every pair,
+    /// but with nothing scheduled the whole stack — sampling, selection,
+    /// execution, stats — must be indistinguishable from the clean one.
+    #[test]
+    fn an_empty_fault_schedule_is_inert_for_collectives(
+        n in 2usize..=6,
+        algo_idx in 0usize..ALGORITHMS.len(),
+        size_idx in 0usize..3,
+    ) {
+        let algorithm = ALGORITHMS[algo_idx];
+        let bytes = match algorithm.collective() {
+            Collective::Barrier => 1,
+            Collective::Broadcast => [16 * KIB, 256 * KIB, MIB][size_idx],
+            Collective::AllToAll => [4 * KIB, 32 * KIB, 128 * KIB][size_idx],
+        };
+        let mut clean = Collectives::new(testbed(n));
+        let mut faulted =
+            Collectives::new_faulted(testbed(n), &ClusterFaultSchedule::empty())
+                .expect("empty schedule validates on any topology");
+        prop_assert!(!faulted.runner().healing(), "empty schedule keeps the plain path");
+        let a = clean.run_algorithm(algorithm, bytes).expect("clean run");
+        let b = faulted.run_algorithm(algorithm, bytes).expect("faulted run");
+        prop_assert_eq!(a, b, "empty schedule must be bit-identical to no schedule");
+    }
+}
+
+/// One seeded chaos barrier: the low-latency rail's port on the root goes
+/// hard-down at t = 1 µs, mid-flight for the first fan-in wave.
+fn chaos_barrier(seed: u64) -> nm_collectives::CompletedOp {
+    let schedule = ClusterFaultSchedule::new(seed).with(ClusterFaultSpec::port(
+        0,
+        RailId(1),
+        SimTime::from_micros(1),
+        FaultKind::RailDown { duration: SimDuration::from_micros(50_000) },
+    ));
+    let mut c = Collectives::new_faulted(testbed(8), &schedule).expect("stack");
+    c.run_algorithm(Algorithm::BarrierTree, 1).expect("barrier survives a port kill")
+}
+
+/// Contract 2: a mid-operation rail kill is healed *below* the runner.
+/// 8-byte tokens ride the low-latency rail; killing that port on the root
+/// strands the first arrivals, the engines quarantine and fail over, and
+/// the barrier completes — deterministically, slower than clean, with the
+/// watchdog and DAG repair never engaging.
+#[test]
+fn seeded_rail_kill_mid_barrier_heals_below_the_dag() {
+    let first = chaos_barrier(42);
+    let second = chaos_barrier(42);
+    assert_eq!(first, second, "same seed, same world: outcomes are bit-identical");
+
+    let clean = Collectives::new(testbed(8))
+        .run_algorithm(Algorithm::BarrierTree, 1)
+        .expect("clean barrier");
+    assert!(
+        first.measured_us > clean.measured_us,
+        "failover retries must cost virtual time: {} vs clean {}",
+        first.measured_us,
+        clean.measured_us
+    );
+    assert_eq!(first.stats.dead_nodes, 0, "one port down is degradation, not death");
+    assert_eq!(first.stats.repairs, 0, "rail failover needs no DAG repair");
+    assert_eq!(first.stats.hops_rerouted, 0);
+}
+
+/// Contract 3 (the issue's acceptance run): an 8-node binomial-tree
+/// barrier loses node 5 at t = 1 µs — its fan-in arrival is mid-flight —
+/// and neighbour 4 additionally loses its rail-0 port. Retries cannot
+/// reach a dead endpoint, so the watchdog tears the stranded cone out and
+/// DAG repair re-roots the barrier over the seven survivors. Every
+/// survivor must be released exactly once and node 5 never appears in a
+/// repair hop.
+#[test]
+fn eight_node_barrier_survives_a_node_death_via_dag_repair() {
+    const DEAD: usize = 5;
+    let forever = SimDuration::from_micros(10_000_000);
+    let schedule = ClusterFaultSchedule::new(42)
+        .with(ClusterFaultSpec::node_down(DEAD, SimTime::from_micros(1), forever))
+        .with(ClusterFaultSpec::port(
+            4,
+            RailId(0),
+            SimTime::from_micros(1),
+            FaultKind::RailDown { duration: forever },
+        ));
+    let spec = testbed(8);
+    let mut cc = CollectiveCluster::with_faults(spec.clone(), &schedule).expect("cluster");
+    let mut bank = ProfileBank::new(spec);
+    let dag = Algorithm::BarrierTree.dag(8, 1);
+    let res = cc.run(&mut bank, &dag).expect("barrier must complete on the survivors");
+
+    // Repair engaged: replacement hops were grafted and at least one
+    // repair round ran, inside the bounded budget.
+    assert_eq!(res.stats.dead_nodes, 1, "node 5 is down at quiescence");
+    assert!(res.stats.hops_rerouted >= 1, "stats: {:?}", res.stats);
+    assert!(res.stats.repairs >= 1, "stats: {:?}", res.stats);
+    assert!(res.stats.repair_latency_us > 0.0, "stats: {:?}", res.stats);
+    assert!(res.finished_at > res.started_at);
+    assert_eq!(res.deliveries.len(), res.hops.len());
+
+    // Exactly-once release accounting. Both the compiled tree and the
+    // repair plan only release "upward" (src < dst), so a delivered hop
+    // with src < dst into node s is s's barrier release.
+    let survivors: BTreeSet<usize> = (0..8).filter(|&i| i != DEAD).collect();
+    let delivered_releases = |node: usize| {
+        res.hops
+            .iter()
+            .zip(&res.deliveries)
+            .filter(|(h, d)| d.is_some() && h.src < h.dst && h.dst == node)
+            .count()
+    };
+    for &s in survivors.iter().filter(|&&s| s != 0) {
+        assert_eq!(delivered_releases(s), 1, "survivor {s} must be released exactly once");
+    }
+    assert_eq!(delivered_releases(DEAD), 0, "the dead node is excused, not released");
+
+    // Repair hops route around the dead node entirely.
+    let grafted = &res.hops[dag.hops.len()..];
+    assert!(!grafted.is_empty());
+    assert!(
+        grafted.iter().all(|h| h.src != DEAD && h.dst != DEAD),
+        "repair must never schedule through a dead node"
+    );
+    // And the original hops stranded on node 5 were torn out, not run.
+    for (h, d) in res.hops[..dag.hops.len()].iter().zip(&res.deliveries) {
+        if h.src == DEAD {
+            assert!(d.is_none(), "{}->{} cannot deliver after the death", h.src, h.dst);
+        }
+    }
+}
