@@ -1,0 +1,235 @@
+//! Atomic ordering-protocol analysis.
+//!
+//! Collects every resolved atomic operation site codebase-wide, groups
+//! them per field (`crate::Type::field` / `crate::STATIC`), classifies the
+//! field's protocol, and flags:
+//!
+//! * `atomic-unpaired-release` — a Release/AcqRel/SeqCst *write* on a field
+//!   with no Acquire/AcqRel/SeqCst *read* anywhere: nothing can ever
+//!   synchronize with the store, so either the fence is wasted or the
+//!   reader is missing.
+//! * `atomic-mixed-relaxed` — a Relaxed op on a field that elsewhere runs
+//!   an Acquire/Release protocol, without a `RELAXED-OK:` justification on
+//!   the line. This replaces the old token-local `relaxed-ordering` rule:
+//!   purely-Relaxed fields (counters) are fine without ceremony, while a
+//!   Relaxed op slipped into a publication protocol is the actual bug.
+//!
+//! Sites whose receiver cannot be resolved to a declared field are tallied
+//! (`atomic_sites_unresolved` in the report) rather than guessed at.
+
+use crate::guards::{fn_aliases, receiver, FieldSet};
+use crate::lexer::TokKind;
+use crate::parse::FileAst;
+use crate::rules::{push, Analysis};
+use std::collections::HashMap;
+
+/// Atomic method names. RMWs count as both a read and a write.
+const READ_OPS: &[&str] = &[
+    "load",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+const WRITE_OPS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One resolved atomic operation site.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Method name (`load`, `store`, `fetch_add`, ...).
+    pub op: String,
+    /// Ordering arguments in call order (success first for CAS).
+    pub orderings: Vec<String>,
+}
+
+/// The whole-program protocol of one atomic field.
+#[derive(Debug, Clone)]
+pub struct AtomicProtocol {
+    /// Display key (`crate::Type::field` or `crate::STATIC`).
+    pub field: String,
+    /// `paired` | `unpaired-release` | `acquire-only` | `relaxed-only`.
+    pub classification: &'static str,
+    /// Every resolved site, in scan order.
+    pub sites: Vec<AtomicSite>,
+}
+
+struct FieldAcc {
+    sites: Vec<AtomicSite>,
+    release_write: bool,
+    acquire_read: bool,
+    first_release_write: Option<(usize, usize)>, // (file idx, tok idx)
+    relaxed_unjustified: Vec<(usize, usize)>,
+}
+
+/// Runs the pass: fills `out.atomics` / `out.atomic_unresolved` and pushes
+/// the two protocol findings.
+pub fn atomic_protocols(files: &[FileAst], atomics: &FieldSet, out: &mut Analysis) {
+    let mut acc: HashMap<String, FieldAcc> = HashMap::new();
+    for (fidx, file) in files.iter().enumerate() {
+        if file.audit_only {
+            continue;
+        }
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((bs, be)) = f.body else { continue };
+            let aliases = fn_aliases(file, f, atomics);
+            let owner = f.owner.as_deref();
+            let toks = &file.toks;
+            for i in bs..be {
+                if file.is_excluded(i) || file.in_test_range(i) {
+                    continue;
+                }
+                let t = &toks[i];
+                if t.kind != TokKind::Ident
+                    || !(READ_OPS.contains(&t.text.as_str())
+                        || WRITE_OPS.contains(&t.text.as_str()))
+                    || i == 0
+                    || toks[i - 1].text != "."
+                    || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+                {
+                    continue;
+                }
+                let orderings = call_orderings(file, i + 1, be);
+                if orderings.is_empty() {
+                    // `.load(` on a Cell, `.store(` on something else:
+                    // not an atomic op without an Ordering argument.
+                    continue;
+                }
+                let key = receiver(file, i).and_then(|(j, self_q)| {
+                    atomics.resolve(&file.crate_name, owner, &toks[j].text, self_q, &aliases)
+                });
+                let Some(key) = key else {
+                    out.atomic_unresolved += 1;
+                    continue;
+                };
+                let op = t.text.clone();
+                let primary = orderings[0].as_str();
+                let e = acc.entry(key).or_insert_with(|| FieldAcc {
+                    sites: Vec::new(),
+                    release_write: false,
+                    acquire_read: false,
+                    first_release_write: None,
+                    relaxed_unjustified: Vec::new(),
+                });
+                if WRITE_OPS.contains(&op.as_str())
+                    && matches!(primary, "Release" | "AcqRel" | "SeqCst")
+                {
+                    e.release_write = true;
+                    e.first_release_write.get_or_insert((fidx, i));
+                }
+                if READ_OPS.contains(&op.as_str())
+                    && matches!(primary, "Acquire" | "AcqRel" | "SeqCst")
+                {
+                    e.acquire_read = true;
+                }
+                if primary == "Relaxed" && !file.line_has_marker(t.line, "RELAXED-OK:") {
+                    e.relaxed_unjustified.push((fidx, i));
+                }
+                e.sites.push(AtomicSite { file: file.path.clone(), line: t.line, op, orderings });
+            }
+        }
+    }
+
+    let mut keys: Vec<String> = acc.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let e = acc.remove(&key).unwrap();
+        let classification = match (e.release_write, e.acquire_read) {
+            (true, true) => "paired",
+            (true, false) => "unpaired-release",
+            (false, true) => "acquire-only",
+            (false, false) => "relaxed-only",
+        };
+        if classification == "unpaired-release" {
+            let (fidx, tok) = e.first_release_write.unwrap();
+            push(
+                &files[fidx],
+                out,
+                "atomic-unpaired-release",
+                "concurrency",
+                tok,
+                format!(
+                    "Release-ordered write to `{key}` with no Acquire/SeqCst read anywhere \
+                     — nothing can synchronize with it"
+                ),
+            );
+        }
+        if e.release_write || e.acquire_read {
+            for (fidx, tok) in &e.relaxed_unjustified {
+                push(
+                    &files[*fidx],
+                    out,
+                    "atomic-mixed-relaxed",
+                    "concurrency",
+                    *tok,
+                    format!(
+                        "Relaxed op on `{key}`, which elsewhere runs an Acquire/Release \
+                         protocol — strengthen or justify with RELAXED-OK:"
+                    ),
+                );
+            }
+        }
+        out.atomics.push(AtomicProtocol { field: key, classification, sites: e.sites });
+    }
+}
+
+/// `Ordering::X` idents inside the call's balanced parens, in call order.
+fn call_orderings(file: &FileAst, open: usize, be: usize) -> Vec<String> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut d = 0i32;
+    let mut k = open;
+    while k < be {
+        match toks[k].text.as_str() {
+            "(" => d += 1,
+            ")" => {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if toks[k].kind == TokKind::Ident
+            && ORDERINGS.contains(&toks[k].text.as_str())
+            && k >= 3
+            && toks[k - 1].text == ":"
+            && toks[k - 2].text == ":"
+            && toks[k - 3].text == "Ordering"
+        {
+            out.push(toks[k].text.clone());
+        }
+        k += 1;
+    }
+    out
+}

@@ -20,6 +20,15 @@ pub struct Config {
     pub facade_crates: Vec<String>,
     /// Files whose public value-returning functions must be `#[must_use]`.
     pub must_use_files: Vec<String>,
+    /// Method names treated as blocking by the hot-path reachability rule
+    /// (defaults applied when the section is absent).
+    pub blocking_methods: Vec<String>,
+    /// Files exempt from blocking-reachability *as roots* — the files that
+    /// implement the blocking primitives themselves.
+    pub blocking_exempt_files: Vec<String>,
+    /// Extra directories (beyond `crates/*/src`) scanned by the
+    /// unsafe-SAFETY audit only.
+    pub audit_dirs: Vec<String>,
 }
 
 impl Config {
@@ -85,6 +94,9 @@ impl Config {
             unit_boundary_files: take("units", "boundary_files"),
             facade_crates: take("facade", "crates"),
             must_use_files: take("must_use", "files"),
+            blocking_methods: take("blocking", "methods"),
+            blocking_exempt_files: take("blocking", "exempt_files"),
+            audit_dirs: take("unsafe_audit", "extra_dirs"),
         })
     }
 }

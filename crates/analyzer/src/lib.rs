@@ -6,13 +6,20 @@
 //! * panic-freedom in hot-path functions (`// nm-analyzer: hot_path`),
 //! * unit hygiene at public API boundaries (`*_us`/`*_bytes`/`*_bw`),
 //! * transitive allocation-freedom under `// nm-analyzer: no_alloc`,
-//! * the `Ordering::Relaxed` and sync-facade gates formerly implemented as
-//!   greps in `scripts/concurrency_lint.sh` — now comment/string-safe.
+//! * the concurrency family: sync-facade bypasses, lock-order cycles over
+//!   the global acquisition graph, blocking-call reachability from
+//!   hot-path fns, and whole-program atomic ordering protocols,
+//! * `SAFETY:` comments on every `unsafe` block/fn/impl (including the
+//!   vendored `compat/` shims via `[unsafe_audit] extra_dirs`).
 //!
-//! Escapes are explicit and audited: `// nm-analyzer: allow(<rule>) -- why`.
+//! Escapes are explicit and audited: `// nm-analyzer: allow(<rule>) -- why`
+//! — a stale or unknown-rule allow is itself a finding.
 
+pub mod atomics;
 pub mod config;
+pub mod guards;
 pub mod lexer;
+pub mod lockorder;
 pub mod parse;
 pub mod report;
 pub mod rules;
@@ -54,16 +61,35 @@ fn walk_rs(dir: &Path, f: &mut impl FnMut(PathBuf)) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Parses and analyzes a set of `(path, crate name)` sources against `cfg`.
+/// Collects `.rs` files under `cfg.audit_dirs` (e.g. `compat/`) for the
+/// unsafe-SAFETY audit. Same `(path, label)` shape as
+/// [`workspace_sources`]; the label is the audit directory name.
+pub fn audit_sources(root: &Path, dirs: &[String]) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    for dir in dirs {
+        let base = root.join(dir);
+        if base.is_dir() {
+            walk_rs(&base, &mut |p| out.push((p, dir.clone())))?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses and analyzes workspace sources plus audit-only sources against
+/// `cfg`.
 ///
 /// `root` is stripped from paths for reporting; `cfg.hot_paths` matches the
-/// stripped (repo-relative) form.
+/// stripped (repo-relative) form. `audit` files run only the unsafe-SAFETY
+/// rule and allow collection.
 pub fn run(
     root: &Path,
     sources: &[(PathBuf, String)],
+    audit: &[(PathBuf, String)],
     cfg: &config::Config,
 ) -> std::io::Result<rules::Analysis> {
-    let mut files = Vec::with_capacity(sources.len());
+    let t0 = std::time::Instant::now();
+    let mut files = Vec::with_capacity(sources.len() + audit.len());
     for (path, crate_name) in sources {
         let src = std::fs::read_to_string(path)?;
         let rel = path.strip_prefix(root).unwrap_or(path);
@@ -71,5 +97,16 @@ pub fn run(
         let force_hot = cfg.hot_paths.iter().any(|h| h == &rel || rel.ends_with(h.as_str()));
         files.push(parse::parse_file(&rel, crate_name, &src, force_hot));
     }
-    Ok(rules::analyze(&files, cfg))
+    for (path, label) in audit {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let mut ast = parse::parse_file(&rel, label, &src, false);
+        ast.audit_only = true;
+        files.push(ast);
+    }
+    let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut analysis = rules::analyze(&files, cfg);
+    analysis.timings.insert(0, ("parse".to_string(), parse_ms));
+    Ok(analysis)
 }

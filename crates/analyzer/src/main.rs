@@ -65,7 +65,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let analysis = match nm_analyzer::run(&root, &sources, &cfg) {
+    let audit = match nm_analyzer::audit_sources(&root, &cfg.audit_dirs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nm-analyzer: walking audit dirs under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match nm_analyzer::run(&root, &sources, &audit, &cfg) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("nm-analyzer: {e}");

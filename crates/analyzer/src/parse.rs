@@ -78,6 +78,9 @@ pub struct FileAst {
     pub test_ranges: Vec<(usize, usize)>,
     /// File-level `hot_path` marker (or forced via config).
     pub file_hot: bool,
+    /// Audit-only file (vendored shims under `[unsafe_audit] extra_dirs`):
+    /// only the unsafe-SAFETY rule and allow collection run on it.
+    pub audit_only: bool,
 }
 
 impl FileAst {
@@ -228,6 +231,7 @@ pub fn parse_file(path: &str, crate_name: &str, src: &str, force_hot: bool) -> F
         excluded: Vec::new(),
         test_ranges: Vec::new(),
         file_hot,
+        audit_only: false,
     };
 
     let toks = &ast.toks;

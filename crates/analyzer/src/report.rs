@@ -65,10 +65,20 @@ pub fn render_json(a: &Analysis) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"tool\": \"nm-analyzer\",");
     let _ = writeln!(out, "  \"version\": \"{}\",", env!("CARGO_PKG_VERSION"));
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
     let _ = writeln!(out, "  \"fns_total\": {},", a.fns_total);
     let _ = writeln!(out, "  \"fns_hot\": {},", a.fns_hot);
     let _ = writeln!(out, "  \"fns_no_alloc\": {},", a.fns_no_alloc);
+    let _ = writeln!(out, "  \"atomic_sites_unresolved\": {},", a.atomic_unresolved);
+    let _ = writeln!(out, "  \"timings_ms\": {{");
+    for (i, (name, ms)) in a.timings.iter().enumerate() {
+        let comma = if i + 1 < a.timings.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {:.3}{}", esc(name), ms, comma);
+    }
+    let _ = writeln!(out, "  }},");
+    let _ =
+        writeln!(out, "  \"total_ms\": {:.3},", a.timings.iter().map(|(_, ms)| ms).sum::<f64>());
     let _ = writeln!(
         out,
         "  \"status\": \"{}\",",
@@ -124,6 +134,38 @@ pub fn render_json(a: &Analysis) -> String {
             esc(&al.file),
             al.line,
             esc(&al.reason),
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"atomic_protocols\": [");
+    for (i, p) in a.atomics.iter().enumerate() {
+        let comma = if i + 1 < a.atomics.len() { "," } else { "" };
+        let sites = p
+            .sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"file\": \"{}\", \"line\": {}, \"op\": \"{}\", \"orderings\": [{}]}}",
+                    esc(&s.file),
+                    s.line,
+                    esc(&s.op),
+                    s.orderings
+                        .iter()
+                        .map(|o| format!("\"{}\"", esc(o)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "    {{\"field\": \"{}\", \"classification\": \"{}\", \"sites\": [{}]}}{}",
+            esc(&p.field),
+            p.classification,
+            sites,
             comma
         );
     }

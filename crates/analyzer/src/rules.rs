@@ -6,21 +6,50 @@
 //!    `f64`/`u64` under unit-suffixed names.
 //! 3. **no-alloc** — transitive allocation-freedom under `no_alloc`
 //!    markers, via a within-crate call graph.
-//! 4. **ordering/facade** (`relaxed-ordering`, `facade-bypass`) — the two
-//!    gates inherited from `scripts/concurrency_lint.sh`, now
-//!    comment/string-safe.
+//! 4. **concurrency** (`facade-bypass`, `lock-order-cycle`,
+//!    `hot-path-blocking`, `atomic-unpaired-release`,
+//!    `atomic-mixed-relaxed`) — the sync-facade gate plus the whole-program
+//!    lock-order / blocking-reachability / ordering-protocol analyses in
+//!    [`crate::lockorder`] and [`crate::atomics`].
 //! 5. **must-use** — public value-returning fns in configured decision-path
 //!    files must carry `#[must_use]`.
+//! 6. **unsafe-audit** (`unsafe-no-safety`) — every `unsafe` block / fn /
+//!    impl carries a `SAFETY:` comment (folded in from the old
+//!    `scripts/concurrency_lint.sh`; also runs over `[unsafe_audit]`
+//!    extra directories such as the vendored `compat/` shims).
 //!
 //! Every rule honors `// nm-analyzer: allow(<rule>) -- <reason>` on the
 //! finding line (or the comment block directly above, or the function
-//! header); allows are tallied, and an allow without a reason is itself a
-//! finding (`allow-missing-reason`).
+//! header); allows are tallied, an allow without a reason is itself a
+//! finding (`allow-missing-reason`), an allow naming an unknown rule is an
+//! error (`allow-unknown-rule`), and an allow that suppresses nothing is
+//! stale (`allow-unused`).
 
 use crate::config::Config;
 use crate::lexer::TokKind;
 use crate::parse::{is_non_expr_keyword, Directive, FileAst, FnItem};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Every rule name an allow escape may legitimately reference.
+pub const KNOWN_RULES: &[&str] = &[
+    "unwrap",
+    "expect",
+    "clone",
+    "panic",
+    "todo",
+    "unreachable",
+    "index",
+    "unit-bare",
+    "no-alloc",
+    "facade-bypass",
+    "must-use",
+    "lock-order-cycle",
+    "hot-path-blocking",
+    "atomic-unpaired-release",
+    "atomic-mixed-relaxed",
+    "unsafe-no-safety",
+];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -69,6 +98,15 @@ pub struct Analysis {
     pub fns_hot: usize,
     /// Functions under no-alloc rules.
     pub fns_no_alloc: usize,
+    /// Whole-program atomic ordering protocols, one entry per field.
+    pub atomics: Vec<crate::atomics::AtomicProtocol>,
+    /// Atomic op sites whose receiver did not resolve to a declared field.
+    pub atomic_unresolved: usize,
+    /// Wall time per pass, in milliseconds, in execution order.
+    pub timings: Vec<(String, f64)>,
+    /// Allow escapes consumed by at least one finding, keyed by
+    /// (file, rule, anchor line) — feeds the stale-allow audit.
+    pub used_allows: HashSet<(String, String, u32)>,
 }
 
 impl Analysis {
@@ -101,24 +139,97 @@ impl Analysis {
 }
 
 /// Runs every rule family over the parsed files.
+///
+/// Audit-only files (vendored shims) see only the unsafe-SAFETY rule and
+/// allow collection; every other family skips them.
 pub fn analyze(files: &[FileAst], cfg: &Config) -> Analysis {
     let mut out = Analysis { files_scanned: files.len(), ..Default::default() };
-    for f in files {
+    for f in files.iter().filter(|f| !f.audit_only) {
         out.fns_total += f.fns.len();
         out.fns_hot += f.fns.iter().filter(|x| x.hot && !x.in_test).count();
         out.fns_no_alloc += f.fns.iter().filter(|x| x.no_alloc && !x.in_test).count();
     }
 
-    collect_allows(files, &mut out);
-    for file in files {
-        panic_freedom(file, &mut out);
-        unit_hygiene(file, cfg, &mut out);
-        relaxed_ordering(file, &mut out);
-        facade_bypass(file, cfg, &mut out);
-        must_use(file, cfg, &mut out);
-    }
-    no_alloc(files, &mut out);
+    let timed = |out: &mut Analysis, name: &str, pass: &mut dyn FnMut(&mut Analysis)| {
+        let t0 = Instant::now();
+        pass(out);
+        out.timings.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    };
+
+    timed(&mut out, "escape-hatch", &mut |out| collect_allows(files, out));
+    timed(&mut out, "panic-freedom", &mut |out| {
+        for file in files.iter().filter(|f| !f.audit_only) {
+            panic_freedom(file, out);
+        }
+    });
+    timed(&mut out, "unit-hygiene", &mut |out| {
+        for file in files.iter().filter(|f| !f.audit_only) {
+            unit_hygiene(file, cfg, out);
+        }
+    });
+    timed(&mut out, "facade", &mut |out| {
+        for file in files.iter().filter(|f| !f.audit_only) {
+            facade_bypass(file, cfg, out);
+        }
+    });
+    timed(&mut out, "must-use", &mut |out| {
+        for file in files.iter().filter(|f| !f.audit_only) {
+            must_use(file, cfg, out);
+        }
+    });
+    let index = build_call_index(files);
+    timed(&mut out, "no-alloc", &mut |out| no_alloc(files, &index, out));
+    let (lock_fields, atomic_fields) = crate::guards::scan_fields(files);
+    timed(&mut out, "lock-order", &mut |out| {
+        crate::lockorder::lock_discipline(files, &index, &lock_fields, cfg, out)
+    });
+    timed(&mut out, "atomics", &mut |out| {
+        crate::atomics::atomic_protocols(files, &atomic_fields, out)
+    });
+    timed(&mut out, "unsafe-audit", &mut |out| {
+        for file in files {
+            unsafe_safety(file, out);
+        }
+    });
+    timed(&mut out, "allow-audit", &mut |out| allow_audit(out));
     out
+}
+
+/// Audits the recorded allow escapes after every rule has run: an unknown
+/// rule name is an error, and an allow no finding consumed is stale.
+fn allow_audit(out: &mut Analysis) {
+    let known: HashSet<&str> = KNOWN_RULES.iter().copied().collect();
+    let allows = out.allows.clone();
+    for al in &allows {
+        if !known.contains(al.rule.as_str()) {
+            out.findings.push(Finding {
+                rule: "allow-unknown-rule".into(),
+                family: "escape-hatch",
+                file: al.file.clone(),
+                line: al.line,
+                col: 1,
+                message: format!(
+                    "allow({}) names an unknown rule — known rules: {}",
+                    al.rule,
+                    KNOWN_RULES.join(", ")
+                ),
+                allowed_reason: None,
+            });
+        } else if !out.used_allows.contains(&(al.file.clone(), al.rule.clone(), al.line)) {
+            out.findings.push(Finding {
+                rule: "allow-unused".into(),
+                family: "escape-hatch",
+                file: al.file.clone(),
+                line: al.line,
+                col: 1,
+                message: format!(
+                    "allow({}) suppresses no finding — stale escape, remove it",
+                    al.rule
+                ),
+                allowed_reason: None,
+            });
+        }
+    }
 }
 
 /// Records every allow escape; flags reason-less ones.
@@ -155,20 +266,27 @@ fn collect_allows(files: &[FileAst], out: &mut Analysis) {
 }
 
 /// Looks up an allow escape for `rule` at `line`: same line, the comment
-/// block directly above, or the enclosing function's header.
-fn find_allow(file: &FileAst, rule: &str, line: u32, enclosing: Option<&FnItem>) -> Option<String> {
+/// block directly above, or the enclosing function's header. Returns the
+/// written reason and the escape's own line (the usage anchor the
+/// stale-allow audit matches against [`AllowRecord::line`]).
+fn find_allow(
+    file: &FileAst,
+    rule: &str,
+    line: u32,
+    enclosing: Option<&FnItem>,
+) -> Option<(String, u32)> {
     for d in file.directives_above(line) {
-        if let Directive::Allow { rule: r, reason, .. } = d {
+        if let Directive::Allow { rule: r, reason, line: al } = d {
             if r == rule {
-                return Some(reason);
+                return Some((reason, al));
             }
         }
     }
     if let Some(f) = enclosing {
         for d in &f.allows {
-            if let Directive::Allow { rule: r, reason, .. } = d {
+            if let Directive::Allow { rule: r, reason, line: al } = d {
                 if r == rule {
-                    return Some(reason.clone());
+                    return Some((reason.clone(), *al));
                 }
             }
         }
@@ -184,7 +302,7 @@ fn enclosing_fn(file: &FileAst, i: usize) -> Option<&FnItem> {
         .min_by_key(|f| f.body.map(|(s, e)| e - s).unwrap_or(usize::MAX))
 }
 
-fn push(
+pub(crate) fn push(
     file: &FileAst,
     out: &mut Analysis,
     rule: &str,
@@ -194,6 +312,9 @@ fn push(
 ) {
     let t = &file.toks[i];
     let allowed = find_allow(file, rule, t.line, enclosing_fn(file, i));
+    if let Some((_, anchor)) = &allowed {
+        out.used_allows.insert((file.path.clone(), rule.to_string(), *anchor));
+    }
     out.findings.push(Finding {
         rule: rule.into(),
         family,
@@ -201,7 +322,7 @@ fn push(
         line: t.line,
         col: t.col,
         message: msg,
-        allowed_reason: allowed,
+        allowed_reason: allowed.map(|(r, _)| r),
     });
 }
 
@@ -218,6 +339,9 @@ fn push_sig(
 ) {
     let t = &file.toks[f.sig.0];
     let allowed = find_allow(file, rule, t.line, Some(f));
+    if let Some((_, anchor)) = &allowed {
+        out.used_allows.insert((file.path.clone(), rule.to_string(), *anchor));
+    }
     out.findings.push(Finding {
         rule: rule.into(),
         family,
@@ -225,7 +349,7 @@ fn push_sig(
         line: t.line,
         col: t.col,
         message: msg,
-        allowed_reason: allowed,
+        allowed_reason: allowed.map(|(r, _)| r),
     });
 }
 
@@ -452,37 +576,7 @@ fn unit_hygiene(file: &FileAst, cfg: &Config, out: &mut Analysis) {
     }
 }
 
-// ------------------------------------------------------------- ordering ----
-
-fn relaxed_ordering(file: &FileAst, out: &mut Analysis) {
-    let toks = &file.toks;
-    for i in 0..toks.len() {
-        if file.is_excluded(i) {
-            continue;
-        }
-        if toks[i].kind == TokKind::Ident
-            && toks[i].text == "Relaxed"
-            && i >= 3
-            && toks[i - 1].text == ":"
-            && toks[i - 2].text == ":"
-            && toks[i - 3].text == "Ordering"
-        {
-            if file.line_has_marker(toks[i].line, "RELAXED-OK:") {
-                continue;
-            }
-            let allowed = find_allow(file, "relaxed-ordering", toks[i].line, enclosing_fn(file, i));
-            out.findings.push(Finding {
-                rule: "relaxed-ordering".into(),
-                family: "concurrency",
-                file: file.path.clone(),
-                line: toks[i].line,
-                col: toks[i].col,
-                message: "bare Ordering::Relaxed — strengthen or justify with RELAXED-OK:".into(),
-                allowed_reason: allowed,
-            });
-        }
-    }
-}
+// ---------------------------------------------------------- concurrency ----
 
 fn facade_bypass(file: &FileAst, cfg: &Config, out: &mut Analysis) {
     if !cfg.facade_crates.iter().any(|c| c == &file.crate_name) {
@@ -502,19 +596,61 @@ fn facade_bypass(file: &FileAst, cfg: &Config, out: &mut Analysis) {
                 && toks.get(i + 1).is_some_and(|t| t.text == ":")
                 && toks.get(i + 2).is_some_and(|t| t.text == ":"));
         if hit {
-            let rule = "facade-bypass";
-            let allowed = find_allow(file, rule, toks[i].line, enclosing_fn(file, i));
-            out.findings.push(Finding {
-                rule: rule.into(),
-                family: "concurrency",
-                file: file.path.clone(),
-                line: toks[i].line,
-                col: toks[i].col,
-                message: "direct std::sync/parking_lot use — route through nm-sync so loom \
-                          model checks see it"
+            push(
+                file,
+                out,
+                "facade-bypass",
+                "concurrency",
+                i,
+                "direct std::sync/parking_lot use — route through nm-sync so loom \
+                 model checks see it"
                     .into(),
-                allowed_reason: allowed,
-            });
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------- unsafe audit ----
+
+/// Every `unsafe {` / `unsafe fn` / `unsafe impl` must carry a `SAFETY:`
+/// comment on its line or the contiguous comment run directly above — the
+/// toolchain-independent gate `scripts/concurrency_lint.sh` used to grep
+/// for, now comment/string-safe. Unlike the other rules this scans test
+/// code and audit-only (vendored) files too, matching the shell gate's
+/// coverage.
+fn unsafe_safety(file: &FileAst, out: &mut Analysis) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "unsafe" {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| matches!(t.text.as_str(), "{" | "fn" | "impl")) {
+            continue;
+        }
+        let line = toks[i].line;
+        let mut documented = file.comment_lines.get(&line).is_some_and(|t| t.contains("SAFETY:"));
+        let mut l = line.saturating_sub(1);
+        while !documented && l >= 1 {
+            match file.comment_lines.get(&l) {
+                Some(t) => {
+                    documented = t.contains("SAFETY:");
+                    l -= 1;
+                }
+                None => break,
+            }
+        }
+        if !documented {
+            push(
+                file,
+                out,
+                "unsafe-no-safety",
+                "unsafe-audit",
+                i,
+                format!(
+                    "`unsafe {}` without a `SAFETY:` comment on or directly above it",
+                    toks[i + 1].text
+                ),
+            );
         }
     }
 }
@@ -545,6 +681,92 @@ fn must_use(file: &FileAst, cfg: &Config, out: &mut Analysis) {
     }
 }
 
+// ----------------------------------------------------------- call graph ----
+
+/// Within-crate call graph index: (crate, fn name) -> [(file idx, fn idx)].
+pub(crate) type CallIndex = HashMap<(String, String), Vec<(usize, usize)>>;
+
+/// Builds the call index over non-test fns with bodies (audit-only files
+/// excluded — vendored code is never part of the workspace graph).
+pub(crate) fn build_call_index(files: &[FileAst]) -> CallIndex {
+    let mut index: CallIndex = HashMap::new();
+    for (fidx, file) in files.iter().enumerate() {
+        if file.audit_only {
+            continue;
+        }
+        for (gidx, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            index.entry((file.crate_name.clone(), f.name.clone())).or_default().push((fidx, gidx));
+        }
+    }
+    index
+}
+
+/// Resolves the call at token `i` (an ident followed by `(`) in fn `at` to
+/// its within-crate targets. The call form filters candidates so name
+/// collisions with std methods (`.max(`, `.all(`, `Type::new(`) don't drag
+/// unrelated fns into the graph: `Owner::name(` follows only fns in an
+/// impl of `Owner` (`Self::` maps to the caller's owner), `.name(` only
+/// methods (fns taking `self`), and a bare `name(` only free functions.
+/// `<T>::name(` and cross-crate calls resolve to nothing (leaves).
+pub(crate) fn resolve_call(
+    files: &[FileAst],
+    index: &CallIndex,
+    at: (usize, usize),
+    i: usize,
+) -> Vec<(usize, usize)> {
+    let file = &files[at.0];
+    let f = &file.fns[at.1];
+    let toks = &file.toks;
+    let name = toks[i].text.as_str();
+    let qualified = i >= 3 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+    let owner_hint: Option<String> = if qualified {
+        if toks[i - 3].kind != TokKind::Ident {
+            return Vec::new(); // `<T>::name(` and friends: unresolvable.
+        }
+        let h = toks[i - 3].text.clone();
+        if h == "Self" {
+            match &f.owner {
+                Some(o) => Some(o.clone()),
+                None => return Vec::new(),
+            }
+        } else {
+            Some(h)
+        }
+    } else {
+        None
+    };
+    let method = !qualified && i > 0 && toks[i - 1].text == ".";
+    // `foo().name(` / `foo[..].name(`: the receiver is a temporary whose
+    // type we cannot name, so by-name method resolution is pure noise
+    // (e.g. `.len()` on a `MutexGuard<VecDeque<_>>` must not resolve to
+    // every workspace type with a `len` method). Skip those.
+    if method && i >= 2 && matches!(toks[i - 2].text.as_str(), ")" | "]") {
+        return Vec::new();
+    }
+    let key = (file.crate_name.clone(), name.to_string());
+    let Some(targets) = index.get(&key) else { return Vec::new() };
+    targets
+        .iter()
+        .copied()
+        .filter(|&tgt| {
+            if tgt == at {
+                return false;
+            }
+            let tf = &files[tgt.0].fns[tgt.1];
+            if let Some(hint) = &owner_hint {
+                tf.owner.as_deref() == Some(hint.as_str())
+            } else if method {
+                tf.owner.is_some() && fn_takes_self(&files[tgt.0], tf)
+            } else {
+                tf.owner.is_none()
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------- no-alloc ----
 
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
@@ -557,33 +779,25 @@ const ALLOC_PATHS: &[(&str, &str)] = &[
     ("String", "with_capacity"),
 ];
 
-fn no_alloc(files: &[FileAst], out: &mut Analysis) {
-    // Within-crate call graph: (crate, fn name) -> [(file idx, fn idx)].
-    let mut index: HashMap<(String, String), Vec<(usize, usize)>> = HashMap::new();
+fn no_alloc(files: &[FileAst], index: &CallIndex, out: &mut Analysis) {
     for (fidx, file) in files.iter().enumerate() {
-        for (gidx, f) in file.fns.iter().enumerate() {
-            if f.in_test || f.body.is_none() {
-                continue;
-            }
-            index.entry((file.crate_name.clone(), f.name.clone())).or_default().push((fidx, gidx));
+        if file.audit_only {
+            continue;
         }
-    }
-
-    for (fidx, file) in files.iter().enumerate() {
         for (gidx, f) in file.fns.iter().enumerate() {
             if !f.no_alloc || f.in_test {
                 continue;
             }
             let mut visited: HashSet<(usize, usize)> = HashSet::new();
             let root = format!("{}::{}", file.crate_name, f.name);
-            check_no_alloc(files, &index, (fidx, gidx), &root, &mut visited, out);
+            check_no_alloc(files, index, (fidx, gidx), &root, &mut visited, out);
         }
     }
 }
 
 fn check_no_alloc(
     files: &[FileAst],
-    index: &HashMap<(String, String), Vec<(usize, usize)>>,
+    index: &CallIndex,
     at: (usize, usize),
     root: &str,
     visited: &mut HashSet<(usize, usize)>,
@@ -654,48 +868,10 @@ fn check_no_alloc(
                         &format!("{}::{name}", toks[i - 3].text),
                     );
                 } else {
-                    // Call edge: resolve within the same crate. The call
-                    // form filters candidates so name collisions with std
-                    // methods (`.max(`, `.all(`, `Type::new(`) don't drag
-                    // unrelated fns into the graph: `Owner::name(` follows
-                    // only fns in an impl of `Owner` (`Self::` maps to the
-                    // caller's owner), `.name(` only methods (fns taking
-                    // `self`), and a bare `name(` only free functions.
-                    let qualified = i >= 3 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
-                    let owner_hint: Option<String> = if qualified {
-                        if toks[i - 3].kind != TokKind::Ident {
-                            // `<T>::name(` and friends: unresolvable, leaf.
-                            i += 1;
-                            continue;
-                        }
-                        let h = toks[i - 3].text.clone();
-                        if h == "Self" {
-                            f.owner.clone()
-                        } else {
-                            Some(h)
-                        }
-                    } else {
-                        None
-                    };
-                    let method = !qualified && prev_is(".");
-                    let key = (file.crate_name.clone(), name.to_string());
-                    if let Some(targets) = index.get(&key) {
-                        for &tgt in targets.clone().iter() {
-                            if tgt == at {
-                                continue;
-                            }
-                            let tf = &files[tgt.0].fns[tgt.1];
-                            let follow = if let Some(hint) = &owner_hint {
-                                tf.owner.as_deref() == Some(hint.as_str())
-                            } else if method {
-                                tf.owner.is_some() && fn_takes_self(&files[tgt.0], tf)
-                            } else {
-                                tf.owner.is_none()
-                            };
-                            if follow {
-                                check_no_alloc(files, index, tgt, root, visited, out);
-                            }
-                        }
+                    // Call edge: resolve within the same crate (see
+                    // [`resolve_call`] for the candidate filtering).
+                    for tgt in resolve_call(files, index, at, i) {
+                        check_no_alloc(files, index, tgt, root, visited, out);
                     }
                 }
             }
@@ -712,20 +888,10 @@ fn fn_takes_self(file: &FileAst, f: &FnItem) -> bool {
 }
 
 fn report_alloc(file: &FileAst, out: &mut Analysis, i: usize, root: &str, here: &str, what: &str) {
-    let t = &file.toks[i];
-    let allowed = find_allow(file, "no-alloc", t.line, enclosing_fn(file, i));
     let via = if root.ends_with(&format!("::{here}")) {
         String::new()
     } else {
         format!(" (reached from no_alloc fn `{root}` via `{here}`)")
     };
-    out.findings.push(Finding {
-        rule: "no-alloc".into(),
-        family: "no-alloc",
-        file: file.path.clone(),
-        line: t.line,
-        col: t.col,
-        message: format!("{what} allocates{via}"),
-        allowed_reason: allowed,
-    });
+    push(file, out, "no-alloc", "no-alloc", i, format!("{what} allocates{via}"));
 }

@@ -18,6 +18,7 @@ fn fixture_config() -> Config {
         unit_boundary_files: Vec::new(),
         facade_crates: vec!["fixture_facade".to_string()],
         must_use_files: vec!["crates/fixture/src/must_use_fixture.rs".to_string()],
+        ..Default::default()
     }
 }
 
@@ -34,6 +35,9 @@ fn analyze_fixtures() -> Analysis {
         ("must_use_fixture.rs", "fixture"),
         ("collectives_fixture.rs", "fixture"),
         ("repair_fixture.rs", "fixture"),
+        ("lockorder_fixture.rs", "fixture"),
+        ("atomics_fixture.rs", "fixture"),
+        ("unsafe_fixture.rs", "fixture"),
     ] {
         let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
         let rel = format!("crates/fixture/src/{name}");
@@ -64,9 +68,15 @@ fn per_rule_unallowed_counts_are_exact() {
         ("allow-missing-reason", 1),
         ("unit-bare", 5),
         ("no-alloc", 6),
-        ("relaxed-ordering", 2),
         ("facade-bypass", 4),
         ("must-use", 1),
+        ("lock-order-cycle", 1),
+        ("hot-path-blocking", 2),
+        ("atomic-unpaired-release", 1),
+        ("atomic-mixed-relaxed", 3),
+        ("unsafe-no-safety", 2),
+        ("allow-unused", 1),
+        ("allow-unknown-rule", 1),
     ];
     for &(rule, n) in expected {
         assert_eq!(
@@ -94,10 +104,25 @@ fn allow_escapes_suppress_and_are_tallied() {
     assert_eq!(allowed.get("unit-bare").copied(), Some(2), "allowed unit-bare: {allowed:?}");
     assert_eq!(allowed.get("no-alloc").copied(), Some(1), "allowed no-alloc: {allowed:?}");
     assert_eq!(allowed.get("index").copied(), Some(2), "allowed index: {allowed:?}");
-    assert_eq!(allowed.len(), 4, "no other rule should have allowed findings: {allowed:?}");
+    assert_eq!(
+        allowed.get("hot-path-blocking").copied(),
+        Some(1),
+        "allowed hot-path-blocking: {allowed:?}"
+    );
+    assert_eq!(
+        allowed.get("atomic-unpaired-release").copied(),
+        Some(1),
+        "allowed atomic-unpaired-release: {allowed:?}"
+    );
+    assert_eq!(
+        allowed.get("unsafe-no-safety").copied(),
+        Some(1),
+        "allowed unsafe-no-safety: {allowed:?}"
+    );
+    assert_eq!(allowed.len(), 7, "no other rule should have allowed findings: {allowed:?}");
 
-    // Six escape comments are on record; exactly one lacks a reason.
-    assert_eq!(analysis.allows.len(), 6, "allows on record: {:#?}", analysis.allows);
+    // Eleven escape comments are on record; exactly one lacks a reason.
+    assert_eq!(analysis.allows.len(), 11, "allows on record: {:#?}", analysis.allows);
     assert_eq!(analysis.allows.iter().filter(|a| a.reason.is_empty()).count(), 1);
 }
 
@@ -127,4 +152,82 @@ fn transitive_no_alloc_names_the_chain() {
         "chain missing from message: {}",
         transitive.message
     );
+}
+
+#[test]
+fn lock_order_cycle_reports_both_witnessing_chains() {
+    let analysis = analyze_fixtures();
+    let cycle = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order-cycle")
+        .expect("cycle finding present");
+    // Both lock keys, in crate::Type::field form.
+    assert!(
+        cycle.message.contains("fixture::DevA::m1") && cycle.message.contains("fixture::DevB::m2"),
+        "cycle keys missing: {}",
+        cycle.message
+    );
+    // Both witnessing acquisition chains: the direct A->B edge in
+    // `lock_both` and the B->A edge routed through `grab_a`.
+    assert!(
+        cycle.message.contains("lock_both") && cycle.message.contains("grab_a"),
+        "witnessing chains missing: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn blocking_reachability_names_the_call_chain() {
+    let analysis = analyze_fixtures();
+    let transitive = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "hot-path-blocking" && f.message.contains("reached from"))
+        .expect("transitive blocking finding present");
+    assert!(
+        transitive.message.contains("hot_lookup") && transitive.message.contains("grab_a"),
+        "blocking chain missing: {}",
+        transitive.message
+    );
+    let direct = analysis
+        .findings
+        .iter()
+        .find(|f| {
+            f.rule == "hot-path-blocking"
+                && f.allowed_reason.is_none()
+                && f.message.contains("recv")
+        })
+        .expect("direct blocking finding present");
+    assert!(direct.message.contains("hot_poll"), "direct site: {}", direct.message);
+}
+
+#[test]
+fn atomic_protocol_table_is_complete() {
+    let analysis = analyze_fixtures();
+    let by_field: HashMap<&str, _> =
+        analysis.atomics.iter().map(|p| (p.field.as_str(), p)).collect();
+
+    let mixed = by_field.get("fixture::Gauge::mixed").expect("mixed in table");
+    assert_eq!(mixed.classification, "paired", "mixed: {mixed:?}");
+    assert_eq!(mixed.sites.len(), 5, "all mixed sites (incl. via-ref alias): {mixed:?}");
+
+    let ready = by_field.get("fixture::Gauge::ready").expect("ready in table");
+    assert_eq!(ready.classification, "unpaired-release", "ready: {ready:?}");
+
+    let count = by_field.get("fixture::Gauge::count").expect("count in table");
+    assert_eq!(count.classification, "relaxed-only", "count: {count:?}");
+
+    let counter = by_field.get("fixture_facade::COUNTER").expect("static COUNTER in table");
+    assert_eq!(counter.classification, "acquire-only", "COUNTER: {counter:?}");
+}
+
+#[test]
+fn pass_timings_are_recorded() {
+    let analysis = analyze_fixtures();
+    assert!(!analysis.timings.is_empty(), "per-family timings recorded");
+    let names: Vec<&str> = analysis.timings.iter().map(|(n, _)| n.as_str()).collect();
+    for family in ["lock-order", "atomics", "unsafe-audit", "allow-audit"] {
+        assert!(names.contains(&family), "missing `{family}` in {names:?}");
+    }
 }

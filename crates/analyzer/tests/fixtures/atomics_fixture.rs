@@ -1,0 +1,73 @@
+//! Atomic ordering-protocol fixture: per-field classification over the
+//! whole crate. `ready` has a Release store and no Acquire reader
+//! anywhere (1x atomic-unpaired-release); `count` is all-Relaxed and
+//! clean; `mixed` is a paired Acquire/Release field with one bare Relaxed
+//! probe (1x atomic-mixed-relaxed) and one `RELAXED-OK:`-justified probe.
+//! Also hosts the stale-allow audit cases: one escape suppressing nothing
+//! (1x allow-unused) and one naming a rule that does not exist
+//! (1x allow-unknown-rule).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Gauge {
+    pub ready: AtomicU64,
+    pub count: AtomicU64,
+    pub mixed: AtomicU64,
+    pub flag: AtomicBool,
+}
+
+impl Gauge {
+    /// Release store with no Acquire load of `ready` in the crate:
+    /// 1x atomic-unpaired-release.
+    pub fn publish_ready(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    /// All-Relaxed counter: relaxed-only protocol, clean without markers.
+    pub fn bump(&self) -> u64 {
+        self.count.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Release half of the `mixed` protocol.
+    pub fn set(&self, v: u64) {
+        self.mixed.store(v, Ordering::Release);
+    }
+
+    /// Acquire half of the `mixed` protocol.
+    pub fn read(&self) -> u64 {
+        self.mixed.load(Ordering::Acquire)
+    }
+
+    /// Bare Relaxed mixed into an Acquire/Release field:
+    /// 1x atomic-mixed-relaxed.
+    pub fn peek(&self) -> u64 {
+        self.mixed.load(Ordering::Relaxed)
+    }
+
+    /// Justified Relaxed on the same field is clean.
+    pub fn lag(&self) -> u64 {
+        // RELAXED-OK: monitoring probe, never ordered against payload.
+        self.mixed.load(Ordering::Relaxed)
+    }
+
+    /// Sites reached through a `let`-bound reference still resolve to the
+    /// field (5 `mixed` sites total in the protocol table).
+    pub fn read_mixed_via_ref(&self) -> u64 {
+        let r = &self.mixed;
+        r.load(Ordering::Acquire)
+    }
+
+    /// Unpaired Release with the pairing story written down: allowed.
+    pub fn raise_flag(&self) {
+        // nm-analyzer: allow(atomic-unpaired-release) -- consumer side lands with the drain loop; flag is write-only until then
+        self.flag.store(true, Ordering::Release);
+    }
+}
+
+/// Escape that suppresses nothing: 1x allow-unused.
+// nm-analyzer: allow(clone) -- leftover from a removed prototype
+pub fn tidy() {}
+
+/// Escape naming a rule that does not exist: 1x allow-unknown-rule.
+// nm-analyzer: allow(flux-capacitor) -- typo'd rule name
+pub fn misnamed() {}

@@ -1,11 +1,14 @@
-//! Concurrency-gates fixture: bare `Ordering::Relaxed` and facade bypass.
+//! Concurrency-gates fixture: atomic ordering protocol and facade bypass.
 //! Scanned with a crate name listed in `facade_crates`.
+//!
+//! `COUNTER` has an Acquire load (`drain`), which classifies it
+//! acquire-only: Relaxed sites on it must carry `RELAXED-OK:`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub static COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// Bare Relaxed: 1x relaxed-ordering.
+/// Unjustified Relaxed on an acquire-only field: 1x atomic-mixed-relaxed.
 pub fn bare_relaxed() -> u64 {
     COUNTER.fetch_add(1, Ordering::Relaxed)
 }
@@ -14,6 +17,11 @@ pub fn bare_relaxed() -> u64 {
 pub fn justified_relaxed() -> u64 {
     // RELAXED-OK: statistics counter, read only for reporting.
     COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The Acquire read that puts `COUNTER` under the acquire/release protocol.
+pub fn drain() -> u64 {
+    COUNTER.load(Ordering::Acquire)
 }
 
 /// Mentioning Ordering::Relaxed in a comment or "Ordering::Relaxed" in a

@@ -21,9 +21,10 @@ pub fn decode_word(word: u64) -> u64 {
     }
 }
 
-/// Publish with a bare Relaxed marker store: 1x relaxed-ordering. A
-/// seqlock publish needs Release — Relaxed lets the word stores reorder
-/// after the marker and readers observe torn ops.
+/// Publish with a bare Relaxed marker store: 1x atomic-mixed-relaxed
+/// (`marker` is acquire-only via `apply_pending`). A seqlock publish needs
+/// Release — Relaxed lets the word stores reorder after the marker and
+/// readers observe torn ops.
 pub fn publish(slot: &Slot, seq: u64) {
     slot.marker.store(seq + 1, Ordering::Relaxed);
 }

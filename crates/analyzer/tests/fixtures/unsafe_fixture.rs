@@ -1,0 +1,30 @@
+//! Unsafe-audit fixture: every `unsafe` block/fn/impl needs a safety
+//! comment on its line or directly above it. (Doc text here deliberately
+//! avoids the literal marker so only real safety comments count.)
+
+pub struct Token(pub u64);
+
+/// Undocumented block: 1x unsafe-no-safety.
+pub fn undocumented_read(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+/// Undocumented unsafe fn: 1x unsafe-no-safety.
+pub unsafe fn danger(p: *mut u64) {
+    *p = 0;
+}
+
+/// Documented block is clean.
+pub fn documented_read(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid for reads (checked at enqueue).
+    unsafe { *p }
+}
+
+// SAFETY: Token is a plain integer id with no thread affinity.
+unsafe impl Send for Token {}
+
+/// Undocumented block with the provenance written down: allowed.
+pub fn vendored_copy(p: *const u64) -> u64 {
+    // nm-analyzer: allow(unsafe-no-safety) -- vendored verbatim from the upstream shim
+    unsafe { *p }
+}

@@ -1,0 +1,29 @@
+//! Self-application gate: the analyzer, run over this workspace with the
+//! checked-in `analyzer.toml`, must report zero unallowed findings. This is
+//! the same invocation ci.sh makes; keeping it as a test means `cargo test`
+//! alone catches a production regression (or a stale allow) without the
+//! shell harness.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_own_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_text = std::fs::read_to_string(root.join("analyzer.toml")).expect("analyzer.toml");
+    let cfg = nm_analyzer::config::Config::parse(&cfg_text).expect("config parses");
+    let sources = nm_analyzer::workspace_sources(&root).expect("workspace sources");
+    let audit = nm_analyzer::audit_sources(&root, &cfg.audit_dirs).expect("audit sources");
+    assert!(!sources.is_empty(), "workspace sources found");
+    assert!(!audit.is_empty(), "audit dirs configured and non-empty");
+    let analysis = nm_analyzer::run(&root, &sources, &audit, &cfg).expect("analysis runs");
+    let unallowed = analysis.unallowed();
+    assert!(
+        unallowed.is_empty(),
+        "self-run must be clean; findings:\n{}",
+        unallowed
+            .iter()
+            .map(|f| nm_analyzer::report::render_finding(f))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -327,6 +327,7 @@ impl<S: Replicated> ReplicaHandle<S> {
     /// [`Self::resyncs`]; with a sanely sized ring this never happens in
     /// steady state.
     fn resync_from_master(&mut self) {
+        // nm-analyzer: allow(hot-path-blocking) -- lap-recovery fallback: taken only when the replica fell a whole ring behind, never in steady-state reads
         let m = self.shared.master.lock();
         // `clone_from` (not `= clone()`) so the replica's existing buffers
         // are reused where the state type supports it; this is the one

@@ -123,6 +123,7 @@ impl Drop for StealPool {
         // checks exactly this window).
         self.shared.shutdown.store(true, Ordering::Release);
         for h in self.handles.drain(..) {
+            // nm-analyzer: allow(hot-path-blocking) -- shutdown path: drop joins the steal workers; never on the submit/decide path
             let _ = h.join();
         }
     }
@@ -183,6 +184,7 @@ fn steal_loop(index: usize, local: Deque<Tasklet>, shared: Arc<Shared>) {
                 }
                 backoff = (backoff + 1).min(10);
                 if backoff > 3 {
+                    // nm-analyzer: allow(hot-path-blocking) -- idle backoff on the dedicated steal thread, not the submitting core
                     thread::sleep(Duration::from_micros(1 << backoff));
                 } else {
                     thread::yield_now();

@@ -75,6 +75,7 @@ impl TaskletQueue {
 
     /// Enqueues a tasklet in its priority class.
     pub fn push(&self, t: Tasklet) {
+        // nm-analyzer: allow(hot-path-blocking) -- the tasklet queue IS the handoff primitive; the critical section is two deque ops, never held across user code
         let mut q = self.inner.lock();
         match t.priority {
             Priority::High => q.high.push_back(t),
@@ -84,6 +85,7 @@ impl TaskletQueue {
 
     /// Dequeues the next tasklet: all high-priority work drains first.
     pub fn pop(&self) -> Option<Tasklet> {
+        // nm-analyzer: allow(hot-path-blocking) -- same bounded critical section as `push`; pop is the steal loop's only lock
         let mut q = self.inner.lock();
         q.high.pop_front().or_else(|| q.normal.pop_front())
     }
