@@ -46,8 +46,9 @@ echo "ci: analyzer lane ${analyzer_elapsed_ms}ms (budget 5000ms)"
 cargo test -q -p nm-analyzer
 check_bench_schema ANALYZER_REPORT.json \
     tool version schema files_scanned fns_total fns_hot fns_no_alloc \
-    atomic_sites_unresolved timings_ms total_ms status \
-    counts allowed_counts findings allows atomic_protocols
+    atomic_sites_unresolved growth_sites_unresolved timings_ms total_ms status \
+    counts allowed_counts findings allows atomic_protocols \
+    determinism_sources growth_sites
 
 # Dependency audit (availability-gated: needs the cargo-deny binary and a
 # local advisory DB, neither of which the offline container ships; config

@@ -29,6 +29,14 @@ pub struct Config {
     /// Extra directories (beyond `crates/*/src`) scanned by the
     /// unsafe-SAFETY audit only.
     pub audit_dirs: Vec<String>,
+    /// Determinism roots: files (or directory prefixes ending in `/`)
+    /// whose fns produce modeled output — nondeterministic sources
+    /// reaching any fn in them are `determinism-taint` findings, and
+    /// collection growth reachable from them needs a bounding proof.
+    pub det_roots: Vec<String>,
+    /// Files whose wall-clock reads (`Instant::now`/`SystemTime`) are
+    /// legitimate measurement provenance, exempt from the taint rule.
+    pub wall_clock_files: Vec<String>,
 }
 
 impl Config {
@@ -97,6 +105,8 @@ impl Config {
             blocking_methods: take("blocking", "methods"),
             blocking_exempt_files: take("blocking", "exempt_files"),
             audit_dirs: take("unsafe_audit", "extra_dirs"),
+            det_roots: take("determinism", "roots"),
+            wall_clock_files: take("determinism", "wall_clock_provenance"),
         })
     }
 }

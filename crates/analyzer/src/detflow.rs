@@ -1,0 +1,456 @@
+//! Determinism-taint dataflow.
+//!
+//! Every golden pin, seeded chaos replay, and bench crossover in this
+//! repo depends on bit-deterministic modeled output. This pass finds the
+//! sources that can break it and propagates them over the within-crate
+//! call graph to the configured *determinism roots* (`[determinism]
+//! roots` in `analyzer.toml`: the sim event loop, the collectives
+//! runner/repair, the engine decision path, the golden/bench emitters).
+//!
+//! Sources, per fn body:
+//!
+//! * **Hash-order iteration** — `iter`/`keys`/`values`/`drain`/... on a
+//!   receiver resolving to a `HashMap`/`HashSet` struct field, static, or
+//!   *pure* let-alias (`let m = &self.map;` — bindings derived through
+//!   calls are new values, attributed at the deriving site instead), on a
+//!   local binding whose declaration names a hash container, and
+//!   `for`-loops directly over such fields.
+//! * **Wall clock** — `Instant::now(` / `SystemTime::now(`, unless the
+//!   file is listed under `[determinism] wall_clock_provenance`
+//!   (legitimate measurement paths in bench/sampler).
+//! * **Ambient randomness** — `thread_rng(` / `from_entropy(`.
+//! * **Scheduler identity** — `thread::current(`.
+//!
+//! A source reaching a root yields one `determinism-taint` finding *at
+//! the source site*, naming the first witnessing root and the call chain
+//! — the same shape as `hot-path-blocking`. Resolution is name-based and
+//! within-crate: cross-crate edges are leaves, which is why the root set
+//! lists the engine and sim loops themselves rather than relying on
+//! propagation out of the bench bins.
+
+use crate::config::Config;
+use crate::guards::{pure_aliases, receiver, FieldSet};
+use crate::lexer::TokKind;
+use crate::parse::{is_non_expr_keyword, FileAst};
+use crate::rules::{fn_call_edges, push, Analysis, CallIndex};
+use std::collections::{HashMap, HashSet};
+
+type Node = (usize, usize); // (file idx, fn idx)
+type Site = (usize, usize); // (file idx, token idx)
+type Witness = (String, String, Vec<String>); // (root, what, chain)
+
+/// Map methods whose result exposes hash-iteration order.
+const MAP_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// One taint-table row: a nondeterministic source that reaches a root.
+#[derive(Debug, Clone)]
+pub struct DetSource {
+    /// Repo-relative file of the source site.
+    pub file: String,
+    /// 1-based line of the source site.
+    pub line: u32,
+    /// What the source is (`HashMap iteration via .keys()` etc.).
+    pub what: String,
+    /// Display name of the first witnessing determinism root.
+    pub root: String,
+    /// Call chain from the root's callee down to the source's fn.
+    pub chain: Vec<String>,
+    /// Whether an allow escape suppressed the finding.
+    pub allowed: bool,
+}
+
+fn display(files: &[FileAst], n: Node) -> String {
+    let f = &files[n.0].fns[n.1];
+    match &f.owner {
+        Some(o) => format!("{}::{}", o, f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Whether `path` matches a root entry: exact/suffix for file entries,
+/// prefix for directory entries ending in `/`.
+fn matches_entry(path: &str, entry: &str) -> bool {
+    if entry.ends_with('/') {
+        path.starts_with(entry)
+    } else {
+        path == entry || path.ends_with(entry)
+    }
+}
+
+/// Runs the pass: pushes `determinism-taint` findings and fills
+/// `out.det_sources`.
+pub fn determinism_taint(
+    files: &[FileAst],
+    index: &CallIndex,
+    maps: &FieldSet,
+    cfg: &Config,
+    out: &mut Analysis,
+) {
+    // Per-fn source sites and call edges.
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut sources: HashMap<Node, Vec<(usize, String)>> = HashMap::new();
+    let mut calls: HashMap<Node, Vec<(usize, Vec<Node>)>> = HashMap::new();
+    for (fidx, file) in files.iter().enumerate() {
+        if file.audit_only {
+            continue;
+        }
+        let wall_ok = cfg.wall_clock_files.iter().any(|e| matches_entry(&file.path, e));
+        for (gidx, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            let n = (fidx, gidx);
+            sources.insert(n, fn_sources(file, f, maps, wall_ok));
+            calls.insert(n, fn_call_edges(files, index, n));
+            nodes.push(n);
+        }
+    }
+
+    // Transitive source sets, memoized over the call graph.
+    let mut memo: HashMap<Node, HashMap<Site, (String, Vec<String>)>> = HashMap::new();
+    for &n in &nodes {
+        taint_reach(n, &sources, &calls, &mut memo, &mut HashSet::new(), files);
+    }
+
+    // One finding per source site, credited to the first witnessing root
+    // (roots visited in path/fn order, so the witness is deterministic).
+    let mut reported: HashMap<Site, Witness> = HashMap::new();
+    for &n in &nodes {
+        let file = &files[n.0];
+        if !cfg.det_roots.iter().any(|e| matches_entry(&file.path, e)) {
+            continue;
+        }
+        let root = display(files, n);
+        let mut sites: Vec<(&Site, &(String, Vec<String>))> = memo[&n].iter().collect();
+        sites.sort_by_key(|(site, _)| **site);
+        for (&site, (what, chain)) in sites {
+            reported.entry(site).or_insert_with(|| (root.clone(), what.clone(), chain.clone()));
+        }
+    }
+
+    let mut items: Vec<(Site, Witness)> = reported.into_iter().collect();
+    items.sort_by_key(|(site, _)| *site);
+    for ((sfidx, stok), (root, what, chain)) in items {
+        let file = &files[sfidx];
+        let msg = if chain.is_empty() {
+            format!("{what} in determinism-root fn `{root}` — modeled output may vary per run")
+        } else {
+            format!(
+                "{what} taints determinism root `{root}` via `{}` — modeled output may vary \
+                 per run",
+                chain.join(" -> ")
+            )
+        };
+        push(file, out, "determinism-taint", "determinism", stok, msg);
+        let f = out.findings.last().expect("just pushed");
+        out.det_sources.push(DetSource {
+            file: file.path.clone(),
+            line: file.toks[stok].line,
+            what,
+            root,
+            chain,
+            allowed: f.allowed_reason.is_some(),
+        });
+    }
+}
+
+/// Collects the nondeterministic source sites in one fn body.
+fn fn_sources(
+    file: &FileAst,
+    f: &crate::parse::FnItem,
+    maps: &FieldSet,
+    wall_ok: bool,
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let Some((bs, be)) = f.body else { return out };
+    let toks = &file.toks;
+    let owner = f.owner.as_deref();
+    let aliases = pure_aliases(file, f, maps);
+    let local_maps = local_map_bindings(file, bs, be);
+    for i in bs..be {
+        if file.is_excluded(i) || file.in_test_range(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_open = toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+        let dotted = i > bs && toks[i - 1].text == ".";
+        let pathed = i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":";
+
+        // Hash-order iteration via a map method.
+        if next_open && dotted && MAP_ITER_METHODS.contains(&t.text.as_str()) {
+            if let Some((j, self_q)) = receiver(file, i) {
+                // Non-`self` receivers must head their chain: `x.field.iter()`
+                // on a plain local is skipped rather than resolved by bare
+                // field-name uniqueness (params and helper-struct fields
+                // collide with field names too often for that to be sound).
+                let head = self_q || j == bs || toks[j - 1].text != ".";
+                let name = toks[j].text.as_str();
+                if head && map_receiver(file, name, self_q, owner, maps, &aliases, &local_maps) {
+                    out.push((i, format!("hash-order iteration (`.{}()`)", t.text)));
+                    continue;
+                }
+            }
+        }
+        // `for pat in [&][mut] <map chain> {` — direct for-loop iteration.
+        if t.text == "for" {
+            if let Some((tok, desc)) = for_loop_map(file, i, be, maps, owner, &aliases, &local_maps)
+            {
+                out.push((tok, desc));
+            }
+            continue;
+        }
+        // Wall clock: `Instant::now(` / `SystemTime::now(`.
+        if !wall_ok && t.text == "now" && next_open && pathed && i >= 3 {
+            let head = toks[i - 3].text.as_str();
+            if head == "Instant" || head == "SystemTime" {
+                out.push((i, format!("wall-clock read (`{head}::now()`)")));
+                continue;
+            }
+        }
+        // Ambient randomness.
+        if next_open && (t.text == "thread_rng" || t.text == "from_entropy") {
+            out.push((i, format!("unseeded RNG (`{}()`)", t.text)));
+            continue;
+        }
+        // Scheduler identity: `thread::current(`.
+        if t.text == "current" && next_open && pathed && i >= 3 && toks[i - 3].text == "thread" {
+            out.push((i, "thread identity (`thread::current()`)".to_string()));
+        }
+    }
+    out
+}
+
+/// Local bindings whose `let` statement names a hash container anywhere in
+/// its pattern type or initializer (`let mut g: HashMap<..> = ...`,
+/// `let s = HashSet::new()`, `.collect::<HashMap<..>>()`).
+fn local_map_bindings(file: &FileAst, bs: usize, be: usize) -> HashSet<String> {
+    let toks = &file.toks;
+    let mut out = HashSet::new();
+    let mut i = bs;
+    while i < be {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "let" {
+            i += 1;
+            continue;
+        }
+        // Pattern idents up to `=` at zero depth.
+        let mut pattern: Vec<String> = Vec::new();
+        let mut d = (0i32, 0i32, 0i32);
+        let mut j = i + 1;
+        let mut saw_map = false;
+        while j < be {
+            let tj = &toks[j];
+            if d == (0, 0, 0) && (tj.text == ";" || tj.text == "{") {
+                break;
+            }
+            let at_eq = d == (0, 0, 0) && tj.text == "=" && tj.kind == TokKind::Punct;
+            match tj.text.as_str() {
+                "(" => d.0 += 1,
+                ")" => d.0 -= 1,
+                "<" => d.1 += 1,
+                ">" if !(j > 0 && toks[j - 1].text == "-") => d.1 -= 1,
+                "[" => d.2 += 1,
+                "]" => d.2 -= 1,
+                _ => {}
+            }
+            if at_eq {
+                // Scan the initializer to the `;` for a map type name.
+                let mut k = j + 1;
+                let mut dd = (0i32, 0i32);
+                while k < be {
+                    let tk = &toks[k];
+                    if dd == (0, 0) && tk.text == ";" {
+                        break;
+                    }
+                    match tk.text.as_str() {
+                        "(" => dd.0 += 1,
+                        ")" => dd.0 -= 1,
+                        "{" => dd.1 += 1,
+                        "}" => dd.1 -= 1,
+                        "HashMap" | "HashSet" => saw_map = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                break;
+            }
+            if tj.kind == TokKind::Ident {
+                match tj.text.as_str() {
+                    "HashMap" | "HashSet" => saw_map = true,
+                    "mut" | "ref" | "_" => {}
+                    w if is_non_expr_keyword(w) => {}
+                    w if d.1 <= 0 && pattern.is_empty() => pattern.push(w.to_string()),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if saw_map {
+            if let Some(name) = pattern.first() {
+                out.insert(name.clone());
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Detects `for pat in [&][mut] <pure field chain> {` where the chain
+/// resolves to a map field/static/alias or local map binding. Returns the
+/// site token and description. Chains containing calls are handled by the
+/// method-source case instead.
+fn for_loop_map(
+    file: &FileAst,
+    i: usize,
+    be: usize,
+    maps: &FieldSet,
+    owner: Option<&str>,
+    aliases: &HashMap<String, String>,
+    local_maps: &HashSet<String>,
+) -> Option<(usize, String)> {
+    let toks = &file.toks;
+    // Find `in` at zero depth.
+    let mut d = (0i32, 0i32, 0i32);
+    let mut j = i + 1;
+    while j < be {
+        let tj = &toks[j];
+        if d == (0, 0, 0) && tj.kind == TokKind::Ident && tj.text == "in" {
+            break;
+        }
+        if d == (0, 0, 0) && (tj.text == "{" || tj.text == ";") {
+            return None;
+        }
+        match tj.text.as_str() {
+            "(" => d.0 += 1,
+            ")" => d.0 -= 1,
+            "<" => d.1 += 1,
+            ">" if !(j > 0 && toks[j - 1].text == "-") => d.1 -= 1,
+            "[" => d.2 += 1,
+            "]" => d.2 -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= be {
+        return None;
+    }
+    // RHS tokens up to `{` at zero depth must be a pure `a.b.c` chain
+    // (optionally `&`/`&mut`-prefixed). Any paren means a call: skip.
+    let mut chain: Vec<usize> = Vec::new();
+    let mut k = j + 1;
+    while k < be && matches!(toks[k].text.as_str(), "&" | "mut") {
+        k += 1;
+    }
+    let mut expect_ident = true;
+    while k < be {
+        let tk = &toks[k];
+        if tk.text == "{" {
+            break;
+        }
+        if expect_ident {
+            if tk.kind != TokKind::Ident || is_non_expr_keyword(&tk.text) {
+                return None;
+            }
+            chain.push(k);
+            expect_ident = false;
+        } else {
+            if tk.text != "." {
+                return None;
+            }
+            expect_ident = true;
+        }
+        k += 1;
+    }
+    let &last = chain.last()?;
+    let name = toks[last].text.as_str();
+    let self_q = chain.len() == 2 && toks[chain[0]].text == "self";
+    if name == "self" || (!self_q && chain.len() > 1) {
+        return None; // deep chains on locals: see `map_receiver`'s head rule
+    }
+    if map_receiver(file, name, self_q, owner, maps, aliases, local_maps) {
+        Some((last, format!("hash-order iteration (`for .. in {name}`)")))
+    } else {
+        None
+    }
+}
+
+/// Whether an iteration receiver named `name` is a hash map: `self.field`
+/// resolves through the field set; a bare name resolves only as a pure
+/// alias, a local hash-container binding, or a static — never by bare
+/// field-name uniqueness.
+fn map_receiver(
+    file: &FileAst,
+    name: &str,
+    self_q: bool,
+    owner: Option<&str>,
+    maps: &FieldSet,
+    aliases: &HashMap<String, String>,
+    local_maps: &HashSet<String>,
+) -> bool {
+    if self_q {
+        // Exact-owner match only: the unique-field-name fallback (meant
+        // for Deref'd lock wrappers) would misattribute `self.field` to a
+        // same-named hash field on an unrelated struct.
+        let Some(o) = owner else { return false };
+        let own = format!("{}::{}::{}", file.crate_name, o, name);
+        return maps
+            .resolve(&file.crate_name, owner, name, true, aliases)
+            .is_some_and(|k| k == own);
+    }
+    aliases.contains_key(name)
+        || local_maps.contains(name)
+        || maps.statics.contains(&(file.crate_name.clone(), name.to_string()))
+}
+
+/// Transitive taint sources for `n`: site -> (what, chain from callee down).
+fn taint_reach(
+    n: Node,
+    sources: &HashMap<Node, Vec<(usize, String)>>,
+    calls: &HashMap<Node, Vec<(usize, Vec<Node>)>>,
+    memo: &mut HashMap<Node, HashMap<Site, (String, Vec<String>)>>,
+    on_stack: &mut HashSet<Node>,
+    files: &[FileAst],
+) -> HashMap<Site, (String, Vec<String>)> {
+    if let Some(m) = memo.get(&n) {
+        return m.clone();
+    }
+    if !on_stack.insert(n) {
+        return HashMap::new(); // call-graph cycle: already being computed
+    }
+    let mut m: HashMap<Site, (String, Vec<String>)> = HashMap::new();
+    if let Some(srcs) = sources.get(&n) {
+        for (tok, what) in srcs {
+            m.entry((n.0, *tok)).or_insert((what.clone(), Vec::new()));
+        }
+    }
+    if let Some(edges) = calls.get(&n) {
+        for (_, targets) in edges {
+            for &t in targets {
+                let sub = taint_reach(t, sources, calls, memo, on_stack, files);
+                for (site, (what, chain)) in sub {
+                    m.entry(site).or_insert_with(|| {
+                        let mut c = vec![display(files, t)];
+                        c.extend(chain.iter().cloned());
+                        (what.clone(), c)
+                    });
+                }
+            }
+        }
+    }
+    on_stack.remove(&n);
+    memo.insert(n, m.clone());
+    m
+}

@@ -1,0 +1,394 @@
+//! Bounded-growth proofs for long-lived collections.
+//!
+//! Admission control (PR 3), the flow reorder window, and the retry-queue
+//! cap all exist because unbounded collection growth on the data path is
+//! how a multirail engine dies under RailS-scale traffic. This pass makes
+//! the discipline checkable: every collection-growth site
+//! (`push`/`insert`/`extend`/`entry`/...) on a *struct field* reachable
+//! from a hot-path fn or a determinism root must be provably bounded by
+//! one of:
+//!
+//! 1. a **lexical capacity check** — a `.len()` comparison on the same
+//!    field in the same fn body (`if self.q.len() >= CAP { ... }`),
+//! 2. a **documented cap** — `// nm-analyzer: bounded(<CONST>) -- <why>`
+//!    where `<CONST>` names a constant declared in the workspace (an
+//!    unknown name or missing reason is itself a finding, and a bounded
+//!    directive no site consumes is stale), or
+//! 3. a reasoned `allow(unbounded-growth)` escape.
+//!
+//! Receivers are resolved name-based like the atomics pass: `self.field`,
+//! *pure* let-aliases (`let q = &mut self.queue;` — a clone or collect is
+//! a new collection, not the field), and statics. A `self.`-rooted
+//! receiver that does not
+//! resolve is *tallied* (`growth_sites_unresolved`), never dropped; plain
+//! local bindings are ignored (function-lifetime growth is bounded by the
+//! call). Bare identifiers are deliberately not resolved by field-name
+//! uniqueness here — params shadow fields too often for that to be sound
+//! for growth attribution.
+
+use crate::config::Config;
+use crate::guards::{chain_head, pure_aliases, receiver, FieldSet};
+use crate::lexer::TokKind;
+use crate::parse::{Directive, FileAst, FnItem};
+use crate::rules::{fn_call_edges, push, Analysis, CallIndex, Finding};
+use std::collections::{HashMap, HashSet};
+
+type Node = (usize, usize);
+
+/// Methods that grow a collection.
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "insert",
+    "extend",
+    "append",
+    "resize",
+    "entry",
+];
+
+/// One growth-table row: a resolved growth site in a checked fn.
+#[derive(Debug, Clone)]
+pub struct GrowthSite {
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Resolved field key (`crate::Type::field` / `crate::STATIC`).
+    pub field: String,
+    /// Growth method (`push`, `insert`, ...).
+    pub method: String,
+    /// `guarded` | `bounded` | `allowed` | `unbounded`.
+    pub status: &'static str,
+    /// Bounding constant name for `bounded` sites, empty otherwise.
+    pub cap: String,
+}
+
+/// Runs the pass: pushes `unbounded-growth` findings plus the bounded(..)
+/// audit findings, fills `out.growth_sites` / `out.growth_unresolved`.
+pub fn bounded_growth(
+    files: &[FileAst],
+    index: &CallIndex,
+    collections: &FieldSet,
+    cfg: &Config,
+    out: &mut Analysis,
+) {
+    // Checked set: hot fns and determinism-root fns plus everything they
+    // can reach within their crate.
+    let mut checked: HashSet<Node> = HashSet::new();
+    let mut work: Vec<Node> = Vec::new();
+    for (fidx, file) in files.iter().enumerate() {
+        if file.audit_only {
+            continue;
+        }
+        let rooted = cfg.det_roots.iter().any(|e| {
+            if e.ends_with('/') {
+                file.path.starts_with(e.as_str())
+            } else {
+                &file.path == e || file.path.ends_with(e.as_str())
+            }
+        });
+        for (gidx, f) in file.fns.iter().enumerate() {
+            if f.in_test || f.body.is_none() {
+                continue;
+            }
+            if f.hot || rooted {
+                let n = (fidx, gidx);
+                if checked.insert(n) {
+                    work.push(n);
+                }
+            }
+        }
+    }
+    while let Some(n) = work.pop() {
+        for (_, targets) in fn_call_edges(files, index, n) {
+            for t in targets {
+                if checked.insert(t) {
+                    work.push(t);
+                }
+            }
+        }
+    }
+
+    // All bounded(..) directives in the tree: validate caps and reasons up
+    // front, then track which ones a site consumes.
+    let consts = workspace_consts(files);
+    let mut bounded_all: Vec<(usize, String, String, u32)> = Vec::new(); // (fidx, cap, reason, line)
+    for (fidx, file) in files.iter().enumerate() {
+        if file.audit_only {
+            continue;
+        }
+        let mut seen: HashSet<(u32, String)> = HashSet::new();
+        let mut lines: Vec<&u32> = file.comment_lines.keys().collect();
+        lines.sort();
+        for &line in lines {
+            for d in crate::parse::parse_directives(&file.comment_lines[&line], line) {
+                if let Directive::Bounded { cap, reason, line } = d {
+                    if !seen.insert((line, cap.clone())) {
+                        continue; // multi-line block comment duplicates
+                    }
+                    if !consts.contains(&cap) {
+                        out.findings.push(audit_finding(
+                            "bounded-unknown-cap",
+                            file,
+                            line,
+                            format!(
+                                "bounded({cap}) names no constant declared in the workspace — \
+                                 the cap must be a real `const`"
+                            ),
+                        ));
+                    }
+                    if reason.is_empty() {
+                        out.findings.push(audit_finding(
+                            "bounded-missing-reason",
+                            file,
+                            line,
+                            format!("bounded({cap}) without a written reason; append `-- <why>`"),
+                        ));
+                    }
+                    bounded_all.push((fidx, cap, reason, line));
+                }
+            }
+        }
+    }
+    let mut bounded_used: HashSet<(usize, u32)> = HashSet::new();
+
+    // Scan growth sites in checked fns.
+    let mut nodes: Vec<Node> = checked.into_iter().collect();
+    nodes.sort();
+    for n in nodes {
+        let file = &files[n.0];
+        let f = &file.fns[n.1];
+        let Some((bs, be)) = f.body else { continue };
+        let toks = &file.toks;
+        let owner = f.owner.as_deref();
+        let aliases = pure_aliases(file, f, collections);
+        for i in bs..be {
+            if file.is_excluded(i) || file.in_test_range(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !GROWTH_METHODS.contains(&t.text.as_str())
+                || i == 0
+                || toks[i - 1].text != "."
+                || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            {
+                continue;
+            }
+            let key = match resolve_receiver(file, i, owner, collections, &aliases) {
+                Resolution::Key(k) => k,
+                Resolution::Unresolved => {
+                    out.growth_unresolved += 1;
+                    continue;
+                }
+                Resolution::Local => continue,
+            };
+            let method = t.text.clone();
+            let line = t.line;
+            if has_capacity_check(file, f, &key, owner, collections, &aliases) {
+                out.growth_sites.push(GrowthSite {
+                    file: file.path.clone(),
+                    line,
+                    field: key,
+                    method,
+                    status: "guarded",
+                    cap: String::new(),
+                });
+                continue;
+            }
+            if let Some((cap, dline)) = find_bounded(file, line, Some(f), &consts) {
+                bounded_used.insert((n.0, dline));
+                out.growth_sites.push(GrowthSite {
+                    file: file.path.clone(),
+                    line,
+                    field: key,
+                    method,
+                    status: "bounded",
+                    cap,
+                });
+                continue;
+            }
+            push(
+                file,
+                out,
+                "unbounded-growth",
+                "growth",
+                i,
+                format!(
+                    "`.{method}()` grows long-lived collection `{key}` on a checked path with \
+                     no bounding proof — add a capacity check, `bounded(<CONST>)`, or a \
+                     reasoned allow"
+                ),
+            );
+            let allowed = out.findings.last().is_some_and(|f| f.allowed_reason.is_some());
+            out.growth_sites.push(GrowthSite {
+                file: file.path.clone(),
+                line,
+                field: key,
+                method,
+                status: if allowed { "allowed" } else { "unbounded" },
+                cap: String::new(),
+            });
+        }
+    }
+
+    // Stale bounded directives: documented caps no checked site consumes.
+    for (fidx, cap, _reason, line) in &bounded_all {
+        if !bounded_used.contains(&(*fidx, *line)) {
+            out.findings.push(audit_finding(
+                "bounded-unused",
+                &files[*fidx],
+                *line,
+                format!("bounded({cap}) covers no checked growth site — stale, remove it"),
+            ));
+        }
+    }
+}
+
+enum Resolution {
+    Key(String),
+    Unresolved,
+    Local,
+}
+
+/// Resolves the growth receiver at op token `i`. `self.field` and aliases
+/// and statics resolve; a `self.`-rooted chain that doesn't is
+/// `Unresolved`; plain locals are `Local` (ignored).
+fn resolve_receiver(
+    file: &FileAst,
+    i: usize,
+    owner: Option<&str>,
+    collections: &FieldSet,
+    aliases: &HashMap<String, String>,
+) -> Resolution {
+    let toks = &file.toks;
+    let Some((j, self_q)) = receiver(file, i) else {
+        return Resolution::Local; // call-result receivers (entry().or_insert)
+    };
+    let name = toks[j].text.as_str();
+    if self_q {
+        return match collections.resolve(&file.crate_name, owner, name, true, aliases) {
+            Some(k) => Resolution::Key(k),
+            None => Resolution::Unresolved,
+        };
+    }
+    if let Some(k) = aliases.get(name) {
+        return Resolution::Key(k.clone());
+    }
+    let skey = (file.crate_name.clone(), name.to_string());
+    if collections.statics.contains(&skey) {
+        return Resolution::Key(format!("{}::{name}", file.crate_name));
+    }
+    match chain_head(file, i) {
+        Some(h) if toks[h].text == "self" => Resolution::Unresolved,
+        _ => Resolution::Local,
+    }
+}
+
+/// Whether the fn body contains a `.len()` comparison on the same field
+/// key — the lexical capacity-check proof. Matches `<key>.len() <op> ..`
+/// and `.. <op> <key>.len()` for `<`/`>`/`>=`/`<=`/`==`.
+fn has_capacity_check(
+    file: &FileAst,
+    f: &FnItem,
+    key: &str,
+    owner: Option<&str>,
+    collections: &FieldSet,
+    aliases: &HashMap<String, String>,
+) -> bool {
+    let Some((bs, be)) = f.body else { return false };
+    let toks = &file.toks;
+    for i in bs..be {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || t.text != "len"
+            || i == 0
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+            || toks.get(i + 2).map(|t| t.text.as_str()) != Some(")")
+        {
+            continue;
+        }
+        let resolved = receiver(file, i).and_then(|(j, self_q)| {
+            collections.resolve(&file.crate_name, owner, &toks[j].text, self_q, aliases)
+        });
+        if resolved.as_deref() != Some(key) {
+            continue;
+        }
+        let after = toks.get(i + 3).map(|t| t.text.as_str());
+        let after2 = toks.get(i + 4).map(|t| t.text.as_str());
+        if matches!(after, Some("<" | ">")) || (after == Some("=") && after2 == Some("=")) {
+            return true;
+        }
+        if let Some(h) = chain_head(file, i) {
+            if h > 0 && matches!(toks[h - 1].text.as_str(), "<" | ">") {
+                return true;
+            }
+            if h > 1 && toks[h - 1].text == "=" && matches!(toks[h - 2].text.as_str(), "<" | ">") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Looks up a `bounded(CAP)` directive for `line`: same line, the comment
+/// block directly above, or the enclosing fn's header. Only caps naming a
+/// declared constant bound a site. Returns `(cap, directive line)`.
+fn find_bounded(
+    file: &FileAst,
+    line: u32,
+    enclosing: Option<&FnItem>,
+    consts: &HashSet<String>,
+) -> Option<(String, u32)> {
+    for d in file.directives_above(line) {
+        if let Directive::Bounded { cap, line: dl, .. } = d {
+            if consts.contains(&cap) {
+                return Some((cap, dl));
+            }
+        }
+    }
+    if let Some(f) = enclosing {
+        for d in &f.allows {
+            if let Directive::Bounded { cap, line: dl, .. } = d {
+                if consts.contains(cap) {
+                    return Some((cap.clone(), *dl));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Every `const NAME:` declared across the scanned files (audit files
+/// included — caps may live next to vendored shims they bound).
+fn workspace_consts(files: &[FileAst]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for file in files {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text == "const"
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            {
+                out.insert(toks[i + 1].text.clone());
+            }
+        }
+    }
+    out
+}
+
+fn audit_finding(rule: &str, file: &FileAst, line: u32, message: String) -> Finding {
+    Finding {
+        rule: rule.into(),
+        family: "growth",
+        file: file.path.clone(),
+        line,
+        col: 1,
+        message,
+        allowed_reason: None,
+    }
+}

@@ -85,12 +85,28 @@ impl FieldSet {
     }
 }
 
+/// Field sets for every declared-type classification the rule families
+/// track, discovered in one scan.
+#[derive(Debug, Default)]
+pub struct Fields {
+    /// `Mutex`-typed fields/statics (lock-order, blocking reachability).
+    pub locks: FieldSet,
+    /// `Atomic*`-typed fields/statics (ordering protocols).
+    pub atomics: FieldSet,
+    /// Hash-based containers (`HashMap`/`HashSet`): iterating them is a
+    /// nondeterministic source for the determinism-taint rule.
+    pub maps: FieldSet,
+    /// Growable collections (`Vec`, `VecDeque`, `String`, maps, `BTree*`,
+    /// `BinaryHeap`): growth sites need a bounding proof.
+    pub collections: FieldSet,
+}
+
 /// Scans struct fields and statics in non-audit files, classifying each by
 /// declared type: `Mutex` anywhere in the type -> lock, an `Atomic*`
-/// identifier -> atomic. Returns `(locks, atomics)`.
-pub fn scan_fields(files: &[FileAst]) -> (FieldSet, FieldSet) {
-    let mut locks = FieldSet::default();
-    let mut atomics = FieldSet::default();
+/// identifier -> atomic, `HashMap`/`HashSet` -> map, any growable std
+/// container -> collection.
+pub fn scan_fields(files: &[FileAst]) -> Fields {
+    let mut out = Fields::default();
     for file in files {
         if file.audit_only {
             continue;
@@ -105,7 +121,7 @@ pub fn scan_fields(files: &[FileAst]) -> (FieldSet, FieldSet) {
             let t = &toks[i];
             if t.kind == TokKind::Ident && t.text == "struct" {
                 if let Some((owner, body_open)) = struct_body(file, i) {
-                    i = scan_struct_fields(file, &owner, body_open, &mut locks, &mut atomics);
+                    i = scan_struct_fields(file, &owner, body_open, &mut out);
                     continue;
                 }
             } else if t.kind == TokKind::Ident && t.text == "static" {
@@ -117,20 +133,26 @@ pub fn scan_fields(files: &[FileAst]) -> (FieldSet, FieldSet) {
                     && toks.get(j + 1).is_some_and(|t| t.text == ":")
                 {
                     let name = toks[j].text.clone();
-                    let (is_lock, is_atomic) = classify_type(file, j + 2, &["=", ";"]);
+                    let c = classify_type(file, j + 2, &["=", ";"]);
                     let key = (file.crate_name.clone(), name);
-                    if is_lock {
-                        locks.statics.insert(key.clone());
+                    if c.lock {
+                        out.locks.statics.insert(key.clone());
                     }
-                    if is_atomic {
-                        atomics.statics.insert(key);
+                    if c.atomic {
+                        out.atomics.statics.insert(key.clone());
+                    }
+                    if c.map {
+                        out.maps.statics.insert(key.clone());
+                    }
+                    if c.collection {
+                        out.collections.statics.insert(key);
                     }
                 }
             }
             i += 1;
         }
     }
-    (locks, atomics)
+    out
 }
 
 /// `struct Name<...> { ...` -> `(Name, index of '{')`; `None` for unit /
@@ -154,14 +176,9 @@ fn struct_body(file: &FileAst, i: usize) -> Option<(String, usize)> {
 }
 
 /// Walks one struct body registering `field: Mutex<..>` / `field: Atomic*`
-/// declarations; returns the index just past the closing brace.
-fn scan_struct_fields(
-    file: &FileAst,
-    owner: &str,
-    body_open: usize,
-    locks: &mut FieldSet,
-    atomics: &mut FieldSet,
-) -> usize {
+/// / `field: HashMap<..>` / growable-container declarations; returns the
+/// index just past the closing brace.
+fn scan_struct_fields(file: &FileAst, owner: &str, body_open: usize, out: &mut Fields) -> usize {
     let toks = &file.toks;
     let mut depth = 0i32;
     let mut k = body_open;
@@ -184,13 +201,19 @@ fn scan_struct_fields(
             && matches!(toks[k - 1].text.as_str(), "{" | "," | ")" | "pub")
         {
             let fname = toks[k].text.clone();
-            let (is_lock, is_atomic) = classify_type(file, k + 2, &[","]);
+            let c = classify_type(file, k + 2, &[","]);
             let key = (file.crate_name.clone(), fname);
-            if is_lock {
-                locks.owners.entry(key.clone()).or_default().push(owner.to_string());
+            if c.lock {
+                out.locks.owners.entry(key.clone()).or_default().push(owner.to_string());
             }
-            if is_atomic {
-                atomics.owners.entry(key).or_default().push(owner.to_string());
+            if c.atomic {
+                out.atomics.owners.entry(key.clone()).or_default().push(owner.to_string());
+            }
+            if c.map {
+                out.maps.owners.entry(key.clone()).or_default().push(owner.to_string());
+            }
+            if c.collection {
+                out.collections.owners.entry(key).or_default().push(owner.to_string());
             }
         }
         k += 1;
@@ -198,13 +221,26 @@ fn scan_struct_fields(
     k
 }
 
+/// Declared-type classification flags for one field/static.
+#[derive(Debug, Default, Clone, Copy)]
+struct Classify {
+    lock: bool,
+    atomic: bool,
+    map: bool,
+    collection: bool,
+}
+
+/// Growable std containers whose appearance in a declared type marks the
+/// field as a collection (growth sites on it need bounding proofs).
+const COLLECTION_TYPES: &[&str] =
+    &["Vec", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "BinaryHeap", "String"];
+
 /// Classifies the type tokens starting at `from` up to any of `stop` at
-/// zero bracket depth (or a brace): `(contains Mutex, contains Atomic*)`.
-fn classify_type(file: &FileAst, from: usize, stop: &[&str]) -> (bool, bool) {
+/// zero bracket depth (or a brace).
+fn classify_type(file: &FileAst, from: usize, stop: &[&str]) -> Classify {
     let toks = &file.toks;
     let mut d = (0i32, 0i32, 0i32); // paren, angle, bracket
-    let mut is_lock = false;
-    let mut is_atomic = false;
+    let mut c = Classify::default();
     let mut m = from;
     while m < toks.len() {
         let tt = &toks[m];
@@ -228,15 +264,21 @@ fn classify_type(file: &FileAst, from: usize, stop: &[&str]) -> (bool, bool) {
         }
         if tt.kind == TokKind::Ident {
             if tt.text == "Mutex" {
-                is_lock = true;
+                c.lock = true;
             }
             if tt.text.starts_with("Atomic") {
-                is_atomic = true;
+                c.atomic = true;
+            }
+            if tt.text == "HashMap" || tt.text == "HashSet" {
+                c.map = true;
+            }
+            if COLLECTION_TYPES.contains(&tt.text.as_str()) {
+                c.collection = true;
             }
         }
         m += 1;
     }
-    (is_lock, is_atomic)
+    c
 }
 
 /// For a method-call op at token `i` (ident with `.` before and `(` after):
@@ -409,6 +451,124 @@ pub fn fn_aliases(file: &FileAst, f: &FnItem, fields: &FieldSet) -> HashMap<Stri
     aliases
 }
 
+/// Like [`fn_aliases`], but only honors *pure place bindings*:
+/// `let [mut] x [: Ty] = [&][mut] self.field;` or `= other_alias;`.
+///
+/// A binding whose initializer calls anything (`.clone()`,
+/// `.iter().collect()`, `.entry(..).or_insert(..)`, `mem::take(..)`)
+/// produces a *new* value — iterating or growing it is not iterating or
+/// growing the field — so the dataflow passes (determinism taint, bounded
+/// growth) must not attribute it to the field. Where the derivation itself
+/// iterates the map, the deriving call site is still flagged directly.
+/// The lock passes keep [`fn_aliases`]: a guard *is* its lock however the
+/// binding was derived.
+pub fn pure_aliases(file: &FileAst, f: &FnItem, fields: &FieldSet) -> HashMap<String, String> {
+    let mut aliases: HashMap<String, String> = HashMap::new();
+    let Some((bs, be)) = f.body else { return aliases };
+    let toks = &file.toks;
+    let owner = f.owner.as_deref();
+    let mut i = bs;
+    while i < be {
+        if file.is_excluded(i)
+            || file.in_test_range(i)
+            || toks[i].kind != TokKind::Ident
+            || toks[i].text != "let"
+        {
+            i += 1;
+            continue;
+        }
+        // `let [mut] <name>` — single-ident patterns only.
+        let mut j = i + 1;
+        if j < be && toks[j].text == "mut" {
+            j += 1;
+        }
+        if j >= be || toks[j].kind != TokKind::Ident || is_non_expr_keyword(&toks[j].text) {
+            i = j;
+            continue;
+        }
+        let name = toks[j].text.clone();
+        j += 1;
+        // Optional `: Ty` annotation: scan to `=` at zero depth.
+        let mut d = (0i32, 0i32, 0i32);
+        let mut eq = None;
+        while j < be {
+            let tj = &toks[j];
+            if d == (0, 0, 0) {
+                if tj.kind == TokKind::Punct
+                    && tj.text == "="
+                    && toks.get(j + 1).map(|t| t.text.as_str()) != Some("=")
+                {
+                    eq = Some(j);
+                    break;
+                }
+                if tj.text == ";" || tj.text == "{" {
+                    break;
+                }
+            }
+            match tj.text.as_str() {
+                "(" => d.0 += 1,
+                ")" => d.0 -= 1,
+                "<" => d.1 += 1,
+                ">" if !(j > 0 && toks[j - 1].text == "-") => d.1 -= 1,
+                "[" => d.2 += 1,
+                "]" => d.2 -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else {
+            i = j + 1;
+            continue;
+        };
+        // RHS must be `[&][mut] ident(.ident)* ;` — nothing else.
+        let mut k = eq + 1;
+        if k < be && toks[k].text == "&" {
+            k += 1;
+        }
+        if k < be && toks[k].text == "mut" {
+            k += 1;
+        }
+        let mut chain: Vec<usize> = Vec::new();
+        let mut expect_ident = true;
+        let mut pure = true;
+        while k < be {
+            let tk = &toks[k];
+            if tk.text == ";" {
+                break;
+            }
+            if expect_ident {
+                let head_self = tk.text == "self" && chain.is_empty();
+                if tk.kind != TokKind::Ident || (!head_self && is_non_expr_keyword(&tk.text)) {
+                    pure = false;
+                    break;
+                }
+                chain.push(k);
+                expect_ident = false;
+            } else if tk.text == "." {
+                expect_ident = true;
+            } else {
+                pure = false;
+                break;
+            }
+            k += 1;
+        }
+        if pure && !expect_ident {
+            let key = match chain.as_slice() {
+                [a] if toks[*a].text != "self" => aliases.get(toks[*a].text.as_str()).cloned(),
+                [a, b] if toks[*a].text == "self" => {
+                    fields.resolve(&file.crate_name, owner, &toks[*b].text, true, &aliases)
+                }
+                _ => None,
+            };
+            if let Some(key) = key {
+                aliases.insert(name, key);
+            }
+        }
+        i = k + 1;
+    }
+    aliases
+}
+
 /// One concurrency-relevant occurrence in a fn body, in token order.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -560,7 +720,7 @@ fn guard_extent(file: &FileAst, i: usize, be: usize) -> usize {
 /// First identifier of the postfix chain ending at the op ident `i`
 /// (`self.a.b[j].lock()` -> index of `self`). `None` when the chain head
 /// is a call result or other non-ident.
-fn chain_head(file: &FileAst, i: usize) -> Option<usize> {
+pub(crate) fn chain_head(file: &FileAst, i: usize) -> Option<usize> {
     let toks = &file.toks;
     if i == 0 || toks[i - 1].text != "." {
         return None;

@@ -10,13 +10,20 @@
 //!   the global acquisition graph, blocking-call reachability from
 //!   hot-path fns, and whole-program atomic ordering protocols,
 //! * `SAFETY:` comments on every `unsafe` block/fn/impl (including the
-//!   vendored `compat/` shims via `[unsafe_audit] extra_dirs`).
+//!   vendored `compat/` shims via `[unsafe_audit] extra_dirs`),
+//! * determinism taint: nondeterministic sources (hash-order iteration,
+//!   wall clock, unseeded RNG, thread identity) reaching the configured
+//!   `[determinism] roots`,
+//! * bounded-growth proofs for collection growth on hot/determinism paths
+//!   (`// nm-analyzer: bounded(<CONST>) -- why`).
 //!
 //! Escapes are explicit and audited: `// nm-analyzer: allow(<rule>) -- why`
 //! — a stale or unknown-rule allow is itself a finding.
 
 pub mod atomics;
 pub mod config;
+pub mod detflow;
+pub mod growth;
 pub mod guards;
 pub mod lexer;
 pub mod lockorder;

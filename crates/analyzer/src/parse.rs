@@ -25,6 +25,17 @@ pub enum Directive {
         /// Line the allow comment starts on.
         line: u32,
     },
+    /// `nm-analyzer: bounded(<CONST>) -- <reason>` — documents the cap a
+    /// collection-growth site is bounded by (the named constant must exist
+    /// in the workspace; audited by the unbounded-growth rule).
+    Bounded {
+        /// Name of the bounding constant.
+        cap: String,
+        /// Written justification (empty when missing — itself a finding).
+        reason: String,
+        /// Line the bounded comment starts on.
+        line: u32,
+    },
 }
 
 /// One function item.
@@ -154,6 +165,15 @@ pub fn parse_directives(text: &str, line: u32) -> Vec<Directive> {
                 None => String::new(),
             };
             out.push(Directive::Allow { rule, reason, line });
+        } else if let Some(rest) = part.strip_prefix("bounded(") {
+            let Some(close) = rest.find(')') else { continue };
+            let cap = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let reason = match after.find("--") {
+                Some(i) => after[i + 2..].trim().trim_end_matches("*/").trim().to_string(),
+                None => String::new(),
+            };
+            out.push(Directive::Bounded { cap, reason, line });
         }
     }
     out
@@ -213,7 +233,7 @@ pub fn parse_file(path: &str, crate_name: &str, src: &str, force_hot: bool) -> F
                     match d {
                         Directive::HotPath => file_hot = true,
                         Directive::NoAlloc => file_no_alloc = true,
-                        Directive::Allow { .. } => {}
+                        Directive::Allow { .. } | Directive::Bounded { .. } => {}
                     }
                 }
             }
@@ -542,8 +562,10 @@ pub fn parse_file(path: &str, crate_name: &str, src: &str, force_hot: bool) -> F
                 let no_alloc = file_no_alloc
                     || scopes.iter().any(|s| s.no_alloc)
                     || dirs.contains(&Directive::NoAlloc);
-                let allows: Vec<Directive> =
-                    dirs.into_iter().filter(|d| matches!(d, Directive::Allow { .. })).collect();
+                let allows: Vec<Directive> = dirs
+                    .into_iter()
+                    .filter(|d| matches!(d, Directive::Allow { .. } | Directive::Bounded { .. }))
+                    .collect();
 
                 let owner = scopes.iter().rev().find_map(|s| s.owner.clone());
                 fns.push(FnItem {

@@ -65,12 +65,13 @@ pub fn render_json(a: &Analysis) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"tool\": \"nm-analyzer\",");
     let _ = writeln!(out, "  \"version\": \"{}\",", env!("CARGO_PKG_VERSION"));
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
     let _ = writeln!(out, "  \"fns_total\": {},", a.fns_total);
     let _ = writeln!(out, "  \"fns_hot\": {},", a.fns_hot);
     let _ = writeln!(out, "  \"fns_no_alloc\": {},", a.fns_no_alloc);
     let _ = writeln!(out, "  \"atomic_sites_unresolved\": {},", a.atomic_unresolved);
+    let _ = writeln!(out, "  \"growth_sites_unresolved\": {},", a.growth_unresolved);
     let _ = writeln!(out, "  \"timings_ms\": {{");
     for (i, (name, ms)) in a.timings.iter().enumerate() {
         let comma = if i + 1 < a.timings.len() { "," } else { "" };
@@ -166,6 +167,44 @@ pub fn render_json(a: &Analysis) -> String {
             esc(&p.field),
             p.classification,
             sites,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"determinism_sources\": [");
+    for (i, s) in a.det_sources.iter().enumerate() {
+        let comma = if i + 1 < a.det_sources.len() { "," } else { "" };
+        let chain =
+            s.chain.iter().map(|c| format!("\"{}\"", esc(c))).collect::<Vec<_>>().join(", ");
+        let _ = writeln!(
+            out,
+            "    {{\"file\": \"{}\", \"line\": {}, \"what\": \"{}\", \"root\": \"{}\", \
+             \"chain\": [{}], \"allowed\": {}}}{}",
+            esc(&s.file),
+            s.line,
+            esc(&s.what),
+            esc(&s.root),
+            chain,
+            s.allowed,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"growth_sites\": [");
+    for (i, g) in a.growth_sites.iter().enumerate() {
+        let comma = if i + 1 < a.growth_sites.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"file\": \"{}\", \"line\": {}, \"field\": \"{}\", \"method\": \"{}\", \
+             \"status\": \"{}\", \"cap\": \"{}\"}}{}",
+            esc(&g.file),
+            g.line,
+            esc(&g.field),
+            esc(&g.method),
+            g.status,
+            esc(&g.cap),
             comma
         );
     }

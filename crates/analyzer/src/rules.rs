@@ -17,6 +17,13 @@
 //!    impl carries a `SAFETY:` comment (folded in from the old
 //!    `scripts/concurrency_lint.sh`; also runs over `[unsafe_audit]`
 //!    extra directories such as the vendored `compat/` shims).
+//! 7. **determinism** (`determinism-taint`) — nondeterministic sources
+//!    (hash-order iteration, wall clock, unseeded RNG, thread identity)
+//!    reaching `[determinism] roots` over the call graph
+//!    ([`crate::detflow`]).
+//! 8. **growth** (`unbounded-growth`, plus the `bounded(..)` audits) —
+//!    collection-growth sites on hot/determinism paths need a bounding
+//!    proof ([`crate::growth`]).
 //!
 //! Every rule honors `// nm-analyzer: allow(<rule>) -- <reason>` on the
 //! finding line (or the comment block directly above, or the function
@@ -49,6 +56,8 @@ pub const KNOWN_RULES: &[&str] = &[
     "atomic-unpaired-release",
     "atomic-mixed-relaxed",
     "unsafe-no-safety",
+    "determinism-taint",
+    "unbounded-growth",
 ];
 
 /// One diagnostic.
@@ -102,6 +111,13 @@ pub struct Analysis {
     pub atomics: Vec<crate::atomics::AtomicProtocol>,
     /// Atomic op sites whose receiver did not resolve to a declared field.
     pub atomic_unresolved: usize,
+    /// Determinism-taint table: nondeterministic sources reaching a root.
+    pub det_sources: Vec<crate::detflow::DetSource>,
+    /// Growth-site table: resolved collection-growth sites on checked
+    /// paths with their bounding status.
+    pub growth_sites: Vec<crate::growth::GrowthSite>,
+    /// Growth sites whose `self.`-rooted receiver did not resolve.
+    pub growth_unresolved: usize,
     /// Wall time per pass, in milliseconds, in execution order.
     pub timings: Vec<(String, f64)>,
     /// Allow escapes consumed by at least one finding, keyed by
@@ -179,12 +195,18 @@ pub fn analyze(files: &[FileAst], cfg: &Config) -> Analysis {
     });
     let index = build_call_index(files);
     timed(&mut out, "no-alloc", &mut |out| no_alloc(files, &index, out));
-    let (lock_fields, atomic_fields) = crate::guards::scan_fields(files);
+    let fields = crate::guards::scan_fields(files);
     timed(&mut out, "lock-order", &mut |out| {
-        crate::lockorder::lock_discipline(files, &index, &lock_fields, cfg, out)
+        crate::lockorder::lock_discipline(files, &index, &fields.locks, cfg, out)
     });
     timed(&mut out, "atomics", &mut |out| {
-        crate::atomics::atomic_protocols(files, &atomic_fields, out)
+        crate::atomics::atomic_protocols(files, &fields.atomics, out)
+    });
+    timed(&mut out, "determinism", &mut |out| {
+        crate::detflow::determinism_taint(files, &index, &fields.maps, cfg, out)
+    });
+    timed(&mut out, "growth", &mut |out| {
+        crate::growth::bounded_growth(files, &index, &fields.collections, cfg, out)
     });
     timed(&mut out, "unsafe-audit", &mut |out| {
         for file in files {
@@ -765,6 +787,38 @@ pub(crate) fn resolve_call(
             }
         })
         .collect()
+}
+
+/// Call edges of one fn body: `(call token, resolved targets)` for every
+/// ident-followed-by-`(` that [`resolve_call`] resolves within the crate.
+/// Shared by the determinism-taint and bounded-growth passes.
+pub(crate) fn fn_call_edges(
+    files: &[FileAst],
+    index: &CallIndex,
+    at: (usize, usize),
+) -> Vec<(usize, Vec<(usize, usize)>)> {
+    let file = &files[at.0];
+    let f = &file.fns[at.1];
+    let mut out = Vec::new();
+    let Some((bs, be)) = f.body else { return out };
+    let toks = &file.toks;
+    for i in bs..be {
+        if file.is_excluded(i) || file.in_test_range(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || is_non_expr_keyword(&t.text)
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        let targets = resolve_call(files, index, at, i);
+        if !targets.is_empty() {
+            out.push((i, targets));
+        }
+    }
+    out
 }
 
 // ------------------------------------------------------------- no-alloc ----

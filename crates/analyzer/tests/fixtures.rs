@@ -18,6 +18,12 @@ fn fixture_config() -> Config {
         unit_boundary_files: Vec::new(),
         facade_crates: vec!["fixture_facade".to_string()],
         must_use_files: vec!["crates/fixture/src/must_use_fixture.rs".to_string()],
+        // Determinism roots: every fn in these files is a root for the
+        // taint pass and seeds the bounded-growth checked set.
+        det_roots: vec![
+            "crates/fixture/src/detflow_fixture.rs".to_string(),
+            "crates/fixture/src/growth_fixture.rs".to_string(),
+        ],
         ..Default::default()
     }
 }
@@ -38,6 +44,8 @@ fn analyze_fixtures() -> Analysis {
         ("lockorder_fixture.rs", "fixture"),
         ("atomics_fixture.rs", "fixture"),
         ("unsafe_fixture.rs", "fixture"),
+        ("detflow_fixture.rs", "fixture"),
+        ("growth_fixture.rs", "fixture"),
     ] {
         let src = std::fs::read_to_string(dir.join(name)).expect("fixture readable");
         let rel = format!("crates/fixture/src/{name}");
@@ -77,6 +85,11 @@ fn per_rule_unallowed_counts_are_exact() {
         ("unsafe-no-safety", 2),
         ("allow-unused", 1),
         ("allow-unknown-rule", 1),
+        ("determinism-taint", 7),
+        ("unbounded-growth", 2),
+        ("bounded-unknown-cap", 1),
+        ("bounded-missing-reason", 1),
+        ("bounded-unused", 1),
     ];
     for &(rule, n) in expected {
         assert_eq!(
@@ -119,10 +132,20 @@ fn allow_escapes_suppress_and_are_tallied() {
         Some(1),
         "allowed unsafe-no-safety: {allowed:?}"
     );
-    assert_eq!(allowed.len(), 7, "no other rule should have allowed findings: {allowed:?}");
+    assert_eq!(
+        allowed.get("determinism-taint").copied(),
+        Some(1),
+        "allowed determinism-taint: {allowed:?}"
+    );
+    assert_eq!(
+        allowed.get("unbounded-growth").copied(),
+        Some(1),
+        "allowed unbounded-growth: {allowed:?}"
+    );
+    assert_eq!(allowed.len(), 9, "no other rule should have allowed findings: {allowed:?}");
 
-    // Eleven escape comments are on record; exactly one lacks a reason.
-    assert_eq!(analysis.allows.len(), 11, "allows on record: {:#?}", analysis.allows);
+    // Thirteen escape comments are on record; exactly one lacks a reason.
+    assert_eq!(analysis.allows.len(), 13, "allows on record: {:#?}", analysis.allows);
     assert_eq!(analysis.allows.iter().filter(|a| a.reason.is_empty()).count(), 1);
 }
 
@@ -227,7 +250,77 @@ fn pass_timings_are_recorded() {
     let analysis = analyze_fixtures();
     assert!(!analysis.timings.is_empty(), "per-family timings recorded");
     let names: Vec<&str> = analysis.timings.iter().map(|(n, _)| n.as_str()).collect();
-    for family in ["lock-order", "atomics", "unsafe-audit", "allow-audit"] {
+    for family in ["lock-order", "atomics", "unsafe-audit", "allow-audit", "determinism", "growth"]
+    {
         assert!(names.contains(&family), "missing `{family}` in {names:?}");
     }
+}
+
+#[test]
+fn determinism_taint_names_root_and_chain() {
+    let analysis = analyze_fixtures();
+    // Direct source: the finding anchors at the source site inside the
+    // root fn itself, with no chain.
+    let direct = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "determinism-taint" && f.message.contains(".keys()"))
+        .expect("direct keys() finding present");
+    assert!(
+        direct.message.contains("in determinism-root fn `Registry::broadcast`"),
+        "direct root missing: {}",
+        direct.message
+    );
+    // Transitive source: first witnessing root plus the full call chain.
+    let transitive = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == "determinism-taint" && f.message.contains(".iter()"))
+        .expect("transitive iter() finding present");
+    assert!(
+        transitive.message.contains("taints determinism root `Registry::broadcast`")
+            && transitive.message.contains("via `Registry::collect_seen`"),
+        "root/chain missing: {}",
+        transitive.message
+    );
+    // The taint table mirrors the findings, including the allowed row.
+    assert_eq!(analysis.det_sources.len(), 8, "taint table: {:#?}", analysis.det_sources);
+    assert_eq!(analysis.det_sources.iter().filter(|s| s.allowed).count(), 1);
+    let whats: Vec<&str> = analysis.det_sources.iter().map(|s| s.what.as_str()).collect();
+    for what in [
+        "hash-order iteration (`for .. in tmp`)",
+        "wall-clock read (`Instant::now()`)",
+        "unseeded RNG (`thread_rng()`)",
+        "thread identity (`thread::current()`)",
+    ] {
+        assert!(whats.contains(&what), "missing `{what}` in {whats:?}");
+    }
+}
+
+#[test]
+fn growth_table_classifies_every_site() {
+    let analysis = analyze_fixtures();
+    let by_field: HashMap<&str, _> = analysis
+        .growth_sites
+        .iter()
+        .filter(|g| g.file == "crates/fixture/src/growth_fixture.rs")
+        .map(|g| (g.field.as_str(), g))
+        .collect();
+
+    let entries = by_field.get("fixture::Ledger::entries").expect("entries in table");
+    assert_eq!(entries.status, "unbounded", "entries: {entries:?}");
+    let lanes = by_field.get("fixture::Ledger::lanes").expect("lanes (via alias) in table");
+    assert_eq!(lanes.status, "unbounded", "lanes: {lanes:?}");
+    let log = by_field.get("fixture::Ledger::log").expect("log in table");
+    assert_eq!(log.status, "guarded", "log: {log:?}");
+    // The bounded cap is pinned against the real declared constant.
+    let ring = by_field.get("fixture::Ledger::ring").expect("ring in table");
+    assert_eq!((ring.status, ring.cap.as_str()), ("bounded", "RING_CAP"), "ring: {ring:?}");
+    let recent = by_field.get("fixture::Ledger::recent").expect("recent in table");
+    assert_eq!((recent.status, recent.cap.as_str()), ("bounded", "GROW_CAP"), "recent: {recent:?}");
+    let trail = by_field.get("fixture::Ledger::trail").expect("trail in table");
+    assert_eq!(trail.status, "allowed", "trail: {trail:?}");
+
+    // `self.mystery` resolves to no declared field: tallied, not dropped.
+    assert_eq!(analysis.growth_unresolved, 1, "unresolved tally");
 }

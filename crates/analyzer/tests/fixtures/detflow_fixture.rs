@@ -1,0 +1,113 @@
+//! Determinism-taint fixture. This file is listed under `[determinism]
+//! roots` in the fixture config, so every fn here is a determinism root.
+//! Expected findings (7 unallowed + 1 allowed):
+//!
+//! 1. `broadcast`      — direct `.keys()` on a `HashMap` field (empty chain)
+//! 2. `collect_seen`   — `.iter()` on a `HashSet` field, credited to the
+//!                       first witnessing root `Registry::broadcast` via the
+//!                       chain `Registry::collect_seen`
+//! 3. `alias_iter`     — `.keys()` through a *pure* let-alias of the field
+//! 4. `local_map_loop` — `for .. in` over a local `HashMap` binding
+//! 5. `stamp`          — `Instant::now()` (file not under wall-clock provenance)
+//! 6. `roll`           — `thread_rng()`
+//! 7. `who`            — `thread::current()`
+//! 8. `sorted_values`  — `.values()` suppressed by a reasoned allow
+//!
+//! Negatives: `copy_out` iterates a *call-derived* binding (a clone is a
+//! new map, not the field); `tally` iterates a deep chain on a plain local
+//! receiver, which the head-of-chain rule deliberately skips.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub struct Registry {
+    peers: HashMap<u64, String>,
+    seen: HashSet<u64>,
+}
+
+impl Registry {
+    /// Finding 1: hash-order iteration directly in a root fn.
+    pub fn broadcast(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for id in self.peers.keys() {
+            ids.push(*id);
+        }
+        ids.extend(self.collect_seen());
+        ids
+    }
+
+    /// Finding 2: the source here reaches `broadcast` through one call
+    /// edge, so the report names the chain.
+    fn collect_seen(&self) -> Vec<u64> {
+        self.seen.iter().copied().collect()
+    }
+
+    /// Finding 3: a pure place alias still resolves to the field.
+    pub fn alias_iter(&self) -> usize {
+        let m = &self.peers;
+        let mut n = 0;
+        for _k in m.keys() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Finding 4: `for`-loop over a local binding declared as a hash map.
+    pub fn local_map_loop(&self) -> u64 {
+        let mut tmp: HashMap<u64, u64> = HashMap::new();
+        tmp.insert(1, 2);
+        let mut sum = 0;
+        for k in &tmp {
+            sum += k.0;
+        }
+        sum
+    }
+
+    /// Finding 5: wall clock outside a provenance-listed file.
+    pub fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Finding 6: ambient randomness.
+    pub fn roll(&self) -> u64 {
+        let mut r = thread_rng();
+        r.next()
+    }
+
+    /// Finding 7: scheduler identity.
+    pub fn who(&self) -> String {
+        format!("{:?}", std::thread::current().id())
+    }
+
+    /// Finding 8 (allowed): tallied but suppressed by the escape below.
+    // nm-analyzer: allow(determinism-taint) -- values are collected and sorted before use
+    pub fn sorted_values(&self) -> Vec<String> {
+        let mut v: Vec<String> = Vec::new();
+        for s in self.peers.values() {
+            v.push(s.to_string());
+        }
+        v.sort();
+        v
+    }
+
+    /// Negative: a clone is a fresh map — attribution stays at the
+    /// deriving site, not the field.
+    pub fn copy_out(&self) -> usize {
+        let copy = self.peers.clone();
+        let mut n = 0;
+        for _k in copy.keys() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Negative: deep chains on non-`self` locals are skipped (params
+    /// shadow field names too often for bare-name resolution to be sound).
+    pub fn tally(&self, other: &Registry) -> usize {
+        let mut n = 0;
+        for _k in other.peers.keys() {
+            n += 1;
+        }
+        n
+    }
+}

@@ -1,0 +1,100 @@
+//! Bounded-growth fixture. This file is listed under `[determinism]
+//! roots`, so every fn here is on the checked set. Expected:
+//!
+//! * `remember`   — unbounded `.push()` on a struct field (finding 1)
+//! * `lane_alias` — unbounded `.push()` through a pure alias (finding 2)
+//! * `log_capped` — lexical `.len()` capacity check → `guarded`, no finding
+//! * `ring_push`  — `bounded(RING_CAP)` naming a real const → `bounded`
+//! * `note`       — `bounded(GROW_CAP)` with no reason → site still
+//!                  `bounded`, plus one `bounded-missing-reason` audit finding
+//! * `trail_push` — reasoned allow → `allowed`, tallied not reported
+//! * `misc`       — `self.`-rooted receiver that resolves to no declared
+//!                  field → counted in `growth_sites_unresolved`
+//! * the stale directive above `idle` → `bounded-unknown-cap` (names no
+//!   workspace const) and `bounded-unused` (no site consumes it)
+//!
+//! Negatives: `scratch` grows a plain local (function-lifetime growth is
+//! bounded by the call); `copy_out` grows a clone of a field (a new
+//! collection, not the field).
+
+use std::collections::VecDeque;
+
+const GROW_CAP: usize = 8;
+const RING_CAP: usize = 16;
+
+pub struct Ledger {
+    entries: Vec<u64>,
+    lanes: Vec<u64>,
+    log: Vec<u64>,
+    ring: VecDeque<u64>,
+    recent: VecDeque<u64>,
+    trail: Vec<u64>,
+}
+
+impl Ledger {
+    /// Finding 1: growth with no bounding proof.
+    pub fn remember(&mut self, v: u64) {
+        self.entries.push(v);
+    }
+
+    /// Finding 2: a pure alias is still the field.
+    pub fn lane_alias(&mut self, v: u64) {
+        let lanes = &mut self.lanes;
+        lanes.push(v);
+    }
+
+    /// Guarded: the `.len()` comparison on the same field is the proof.
+    pub fn log_capped(&mut self, v: u64) {
+        if self.log.len() < GROW_CAP {
+            self.log.push(v);
+        }
+    }
+
+    /// Bounded: documented cap naming a declared constant.
+    pub fn ring_push(&mut self, v: u64, over: bool) {
+        // nm-analyzer: bounded(RING_CAP) -- the eviction below keeps the ring within the cap
+        self.ring.push_back(v);
+        if over {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Bounded but under-documented: the missing `-- <why>` is an audit
+    /// finding even though the cap itself is real.
+    pub fn note(&mut self, v: u64) {
+        // nm-analyzer: bounded(GROW_CAP)
+        self.recent.push_back(v);
+    }
+
+    /// Allowed: reasoned escape, tallied not reported.
+    // nm-analyzer: allow(unbounded-growth) -- drained by the caller every round
+    pub fn trail_push(&mut self, v: u64) {
+        self.trail.push(v);
+    }
+
+    /// Unresolved: `self.mystery` names no declared collection field, so
+    /// the site is tallied rather than silently dropped.
+    pub fn misc(&mut self, v: u64) {
+        self.mystery.push(v);
+    }
+
+    /// Stale + bogus: the cap names no constant and no site consumes it.
+    // nm-analyzer: bounded(NOT_A_CONST) -- believed small
+    pub fn idle(&self) -> usize {
+        self.entries.len() + self.trail.len()
+    }
+
+    /// Negative: local growth is bounded by the call's lifetime.
+    pub fn scratch(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        v.push(1);
+        v
+    }
+
+    /// Negative: a clone is a new collection, not the field.
+    pub fn copy_out(&mut self) -> Vec<u64> {
+        let mut c = self.entries.clone();
+        c.push(99);
+        c
+    }
+}

@@ -6,8 +6,7 @@
 
 use std::path::Path;
 
-#[test]
-fn workspace_is_clean_under_own_rules() {
+fn self_analysis() -> nm_analyzer::rules::Analysis {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg_text = std::fs::read_to_string(root.join("analyzer.toml")).expect("analyzer.toml");
     let cfg = nm_analyzer::config::Config::parse(&cfg_text).expect("config parses");
@@ -15,7 +14,13 @@ fn workspace_is_clean_under_own_rules() {
     let audit = nm_analyzer::audit_sources(&root, &cfg.audit_dirs).expect("audit sources");
     assert!(!sources.is_empty(), "workspace sources found");
     assert!(!audit.is_empty(), "audit dirs configured and non-empty");
-    let analysis = nm_analyzer::run(&root, &sources, &audit, &cfg).expect("analysis runs");
+    assert!(!cfg.det_roots.is_empty(), "determinism roots configured");
+    nm_analyzer::run(&root, &sources, &audit, &cfg).expect("analysis runs")
+}
+
+#[test]
+fn workspace_is_clean_under_own_rules() {
+    let analysis = self_analysis();
     let unallowed = analysis.unallowed();
     assert!(
         unallowed.is_empty(),
@@ -26,4 +31,29 @@ fn workspace_is_clean_under_own_rules() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The determinism/growth tables over the real workspace: every surviving
+/// nondeterministic source must carry an allow, and every growth site on a
+/// checked path must be proven (guarded, bounded, or reasoned-allowed) —
+/// `unbounded` rows are exactly the unallowed findings the gate rejects.
+#[test]
+fn growth_and_determinism_tables_are_proven() {
+    let analysis = self_analysis();
+    let loose: Vec<_> = analysis.det_sources.iter().filter(|s| !s.allowed).collect();
+    assert!(loose.is_empty(), "unallowed determinism sources: {loose:#?}");
+    assert!(!analysis.growth_sites.is_empty(), "growth sites discovered");
+    let unbounded: Vec<_> =
+        analysis.growth_sites.iter().filter(|g| g.status == "unbounded").collect();
+    assert!(unbounded.is_empty(), "unproven growth sites: {unbounded:#?}");
+    // The discipline is exercised in all three proof modes, including at
+    // least one documented cap naming a real constant.
+    for status in ["guarded", "bounded", "allowed"] {
+        assert!(
+            analysis.growth_sites.iter().any(|g| g.status == status),
+            "no `{status}` site in {:#?}",
+            analysis.growth_sites
+        );
+    }
+    assert!(analysis.growth_sites.iter().any(|g| g.status == "bounded" && !g.cap.is_empty()));
 }

@@ -187,6 +187,8 @@ impl Table {
     }
 
     /// Appends a row (must match the header count).
+    // nm-analyzer: allow(unbounded-growth) -- one row per bench configuration; tables are
+    // rendered and dropped at the end of the run
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells);

@@ -40,6 +40,8 @@ impl ProfileBank {
         self.cache.len()
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- memoization keyed by rail set; population is the
+    // number of distinct rail sets the topology exposes, guarded by contains_key
     fn predictor_for_rails(&mut self, rails: &[usize]) -> &Predictor {
         if !self.cache.contains_key(rails) {
             // A private two-node twin with only the shared links: local

@@ -24,7 +24,7 @@ use nm_core::strategy::StrategyKind;
 use nm_faults::ClusterFaultSchedule;
 use nm_model::{SimDuration, SimTime};
 use nm_sim::{ClusterSpec, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A posted hop's deadline is this many times the bank's uncontended hop
 /// prediction (floored at [`MIN_HOP_TIMEOUT_US`]), doubling per retry.
@@ -118,7 +118,7 @@ enum HopState {
 pub struct CollectiveCluster {
     cluster: SimCluster,
     spec: ClusterSpec,
-    engines: HashMap<(usize, usize), Engine<PairDriver>>,
+    engines: BTreeMap<(usize, usize), Engine<PairDriver>>,
     /// Healing machinery armed: the cluster replays a non-empty fault
     /// schedule, engines run with fault tolerance, runs take the watchdog
     /// path. An *empty* schedule keeps the plain path — inertness is a
@@ -138,7 +138,7 @@ impl CollectiveCluster {
         CollectiveCluster {
             cluster,
             spec,
-            engines: HashMap::new(),
+            engines: BTreeMap::new(),
             healing: false,
             sickness: vec![0.0; nodes],
         }
@@ -155,7 +155,7 @@ impl CollectiveCluster {
         Ok(CollectiveCluster {
             cluster,
             spec,
-            engines: HashMap::new(),
+            engines: BTreeMap::new(),
             healing: !schedule.is_empty(),
             sickness: vec![0.0; nodes],
         })
@@ -186,6 +186,8 @@ impl CollectiveCluster {
         &self.sickness
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- one engine per directed node pair, guarded by
+    // contains_key; capped at n*(n-1) for an n-node cluster
     fn ensure_engine(&mut self, bank: &mut ProfileBank, src: usize, dst: usize) {
         if !self.engines.contains_key(&(src, dst)) {
             let driver = self.cluster.pair_driver(NodeId(src), NodeId(dst));
@@ -233,12 +235,12 @@ impl CollectiveCluster {
             }
         }
 
-        let mut posted: HashMap<(usize, usize, MsgId), usize> = HashMap::new();
+        let mut posted: BTreeMap<(usize, usize, MsgId), usize> = BTreeMap::new();
         let mut deliveries: Vec<Option<SimTime>> = vec![None; dag.hops.len()];
         let mut outstanding = 0usize;
 
-        let post = |engines: &mut HashMap<(usize, usize), Engine<PairDriver>>,
-                    posted: &mut HashMap<(usize, usize, MsgId), usize>,
+        let post = |engines: &mut BTreeMap<(usize, usize), Engine<PairDriver>>,
+                    posted: &mut BTreeMap<(usize, usize, MsgId), usize>,
                     hop_idx: usize|
          -> Result<(), String> {
             let h = &dag.hops[hop_idx];
@@ -270,17 +272,16 @@ impl CollectiveCluster {
             // complete. Newly-posted hops can themselves fill inboxes, so
             // iterate to a fixed point.
             loop {
-                let mut pending: Vec<(usize, usize)> = self
+                // Same-instant deliveries leave several inboxes pending at
+                // once, and poll order decides same-instant submit order
+                // downstream: engines live in a BTreeMap precisely so this
+                // collects in pair order and runs stay bit-deterministic.
+                let pending: Vec<(usize, usize)> = self
                     .engines
                     .iter()
                     .filter(|(_, e)| e.transport().pending_events() > 0)
                     .map(|(&k, _)| k)
                     .collect();
-                // Engines live in a HashMap; same-instant deliveries leave
-                // several inboxes pending at once, and poll order decides
-                // same-instant submit order downstream. Sort to keep runs
-                // bit-deterministic.
-                pending.sort_unstable();
                 if pending.is_empty() {
                     break;
                 }
@@ -373,7 +374,7 @@ impl CollectiveCluster {
         let mut holders: BTreeSet<usize> = [0].into();
         let mut block_done: BTreeSet<(usize, usize)> = BTreeSet::new();
 
-        let mut posted_ids: HashMap<(usize, usize, MsgId), usize> = HashMap::new();
+        let mut posted_ids: BTreeMap<(usize, usize, MsgId), usize> = BTreeMap::new();
         let mut stats = RunStats::default();
         let mut first_failure: Option<SimTime> = None;
         let mut last_repair_delivery: Option<SimTime> = None;
@@ -395,15 +396,15 @@ impl CollectiveCluster {
             while outstanding > 0 {
                 // Drain inboxes to a fixed point, then process completions.
                 loop {
-                    let mut pending: Vec<(usize, usize)> = self
+                    // BTreeMap iteration is pair-ordered, so poll (and thus
+                    // same-instant submit) order is reproducible by
+                    // construction.
+                    let pending: Vec<(usize, usize)> = self
                         .engines
                         .iter()
                         .filter(|(_, e)| e.transport().pending_events() > 0)
                         .map(|(&k, _)| k)
                         .collect();
-                    // HashMap order is per-instance random; sort so poll
-                    // (and thus same-instant submit) order is reproducible.
-                    pending.sort_unstable();
                     if pending.is_empty() {
                         break;
                     }
@@ -633,7 +634,7 @@ impl CollectiveCluster {
         bank: &mut ProfileBank,
         hops: &[Hop],
         state: &mut [HopState],
-        posted_ids: &mut HashMap<(usize, usize, MsgId), usize>,
+        posted_ids: &mut BTreeMap<(usize, usize, MsgId), usize>,
         i: usize,
         attempts: u32,
     ) -> Result<(), String> {

@@ -151,6 +151,8 @@ impl Selector {
     /// Feeds back one completed operation: updates the algorithm's EWMA
     /// correction and appends to the record trail.
     // nm-analyzer: hot_path
+    // nm-analyzer: allow(unbounded-growth) -- record trail holds one entry per completed
+    // collective, the observability product of the selector; callers own its lifetime
     pub fn record(&mut self, rec: OpRecord) {
         let ratio = rec.ratio();
         if ratio.is_finite() && ratio > 0.0 {

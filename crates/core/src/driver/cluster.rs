@@ -30,7 +30,7 @@ use nm_faults::Change;
 use nm_model::SimTime;
 use nm_sim::{ClusterSpec, CoreId, NodeId, RailId, SendSpec, SimEvent, Simulator, TransferId};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 /// Synthetic id space for chunks rejected at submission (port down) — far
@@ -55,7 +55,8 @@ struct ClusterFaults {
     timeline: Vec<ClusterTransition>,
     next: usize,
     /// `(src, dst, physical rail)` of each live submitted transfer.
-    inflight: HashMap<TransferId, (usize, usize, usize)>,
+    /// Id-ordered so fault onsets fail victims in id order without a sort.
+    inflight: BTreeMap<TransferId, (usize, usize, usize)>,
     /// Loss-lottery victims: their delivery is rewritten to `ChunkFailed`
     /// (the send side completes normally, delivery never happens).
     doomed: HashSet<TransferId>,
@@ -81,6 +82,8 @@ impl Shared {
     /// Applies every fault transition due at or before `at`. Called per
     /// routed event (each transition instant also has a pinned wakeup), so
     /// the state a submission consults is always current for `now`.
+    // nm-analyzer: allow(unbounded-growth) -- per-port inboxes; every push is drained by the
+    // owning driver's next poll
     fn apply_transitions_until(&mut self, at: SimTime) {
         loop {
             let Some(f) = self.faults.as_deref_mut() else { return };
@@ -94,9 +97,9 @@ impl Shared {
             match t.change {
                 Change::DownBegin => {
                     // Kill in-flight transfers crossing the downed port.
-                    // Iteration order over the map is nondeterministic;
-                    // sort by id so failure events replay identically.
-                    let mut victims: Vec<TransferId> = f
+                    // The ledger is id-ordered (BTreeMap), so failure
+                    // events replay identically by construction.
+                    let victims: Vec<TransferId> = f
                         .inflight
                         .iter()
                         .filter(|(_, &(s, d, r))| {
@@ -104,7 +107,6 @@ impl Shared {
                         })
                         .map(|(&id, _)| id)
                         .collect();
-                    victims.sort_by_key(|c| c.0);
                     for id in victims {
                         f.inflight.remove(&id);
                         f.doomed.remove(&id);
@@ -132,6 +134,8 @@ impl Shared {
     }
 
     /// Steps the simulator once and routes the produced events.
+    // nm-analyzer: allow(unbounded-growth) -- per-port inboxes; every routed event is drained
+    // by the owning driver's next poll
     fn pump(&mut self) -> bool {
         let events = self.sim.step();
         if events.is_empty() {
@@ -264,7 +268,7 @@ impl SimCluster {
             state: ClusterFaultState::new(sim.spec(), schedule.seed()),
             timeline,
             next: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             doomed: HashSet::new(),
             suppressed: HashSet::new(),
             next_rejected: 0,

@@ -39,7 +39,7 @@ use nm_faults::{Change, FaultSchedule, FaultState, Transition};
 use nm_model::SimTime;
 use nm_proto::{Packet, HEADER_LEN};
 use nm_sim::{ClusterSpec, CoreId, RailId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Chunk ids minted for submissions rejected at the driver (down rail);
 /// disjoint from the simulator's transfer-id space.
@@ -56,7 +56,7 @@ pub struct FaultSimDriver {
     timeline: Vec<Transition>,
     next_transition: usize,
     /// Live chunks per rail — the victims list when a rail goes down.
-    inflight: HashMap<ChunkId, RailId>,
+    inflight: BTreeMap<ChunkId, RailId>,
     /// Chunks that lost the loss lottery: delivery becomes failure.
     doomed: HashSet<ChunkId>,
     /// Chunks failed at rail-down onset: residual sim events are swallowed.
@@ -105,7 +105,7 @@ impl FaultSimDriver {
             state: FaultState::new(rails, schedule.seed()),
             timeline,
             next_transition: 0,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             doomed: HashSet::new(),
             suppressed: HashSet::new(),
             corrupted: HashMap::new(),
@@ -128,6 +128,8 @@ impl FaultSimDriver {
 
     /// Applies every transition due at or before `at`; rail-down onsets
     /// fail the rail's in-flight chunks into `out`.
+    // nm-analyzer: allow(unbounded-growth) -- suppression set holds one id per chunk failed by
+    // a rail-down onset, cleared when the underlying delivery event is swallowed
     fn apply_transitions_until(&mut self, at: SimTime, out: &mut Vec<TransportEvent>) {
         while let Some(t) = self.timeline.get(self.next_transition) {
             if t.at > at {
@@ -138,13 +140,14 @@ impl FaultSimDriver {
             self.state.apply(&t);
             match t.change {
                 Change::DownBegin => {
-                    let mut victims: Vec<ChunkId> = self
+                    // Id-ordered ledger: victims fail in chunk-id order by
+                    // construction, no normalizing sort needed.
+                    let victims: Vec<ChunkId> = self
                         .inflight
                         .iter()
                         .filter(|&(_, r)| *r == t.rail)
                         .map(|(c, _)| *c)
                         .collect();
-                    victims.sort_by_key(|c| c.0); // hash order is not deterministic
                     for chunk in victims {
                         self.inflight.remove(&chunk);
                         self.doomed.remove(&chunk);
@@ -263,6 +266,8 @@ impl Transport for FaultSimDriver {
         self.inner.idle_cores()
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- per-run fault-sim bookkeeping: one ledger entry
+    // per live chunk (removed on delivery) plus scripted failure/corruption/dup schedules
     fn submit(&mut self, mut chunk: ChunkSubmit) -> ChunkId {
         let rail = chunk.rail;
         if self.state.is_down(rail) {

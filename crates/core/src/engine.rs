@@ -195,7 +195,29 @@ struct FaultTolerance {
     chunk_meta: HashMap<ChunkId, ChunkMeta>,
     /// Timed-out chunks the transport could not retract: their late
     /// deliveries must be swallowed, not treated as unknown chunks.
+    /// Capped at [`ABANDONED_WINDOW`] via the `abandoned_order` ring.
     abandoned: HashSet<ChunkId>,
+    /// FIFO of `abandoned` entries, oldest first, for eviction. Entries
+    /// whose chunk already delivered late go stale here; popping them is
+    /// a no-op remove.
+    abandoned_order: VecDeque<ChunkId>,
+}
+
+impl FaultTolerance {
+    /// Records a zombie chunk whose late delivery must be swallowed,
+    /// evicting the oldest record past [`ABANDONED_WINDOW`]: a chunk
+    /// still undelivered after that many successors is gone for good, and
+    /// an unbounded swallow-set is a slow leak on a long-lived engine.
+    fn mark_abandoned(&mut self, chunk: ChunkId) {
+        // nm-analyzer: bounded(ABANDONED_WINDOW) -- FIFO eviction below keeps the set within the ring
+        if self.abandoned.insert(chunk) {
+            self.abandoned_order.push_back(chunk);
+            if self.abandoned_order.len() > ABANDONED_WINDOW {
+                let old = self.abandoned_order.pop_front().expect("non-empty");
+                self.abandoned.remove(&old);
+            }
+        }
+    }
 }
 
 /// The multirail engine over some transport.
@@ -258,6 +280,9 @@ const FLOW_REORDER_WINDOW: usize = 4096;
 /// Delivered-chunk ids remembered for duplicate recognition.
 const RECENT_DELIVERED_WINDOW: usize = 4096;
 
+/// Unretractable timed-out chunks remembered for late-delivery swallowing.
+const ABANDONED_WINDOW: usize = 4096;
+
 impl<T: Transport> Engine<T> {
     /// Builds an engine. The predictor's rails must match the transport's.
     pub fn new(
@@ -318,6 +343,7 @@ impl<T: Transport> Engine<T> {
             retries: VecDeque::new(),
             chunk_meta: HashMap::new(),
             abandoned: HashSet::new(),
+            abandoned_order: VecDeque::new(),
         }));
         Ok(self)
     }
@@ -533,6 +559,8 @@ impl<T: Transport> Engine<T> {
         Ok(id)
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- one queue entry and one flow slot per posted
+    // message; the queue drains every kick and shed_expired evicts overdue posts
     fn enqueue(
         &mut self,
         size: u64,
@@ -723,6 +751,8 @@ impl<T: Transport> Engine<T> {
     /// Sheds queued messages past their deadline, oldest first. Shed
     /// messages release their flow slot (successors must not stall) and are
     /// reported by [`Engine::wait`] as [`EngineError::Shed`].
+    // nm-analyzer: allow(unbounded-growth) -- one sequencer per active tag and one completion
+    // per posted message; wait/drain retire both
     fn shed_expired(&mut self, now: SimTime) -> Result<(), EngineError> {
         loop {
             // Oldest past-deadline message first: ids are assigned in
@@ -753,6 +783,8 @@ impl<T: Transport> Engine<T> {
         }
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- in-flight ledgers hold one entry per live chunk
+    // or message, removed on delivery, failure, or cancellation
     fn apply_split(&mut self, chunks: ChunkList) -> Result<(), EngineError> {
         let head = self.queue.front().expect("kick checked non-empty");
         if chunks.is_empty() {
@@ -870,6 +902,8 @@ impl<T: Transport> Engine<T> {
         (submit.rail, now, predicted)
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- in-flight ledgers hold one entry per live packed
+    // message, removed when the pack delivers or fails
     fn apply_aggregate(&mut self, count: usize, rail: RailId) -> Result<(), EngineError> {
         if count == 0 || count > self.queue.len() {
             return Err(EngineError::BadPlan(format!(
@@ -1055,6 +1089,7 @@ impl<T: Transport> Engine<T> {
     /// Remembers a delivered chunk id for duplicate recognition (bounded
     /// ring — old entries age out).
     fn note_delivered(&mut self, chunk: ChunkId) {
+        // nm-analyzer: bounded(RECENT_DELIVERED_WINDOW) -- the VecDeque ring below evicts the oldest id past the window
         if self.recent_delivered_set.insert(chunk) {
             self.recent_delivered.push_back(chunk);
             if self.recent_delivered.len() > RECENT_DELIVERED_WINDOW {
@@ -1068,6 +1103,7 @@ impl<T: Transport> Engine<T> {
     /// `timeout_factor ×` its predicted duration (floored at `min_timeout`).
     /// Covers transports that drop silently instead of raising
     /// [`TransportEvent::ChunkFailed`].
+    // nm-analyzer: allow(determinism-taint) -- expired set is collected then sorted by chunk id before any state change
     fn expire_overdue_chunks(&mut self, now: SimTime) -> Result<(), EngineError> {
         let (factor, min_timeout) = {
             let cfg = self.health.as_ref().expect("caller checked").tracker.config();
@@ -1115,7 +1151,7 @@ impl<T: Transport> Engine<T> {
             // Best effort: retract the zombie from the transport; if it
             // cannot be retracted, remember to swallow its late delivery.
             if !self.transport.cancel_chunks(&[chunk]) {
-                self.health.as_mut().expect("checked").abandoned.insert(chunk);
+                self.health.as_mut().expect("checked").mark_abandoned(chunk);
             }
         } else {
             self.stats.chunks_failed += 1;
@@ -1323,6 +1359,8 @@ impl<T: Transport> Engine<T> {
     }
 
     /// Puts one probe chunk on a rail under test.
+    // nm-analyzer: allow(unbounded-growth) -- one ledger entry per outstanding probe, removed
+    // when the probe delivers; probes are rate-limited by the watchdog cadence
     fn submit_probe(&mut self, rail: RailId, size: u64) {
         let submit = ChunkSubmit::new(rail, size);
         let prediction = self.predict_completion(&submit);
@@ -1470,6 +1508,8 @@ impl<T: Transport> Engine<T> {
     }
 
     /// Submits a failover chunk with full fault-tolerance bookkeeping.
+    // nm-analyzer: allow(unbounded-growth) -- one owner/prediction entry per live chunk,
+    // removed on delivery or abandonment
     fn submit_tracked(&mut self, owner: ChunkOwner, submit: ChunkSubmit, meta: ChunkMeta) {
         self.stats.chunks_submitted += 1;
         self.stats.rail_bytes[submit.rail.index()] += submit.bytes;
@@ -1499,6 +1539,8 @@ impl<T: Transport> Engine<T> {
         }
     }
 
+    // nm-analyzer: allow(unbounded-growth) -- completions hold one record per posted message
+    // until wait/drain collects it; held is capped per flow by the sequencer's reorder window
     fn note_chunk_done(&mut self, id: MsgId, at: SimTime) -> bool {
         let m = self.inflight.get_mut(&id).expect("chunk owner implies inflight");
         m.chunks_done += 1;
@@ -1575,6 +1617,7 @@ impl<T: Transport> Engine<T> {
     /// Runs until every posted message completes; returns all completions
     /// in completion order (ties broken by id). Messages shed past their
     /// deadline while draining are skipped, not errors.
+    // nm-analyzer: allow(determinism-taint) -- ids are collected then sort_unstable'd; wait order is id order
     #[must_use = "dropping the completions loses delivery results; at minimum check for errors"]
     pub fn drain(&mut self) -> Result<Vec<MsgCompletion>, EngineError> {
         let mut ids: Vec<MsgId> = self.queue.iter().map(|m| m.id).collect();
@@ -1605,6 +1648,8 @@ impl<T: Transport> Engine<T> {
     /// any chunk has begun moving — or the message shares a pack with
     /// others, or a chunk is mid-retry — cancellation fails and the message
     /// completes normally. Returns `true` iff the message was removed.
+    // nm-analyzer: allow(unbounded-growth) -- cancellation records one completion per cancelled
+    // message and releases its flow slot; both retire through wait/drain
     pub fn cancel(&mut self, id: MsgId) -> Result<bool, EngineError> {
         let Some(pos) = self.queue.iter().position(|m| m.id == id) else {
             return self.cancel_inflight(id);
@@ -1629,6 +1674,9 @@ impl<T: Transport> Engine<T> {
 
     /// The in-flight half of [`Engine::cancel`]: retract every chunk of
     /// `id` from the transport, releasing the rail time it had reserved.
+    // nm-analyzer: allow(determinism-taint) -- owned chunks are collected then sorted by id before retraction
+    // nm-analyzer: allow(unbounded-growth) -- retraction moves one completion per cancelled
+    // message into the ledger and frees its flow slot; wait/drain retire both
     fn cancel_inflight(&mut self, id: MsgId) -> Result<bool, EngineError> {
         let Some(m) = self.inflight.get(&id) else {
             return Ok(false); // held, completed or unknown
@@ -1637,12 +1685,14 @@ impl<T: Transport> Engine<T> {
             return Ok(false); // partially delivered: too late
         }
         let chunks_total = m.chunks_total;
-        let chunks: Vec<ChunkId> = self
+        let mut chunks: Vec<ChunkId> = self
             .chunk_owner
             .iter()
             .filter(|(_, o)| matches!(o, ChunkOwner::Msg(owner) if *owner == id))
             .map(|(&c, _)| c)
             .collect();
+        // Hash order would leak into the transport's retraction sequence.
+        chunks.sort_unstable();
         // Fewer owned chunks than the ledger expects means some are packed
         // with other messages or parked in the retry queue — unretractable.
         if chunks.len() != chunks_total {
@@ -1692,6 +1742,9 @@ impl<T: Transport> Engine<T> {
     /// completed), unknown, packed with co-travelers, or the engine lacks
     /// the fault-tolerance layer — in every such case the message still
     /// completes locally and the caller should keep waiting instead.
+    // nm-analyzer: allow(determinism-taint) -- owned chunks are collected then sorted by id before retraction
+    // nm-analyzer: allow(unbounded-growth) -- abandonment records one completion per abandoned
+    // message and releases its flow slot; wait/drain retire both
     pub fn abandon(&mut self, id: MsgId) -> Result<bool, EngineError> {
         if self.cancel(id)? {
             return Ok(true);
@@ -1704,12 +1757,14 @@ impl<T: Transport> Engine<T> {
             // late deliveries into; a forced teardown would poison poll.
             return Ok(false);
         }
-        let chunks: Vec<ChunkId> = self
+        let mut chunks: Vec<ChunkId> = self
             .chunk_owner
             .iter()
             .filter(|(_, o)| matches!(o, ChunkOwner::Msg(owner) if *owner == id))
             .map(|(&c, _)| c)
             .collect();
+        // Hash order would leak into the transport's retraction sequence.
+        chunks.sort_unstable();
         let ft = self.health.as_mut().expect("checked above");
         let parked = ft.retries.iter().any(|r| matches!(&r.owner, ChunkOwner::Msg(o) if *o == id));
         if chunks.is_empty() && !parked {
@@ -1727,7 +1782,7 @@ impl<T: Transport> Engine<T> {
             self.chunk_prediction.remove(c);
             ft.chunk_meta.remove(c);
             if !retracted {
-                ft.abandoned.insert(*c);
+                ft.mark_abandoned(*c);
             }
         }
         ft.retries.retain(|r| !matches!(&r.owner, ChunkOwner::Msg(o) if *o == id));

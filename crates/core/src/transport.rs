@@ -46,7 +46,7 @@ impl ChunkSubmit {
 }
 
 /// Driver-assigned handle for a submitted chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChunkId(pub u64);
 
 /// Events a driver raises toward the engine.

@@ -64,6 +64,8 @@ impl Aggregator {
 
     /// Adds a message; returns `false` (without adding) when it no longer
     /// fits — flush first.
+    // nm-analyzer: allow(unbounded-growth) -- byte-capped by the fits() admission check above
+    // the push; the pack never exceeds max_bytes
     pub fn push(&mut self, entry: AggEntry) -> bool {
         if !self.fits(entry.data.len()) {
             return false;

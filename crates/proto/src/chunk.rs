@@ -147,6 +147,8 @@ impl Reassembler {
     }
 
     /// Feeds one chunk. Returns `true` when the message became complete.
+    // nm-analyzer: allow(unbounded-growth) -- ranges hold disjoint chunk spans of one message;
+    // overlap rejection above caps them at total_len / min-chunk-size
     pub fn feed(&mut self, offset: u64, data: &Bytes) -> Result<bool, ProtoError> {
         let len = data.len() as u64;
         let end = offset

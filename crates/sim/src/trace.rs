@@ -68,6 +68,8 @@ impl Trace {
     }
 
     /// Appends a record if recording is on.
+    // nm-analyzer: allow(unbounded-growth) -- diagnostic buffer, gated on `enabled`; disabled
+    // traces never grow and enabled ones live only for a test's run
     pub fn push(&mut self, rec: TraceRecord) {
         if self.enabled {
             self.records.push(rec);
